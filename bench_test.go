@@ -1,0 +1,329 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation on the simulated testbed, plus microbenchmarks of the
+// substrates. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure benchmarks execute the full-scale workflow (89 staging jobs) with
+// one trial per data point per iteration and report the key scalar of the
+// figure as a custom metric; `cmd/sweep` prints the full series with the
+// paper's trial count.
+package policyflow_test
+
+import (
+	"fmt"
+	"testing"
+
+	"policyflow/internal/dag"
+	"policyflow/internal/experiment"
+	"policyflow/internal/montage"
+	"policyflow/internal/policy"
+	"policyflow/internal/rules"
+	"policyflow/internal/simnet"
+	"policyflow/internal/synth"
+	"policyflow/internal/tuner"
+	"policyflow/internal/workflow"
+)
+
+// benchOptions runs each figure point once per bench iteration.
+func benchOptions(i int) experiment.Options {
+	return experiment.Options{Trials: 1, Seed: int64(i + 1)}
+}
+
+// BenchmarkTableIV regenerates Table IV (analytic, like the paper).
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiment.TableIV()
+		if tab[50][2] != 63 || tab[200][2] != 160 {
+			b.Fatalf("Table IV wrong: %+v", tab)
+		}
+	}
+}
+
+// BenchmarkFig2Clustering regenerates the clustering comparison of Fig. 2.
+func BenchmarkFig2Clustering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Fig2Clustering(10, 4, benchOptions(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Unclustered.Mean, "unclustered-s")
+		b.ReportMetric(res.Clustered.Mean, "clustered-s")
+	}
+}
+
+// BenchmarkFig5 regenerates Fig. 5: execution time vs default streams for
+// each additional-file size at greedy threshold 50.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiment.Fig5(benchOptions(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p, ok := experiment.FindPoint(pts, "500MB", 8); ok {
+			b.ReportMetric(p.MeanSeconds, "500MB@8str-s")
+		}
+	}
+}
+
+// benchFigThreshold regenerates one of Figs. 6-9.
+func benchFigThreshold(b *testing.B, fileMB float64) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiment.FigThreshold(fileMB, benchOptions(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		g50, _ := experiment.FindPoint(pts, "greedy-50", 8)
+		np, _ := experiment.FindPoint(pts, "no-policy", 4)
+		b.ReportMetric(g50.MeanSeconds, "greedy50@8-s")
+		b.ReportMetric(np.MeanSeconds, "nopolicy@4-s")
+	}
+}
+
+// BenchmarkFig6 regenerates Fig. 6 (10 MB additional files).
+func BenchmarkFig6(b *testing.B) { benchFigThreshold(b, 10) }
+
+// BenchmarkFig7 regenerates Fig. 7 (100 MB additional files).
+func BenchmarkFig7(b *testing.B) { benchFigThreshold(b, 100) }
+
+// BenchmarkFig8 regenerates Fig. 8 (500 MB additional files).
+func BenchmarkFig8(b *testing.B) { benchFigThreshold(b, 500) }
+
+// BenchmarkFig9 regenerates Fig. 9 (1 GB additional files).
+func BenchmarkFig9(b *testing.B) { benchFigThreshold(b, 1000) }
+
+// BenchmarkAblationBalancedVsGreedy compares the two allocators under
+// transfer clustering.
+func BenchmarkAblationBalancedVsGreedy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cmp, err := experiment.BalancedVsGreedy(100, 4, benchOptions(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cmp.Greedy.Mean, "greedy-s")
+		b.ReportMetric(cmp.Balanced.Mean, "balanced-s")
+	}
+}
+
+// BenchmarkAblationPriorities compares the structure-based priority
+// algorithms of Section III(c).
+func BenchmarkAblationPriorities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.PriorityAblation(100, experiment.Options{
+			Trials: 1, GridSize: 6, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res["none"].Mean, "none-s")
+		b.ReportMetric(res["dependent"].Mean, "dependent-s")
+	}
+}
+
+// BenchmarkAblationMultiWorkflow measures cross-workflow file sharing.
+func BenchmarkAblationMultiWorkflow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.MultiWorkflow(100, true, experiment.Options{
+			Trials: 1, GridSize: 6, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TransfersSuppressed), "suppressed")
+	}
+}
+
+// BenchmarkAblationPolicyOverhead sweeps the simulated policy-call latency.
+func BenchmarkAblationPolicyOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiment.PolicyOverheadSweep([]float64{0, 1}, experiment.Options{
+			Trials: 1, GridSize: 6, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[1].Makespan.Mean-pts[0].Makespan.Mean, "latency-cost-s")
+	}
+}
+
+// BenchmarkSyntheticShapes runs the priority ablation across synthetic
+// workflow shapes (scrambled submission, scarce staging slots).
+func BenchmarkSyntheticShapes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.SyntheticPriorityAblation(
+			[]synth.Shape{synth.Diamond}, experiment.Options{Trials: 1, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res[0].Makespans["none"].Mean, "none-s")
+		b.ReportMetric(res[0].Makespans["dependent"].Mean, "dependent-s")
+	}
+}
+
+// BenchmarkTunerConvergence runs the future-work threshold learner: a
+// UCB1 bandit choosing thresholds for 20 full workflow episodes.
+func BenchmarkTunerConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		learner, err := tuner.NewUCB1(tuner.DefaultArms(), 0.3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := experiment.TuneThreshold(100, 20, learner, experiment.Options{
+			Trials: 1, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Best), "best-threshold")
+	}
+}
+
+// BenchmarkPolicyAdvise measures the policy service's advice throughput:
+// one 20-transfer batch per iteration against a warm session.
+func BenchmarkPolicyAdvise(b *testing.B) {
+	cfg := policy.DefaultConfig()
+	svc, err := policy.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		specs := make([]policy.TransferSpec, 20)
+		for j := range specs {
+			specs[j] = policy.TransferSpec{
+				RequestID:  fmt.Sprintf("r-%d-%d", i, j),
+				WorkflowID: "bench",
+				SourceURL:  fmt.Sprintf("gsiftp://src.example.org/f-%d-%d", i, j),
+				DestURL:    fmt.Sprintf("file://dst.example.org/f-%d-%d", i, j),
+			}
+		}
+		adv, err := svc.AdviseTransfers(specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids := make([]string, len(adv.Transfers))
+		for j, tr := range adv.Transfers {
+			ids[j] = tr.ID
+		}
+		if err := svc.ReportTransfers(policy.CompletionReport{TransferIDs: ids}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuleEngine measures raw forward-chaining throughput: 100 facts
+// through a 3-rule join program per iteration.
+func BenchmarkRuleEngine(b *testing.B) {
+	type item struct{ n, class int }
+	type marker struct{ class int }
+	for i := 0; i < b.N; i++ {
+		s := rules.NewSession()
+		s.MustAddRules(
+			&rules.Rule{
+				Name:     "mark-classes",
+				Salience: 10,
+				When: []rules.Pattern{
+					rules.Match[*item]("it", nil),
+					rules.Not(func(bd rules.Bindings, m *marker) bool {
+						return m.class == bd.Get("it").(*item).class
+					}),
+				},
+				Then: func(ctx *rules.Context) {
+					ctx.Insert(&marker{class: ctx.Get("it").(*item).class})
+				},
+			},
+			&rules.Rule{
+				Name: "count-pairs",
+				When: []rules.Pattern{
+					rules.Match[*marker]("m", nil),
+					rules.Match("it", func(bd rules.Bindings, v *item) bool {
+						return v.class == bd.Get("m").(*marker).class
+					}),
+				},
+				Then: func(ctx *rules.Context) {},
+			},
+		)
+		for j := 0; j < 100; j++ {
+			s.Insert(&item{n: j, class: j % 5})
+		}
+		if _, err := s.FireAll(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimnetPipe measures the fluid-flow simulator: 200 overlapping
+// transfers through one pipe per iteration.
+func BenchmarkSimnetPipe(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := simnet.NewEnv(int64(i + 1))
+		pipe := env.NewPipe(simnet.WANConfig())
+		for j := 0; j < 200; j++ {
+			j := j
+			env.Go("t", func(p *simnet.Proc) {
+				p.Sleep(float64(j) * 0.5)
+				for pipe.Transfer(p, 10, 4) != nil {
+					// retry until success (failures under overload)
+				}
+			})
+		}
+		env.Run(0)
+	}
+}
+
+// BenchmarkMontagePlanning measures workflow generation + planning of the
+// full-scale augmented Montage workflow.
+func BenchmarkMontagePlanning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, err := montage.Generate(montage.DefaultConfig(100))
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := w.Plan(workflow.PlanConfig{
+			WorkflowID:      "bench",
+			ComputeSiteBase: "file://obelix.isi.example.org/scratch",
+			Cleanup:         true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plan.Count(workflow.TaskStageIn) != 89 {
+			b.Fatal("wrong staging job count")
+		}
+	}
+}
+
+// BenchmarkDAGPriorities measures priority assignment on a large DAG.
+func BenchmarkDAGPriorities(b *testing.B) {
+	w, err := montage.Generate(montage.DefaultConfig(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := w.JobGraph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, algo := range dag.Algorithms() {
+			if _, err := dag.AssignPriorities(g, algo); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFullMontageRun measures one end-to-end simulated run of the
+// paper's headline configuration (100 MB, greedy 50, 8 streams).
+func BenchmarkFullMontageRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := experiment.RunMontage(experiment.Scenario{
+			ExtraMB: 100, UsePolicy: true, Algorithm: policy.AlgoGreedy,
+			Threshold: 50, DefaultStreams: 8, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(m.MakespanSeconds, "sim-makespan-s")
+	}
+}

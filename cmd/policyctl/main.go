@@ -1,0 +1,186 @@
+// Command policyctl is a command-line client for a running Policy Service.
+//
+// Usage:
+//
+//	policyctl -server http://localhost:8765 state
+//	policyctl -server http://localhost:8765 health
+//	policyctl -server http://localhost:8765 set-threshold src.example.org dst.example.org 50
+//	policyctl -server http://localhost:8765 advise transfers.json
+//	policyctl -server http://localhost:8765 complete t-00000001 t-00000002
+//
+// The advise subcommand reads a JSON array of transfer specs:
+//
+//	[{"requestId":"r1","workflowId":"wf1",
+//	  "sourceUrl":"gsiftp://data.example.org/f1",
+//	  "destUrl":"file://cluster.example.org/scratch/f1"}]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"policyflow/internal/policy"
+	"policyflow/internal/policyhttp"
+)
+
+func main() {
+	var (
+		server = flag.String("server", "http://localhost:8765", "policy service base URL")
+		useXML = flag.Bool("xml", false, "speak XML instead of JSON on the wire")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	var opts []policyhttp.ClientOption
+	if *useXML {
+		opts = append(opts, policyhttp.WithXML())
+	}
+	client := policyhttp.NewClient(*server, opts...)
+
+	var err error
+	switch args[0] {
+	case "state":
+		err = showState(client)
+	case "health":
+		err = client.Healthz()
+		if err == nil {
+			fmt.Println("ok")
+		}
+	case "set-threshold":
+		if len(args) != 4 {
+			usage()
+		}
+		var max int
+		max, err = strconv.Atoi(args[3])
+		if err == nil {
+			err = client.SetThreshold(args[1], args[2], max)
+		}
+	case "advise":
+		if len(args) != 2 {
+			usage()
+		}
+		err = advise(client, args[1])
+	case "complete":
+		if len(args) < 2 {
+			usage()
+		}
+		err = client.ReportTransfers(policy.CompletionReport{TransferIDs: args[1:]})
+	case "cleanup":
+		if len(args) < 3 {
+			usage()
+		}
+		err = cleanup(client, args[1], args[2:])
+	case "dump":
+		err = dump(client)
+	case "restore":
+		if len(args) != 2 {
+			usage()
+		}
+		err = restore(client, args[1])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "policyctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: policyctl [-server URL] [-xml] <command>
+commands:
+  state                                  show stream ledgers and resources
+  health                                 liveness probe
+  set-threshold <src> <dst> <max>        set a host-pair stream threshold
+  advise <specs.json>                    submit a transfer list for advice
+  complete <transfer-id>...              report completed transfers
+  cleanup <workflow-id> <file-url>...    request file deletions
+  dump                                   print the Policy Memory snapshot
+  restore <dump.json>                    replace Policy Memory from a dump`)
+	os.Exit(2)
+}
+
+func cleanup(c *policyhttp.Client, workflowID string, urls []string) error {
+	specs := make([]policy.CleanupSpec, 0, len(urls))
+	for i, u := range urls {
+		specs = append(specs, policy.CleanupSpec{
+			RequestID:  fmt.Sprintf("ctl-%d", i),
+			WorkflowID: workflowID,
+			FileURL:    u,
+		})
+	}
+	adv, err := c.AdviseCleanups(specs)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(adv, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+func dump(c *policyhttp.Client) error {
+	d, err := c.Dump()
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+func restore(c *policyhttp.Client, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var d policy.StateDump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	return c.Restore(&d)
+}
+
+func showState(c *policyhttp.Client) error {
+	st, err := c.State()
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+func advise(c *policyhttp.Client, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var specs []policy.TransferSpec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	adv, err := c.AdviseTransfers(specs)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(adv, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"policyflow/internal/policy"
+	"policyflow/internal/policyhttp"
+)
+
+func testClient(t *testing.T) (*policyhttp.Client, *policy.Service) {
+	t.Helper()
+	svc, err := policy.New(policy.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(policyhttp.NewServer(svc, nil))
+	t.Cleanup(ts.Close)
+	return policyhttp.NewClient(ts.URL), svc
+}
+
+func TestAdviseFromFile(t *testing.T) {
+	c, svc := testClient(t)
+	specs := []policy.TransferSpec{{
+		RequestID:  "r1",
+		WorkflowID: "wf1",
+		SourceURL:  "gsiftp://src.example.org/f1",
+		DestURL:    "file://dst.example.org/f1",
+	}}
+	data, err := json.Marshal(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "specs.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := advise(c, path); err != nil {
+		t.Fatalf("advise: %v", err)
+	}
+	if snap := svc.Snapshot(); snap.InFlight != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// Missing and malformed files error cleanly.
+	if err := advise(c, filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if err := advise(c, bad); err == nil {
+		t.Error("malformed file accepted")
+	}
+}
+
+func TestCleanupCommand(t *testing.T) {
+	c, svc := testClient(t)
+	adv, err := c.AdviseTransfers([]policy.TransferSpec{{
+		RequestID: "r1", WorkflowID: "wf1",
+		SourceURL: "gsiftp://s.example.org/f", DestURL: "file://d.example.org/f",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cleanup(c, "wf1", []string{"file://d.example.org/f"}); err != nil {
+		t.Fatalf("cleanup: %v", err)
+	}
+	if snap := svc.Snapshot(); snap.PendingCleanups != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestDumpRestoreCommands(t *testing.T) {
+	c, svc := testClient(t)
+	if _, err := c.AdviseTransfers([]policy.TransferSpec{{
+		RequestID: "r1", WorkflowID: "wf1",
+		SourceURL: "gsiftp://s.example.org/f", DestURL: "file://d.example.org/f",
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dump(c); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	// Round trip a dump through a file into a second service.
+	d := svc.ExportState()
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dump.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, svc2 := testClient(t)
+	if err := restore(c2, path); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if snap := svc2.Snapshot(); snap.InFlight != 1 {
+		t.Fatalf("restored snapshot = %+v", snap)
+	}
+	if err := restore(c2, filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing dump accepted")
+	}
+}
+
+func TestShowState(t *testing.T) {
+	c, _ := testClient(t)
+	if err := showState(c); err != nil {
+		t.Fatalf("showState: %v", err)
+	}
+}

@@ -1,0 +1,94 @@
+// Command policyserver runs the Policy Service as a RESTful web service,
+// the deployment the paper describes (there hosted on Apache Tomcat).
+//
+// Usage:
+//
+//	policyserver -addr :8765 -algorithm greedy -threshold 50 -default-streams 4
+//
+// The service then accepts transfer and cleanup lists on /v1/transfers and
+// /v1/cleanups (JSON or XML), completion reports on the corresponding
+// /completed endpoints, and exposes its state on /v1/state.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"policyflow/internal/policy"
+	"policyflow/internal/policyhttp"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", ":8765", "listen address")
+		algorithm      = flag.String("algorithm", "greedy", "allocation algorithm: greedy, balanced, none")
+		threshold      = flag.Int("threshold", 50, "max parallel streams between a host pair")
+		defaultStreams = flag.Int("default-streams", 4, "streams assigned to transfers that request none")
+		clusterFactor  = flag.Int("cluster-factor", 1, "workflow clustering factor (balanced allocation)")
+		standbyOf      = flag.String("standby-of", "", "run as a warm standby of the primary at this base URL")
+		syncInterval   = flag.Duration("sync-interval", 10*time.Second, "standby sync period")
+		quiet          = flag.Bool("quiet", false, "disable request logging")
+	)
+	flag.Parse()
+
+	cfg := policy.DefaultConfig()
+	cfg.Algorithm = policy.Algorithm(*algorithm)
+	cfg.DefaultThreshold = *threshold
+	cfg.DefaultStreams = *defaultStreams
+	cfg.ClusterFactor = *clusterFactor
+
+	svc, err := policy.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "policyserver: %v\n", err)
+		os.Exit(1)
+	}
+	var logger *log.Logger
+	if !*quiet {
+		logger = log.New(os.Stderr, "policyserver ", log.LstdFlags)
+	}
+	handler := policyhttp.NewServer(svc, logger)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *standbyOf != "" {
+		syncer, err := policyhttp.NewStandbySyncer(svc, policyhttp.NewClient(*standbyOf), *syncInterval)
+		if err != nil {
+			log.Fatalf("policyserver: %v", err)
+		}
+		syncer.OnSync = func(err error) {
+			if err != nil {
+				log.Printf("standby sync: %v", err)
+			}
+		}
+		go syncer.Run(ctx)
+		log.Printf("warm standby of %s (sync every %s)", *standbyOf, *syncInterval)
+	}
+
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("policy service listening on %s (algorithm=%s threshold=%d default-streams=%d)",
+		*addr, cfg.Algorithm, cfg.DefaultThreshold, cfg.DefaultStreams)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("policyserver: %v", err)
+	}
+	log.Printf("policy service stopped")
+}

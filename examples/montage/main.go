@@ -1,0 +1,46 @@
+// Montage example: run the paper's headline experiment end to end — the
+// augmented 1-degree Montage workflow (89 staging jobs, one extra 100 MB
+// file each) on the simulated FutureGrid→ISI testbed, with and without the
+// Policy Service, reproducing the Fig. 7 comparison at 8 default streams.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"policyflow"
+)
+
+func run(name string, s policyflow.Scenario) policyflow.Metrics {
+	m, err := policyflow.RunMontageScenario(s)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	fmt.Printf("%-28s makespan %8.1f s   max WAN streams %3d   failures %2d\n",
+		name, m.MakespanSeconds, m.MaxWANStreams, m.TransferFailures)
+	return m
+}
+
+func main() {
+	fmt.Println("augmented Montage, 100 MB additional file per staging job")
+	fmt.Println()
+
+	g50 := run("greedy, threshold 50", policyflow.Scenario{
+		ExtraMB: 100, UsePolicy: true, Algorithm: policyflow.AlgoGreedy,
+		Threshold: 50, DefaultStreams: 8, Seed: 1,
+	})
+	g200 := run("greedy, threshold 200", policyflow.Scenario{
+		ExtraMB: 100, UsePolicy: true, Algorithm: policyflow.AlgoGreedy,
+		Threshold: 200, DefaultStreams: 8, Seed: 1,
+	})
+	np := run("no policy (default Pegasus)", policyflow.Scenario{
+		ExtraMB: 100, UsePolicy: false, DefaultStreams: 4, Seed: 1,
+	})
+
+	fmt.Println()
+	fmt.Printf("threshold 50 vs no policy:   %+.1f%%\n",
+		(np.MakespanSeconds/g50.MakespanSeconds-1)*100)
+	fmt.Printf("threshold 200 vs threshold 50: %+.1f%%\n",
+		(g200.MakespanSeconds/g50.MakespanSeconds-1)*100)
+	fmt.Println("\n(the paper reports ~6.7% and ~28.8% for these comparisons)")
+}

@@ -1,0 +1,109 @@
+// Multi-workflow example: the Policy Service as an actual RESTful web
+// service (as deployed in the paper), shared by two concurrent workflows
+// that stage the same input data. The service removes duplicate staging
+// requests across the workflows and blocks cleanup of files the other
+// workflow still uses — the full HTTP round trip, JSON on the wire.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"policyflow"
+)
+
+func main() {
+	// Start the policy service on a local port.
+	svc, err := policyflow.NewPolicyService(policyflow.DefaultPolicyConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := &http.Server{Handler: policyflow.NewPolicyServer(svc, nil)}
+	go server.Serve(ln)
+	defer server.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("policy service listening on %s\n\n", base)
+
+	client := policyflow.NewPolicyClient(base)
+
+	stage := func(wf string, files ...string) {
+		var specs []policyflow.TransferSpec
+		for i, f := range files {
+			specs = append(specs, policyflow.TransferSpec{
+				RequestID:  fmt.Sprintf("%s-r%d", wf, i),
+				WorkflowID: wf,
+				SourceURL:  "gsiftp://archive.example.org/data/" + f,
+				DestURL:    "file://cluster.example.org/shared/" + f,
+			})
+		}
+		adv, err := client.AdviseTransfers(specs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s staging %v:\n", wf, files)
+		var done []string
+		for _, tr := range adv.Transfers {
+			fmt.Printf("  execute %s (%s, %d streams)\n", tr.ID, tr.DestURL, tr.Streams)
+			done = append(done, tr.ID)
+		}
+		for _, rm := range adv.Removed {
+			fmt.Printf("  skipped %s: %s\n", rm.RequestID, rm.Reason)
+		}
+		if len(done) > 0 {
+			if err := client.ReportTransfers(policyflow.CompletionReport{TransferIDs: done}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Println()
+	}
+
+	// wf1 stages three files; wf2 then wants two of the same ones.
+	stage("wf1", "calib.dat", "ref_catalog.tbl", "events.raw")
+	stage("wf2", "calib.dat", "ref_catalog.tbl")
+
+	// wf1 finishes and tries to clean up everything it staged.
+	cleanup := func(wf string, files ...string) {
+		var specs []policyflow.CleanupSpec
+		for i, f := range files {
+			specs = append(specs, policyflow.CleanupSpec{
+				RequestID:  fmt.Sprintf("%s-c%d", wf, i),
+				WorkflowID: wf,
+				FileURL:    "file://cluster.example.org/shared/" + f,
+			})
+		}
+		adv, err := client.AdviseCleanups(specs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s cleanup of %v:\n", wf, files)
+		var done []string
+		for _, c := range adv.Cleanups {
+			fmt.Printf("  delete %s\n", c.FileURL)
+			done = append(done, c.ID)
+		}
+		for _, rm := range adv.Removed {
+			fmt.Printf("  blocked %s: %s\n", rm.RequestID, rm.Reason)
+		}
+		if len(done) > 0 {
+			if err := client.ReportCleanups(policyflow.CleanupReport{CleanupIDs: done}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Println()
+	}
+	cleanup("wf1", "calib.dat", "ref_catalog.tbl", "events.raw")
+	cleanup("wf2", "calib.dat", "ref_catalog.tbl")
+
+	st, err := client.State()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final state: %d tracked files (all shared files cleaned exactly once)\n",
+		st.TrackedFiles)
+}

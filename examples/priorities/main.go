@@ -1,0 +1,104 @@
+// Priorities example: the structure-based data staging priorities of
+// Section III(c). A small workflow DAG is planned with each of the four
+// priority algorithms (BFS, DFS, direct-dependent, dependent) and the
+// resulting staging order is shown — the order in which the Policy Service
+// returns the transfers to the transfer tool.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"policyflow"
+)
+
+// build constructs a workflow whose jobs have distinct structural roles:
+//
+//	prep (fan-out 3, feeds everything)
+//	   ├── wide (2 children)
+//	   │     ├── w1
+//	   │     └── w2
+//	   ├── deep (chain of 3: deep -> d1 -> d2)
+//	   └── leaf (no children)
+func build() *policyflow.Workflow {
+	w := policyflow.NewWorkflow("prio-demo")
+	addExt := func(name string) {
+		if err := w.AddFile(&policyflow.WorkflowFile{
+			Name: name, SizeBytes: 10 << 20,
+			SourceURL: "gsiftp://archive.example.org/" + name,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	addInt := func(name string) {
+		if err := w.AddFile(&policyflow.WorkflowFile{Name: name, SizeBytes: 1 << 20}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	job := func(id string, in, out []string) {
+		if err := w.AddJob(&policyflow.WorkflowJob{
+			ID: id, RuntimeSeconds: 5, Inputs: in, Outputs: out,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, f := range []string{"in_prep", "in_wide", "in_deep", "in_leaf", "in_w1", "in_w2", "in_d1", "in_d2"} {
+		addExt(f)
+	}
+	for _, f := range []string{"p", "wd", "dp", "lf", "o_w1", "o_w2", "o_d1", "o_d2"} {
+		addInt(f)
+	}
+	job("prep", []string{"in_prep"}, []string{"p"})
+	job("wide", []string{"p", "in_wide"}, []string{"wd"})
+	job("deep", []string{"p", "in_deep"}, []string{"dp"})
+	job("leaf", []string{"p", "in_leaf"}, []string{"lf"})
+	job("w1", []string{"wd", "in_w1"}, []string{"o_w1"})
+	job("w2", []string{"wd", "in_w2"}, []string{"o_w2"})
+	job("d1", []string{"dp", "in_d1"}, []string{"o_d1"})
+	job("d2", []string{"o_d1", "in_d2"}, []string{"o_d2"})
+	return w
+}
+
+func main() {
+	algos := []policyflow.PriorityAlgorithm{
+		policyflow.PriorityBFS,
+		policyflow.PriorityDFS,
+		policyflow.PriorityDirectDependent,
+		policyflow.PriorityDependent,
+	}
+	for _, algo := range algos {
+		w := build()
+		plan, err := w.Plan(policyflow.PlanConfig{
+			WorkflowID:        "demo",
+			ComputeSiteBase:   "file://cluster.example.org/scratch",
+			PriorityAlgorithm: algo,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		type st struct {
+			id   string
+			prio int
+		}
+		var stageIns []st
+		for _, t := range plan.Tasks {
+			if t.Type == policyflow.TaskStageIn {
+				stageIns = append(stageIns, st{t.ID, t.Priority})
+			}
+		}
+		sort.Slice(stageIns, func(i, j int) bool {
+			if stageIns[i].prio != stageIns[j].prio {
+				return stageIns[i].prio > stageIns[j].prio
+			}
+			return stageIns[i].id < stageIns[j].id
+		})
+		fmt.Printf("%-17s staging order:", algo)
+		for _, s := range stageIns {
+			fmt.Printf(" %s(%d)", s.id[len("stage_in_"):], s.prio)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\ndirect-dependent ranks prep highest (largest fan-out);")
+	fmt.Println("dependent also favors prep (most total descendants), then the chains.")
+}

@@ -1,0 +1,99 @@
+// Quickstart: create an in-process Policy Service, submit a transfer list,
+// and watch the policies of Tables I and II at work — default stream
+// assignment, host-pair grouping, greedy allocation against the threshold,
+// duplicate suppression, and safe cleanup with cross-workflow file
+// sharing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"policyflow"
+)
+
+func main() {
+	cfg := policyflow.DefaultPolicyConfig()
+	cfg.DefaultThreshold = 10 // small threshold so the greedy trimming is visible
+	cfg.DefaultStreams = 4
+	svc, err := policyflow.NewPolicyService(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A workflow asks to stage three files; the third requests 8 streams.
+	specs := []policyflow.TransferSpec{
+		{RequestID: "r1", WorkflowID: "wf1",
+			SourceURL: "gsiftp://data.example.org/input/a.dat",
+			DestURL:   "file://cluster.example.org/scratch/a.dat"},
+		{RequestID: "r2", WorkflowID: "wf1",
+			SourceURL: "gsiftp://data.example.org/input/b.dat",
+			DestURL:   "file://cluster.example.org/scratch/b.dat"},
+		{RequestID: "r3", WorkflowID: "wf1", RequestedStreams: 8,
+			SourceURL: "gsiftp://data.example.org/input/c.dat",
+			DestURL:   "file://cluster.example.org/scratch/c.dat"},
+	}
+	advice, err := svc.AdviseTransfers(specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("advice for wf1 (threshold 10 streams between the host pair):")
+	for _, tr := range advice.Transfers {
+		fmt.Printf("  %s %-3s group=%s streams=%d  (%s -> %s)\n",
+			tr.ID, tr.RequestID, tr.GroupID, tr.Streams, tr.SourceHost, tr.DestHost)
+	}
+
+	// Report the transfers complete; the staged files are now tracked.
+	var ids []string
+	for _, tr := range advice.Transfers {
+		ids = append(ids, tr.ID)
+	}
+	if err := svc.ReportTransfers(policyflow.CompletionReport{TransferIDs: ids}); err != nil {
+		log.Fatal(err)
+	}
+
+	// A second workflow asks for one of the same files: suppressed as a
+	// duplicate, and wf2 is registered as a user of the staged file.
+	advice2, err := svc.AdviseTransfers([]policyflow.TransferSpec{
+		{RequestID: "r4", WorkflowID: "wf2",
+			SourceURL: "gsiftp://data.example.org/input/a.dat",
+			DestURL:   "file://cluster.example.org/scratch/a.dat"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwf2 requests a.dat again:")
+	for _, rm := range advice2.Removed {
+		fmt.Printf("  removed %s: %s\n", rm.RequestID, rm.Reason)
+	}
+
+	// wf1 tries to clean the shared file up: blocked, wf2 still uses it.
+	cadv, err := svc.AdviseCleanups([]policyflow.CleanupSpec{
+		{RequestID: "c1", WorkflowID: "wf1",
+			FileURL: "file://cluster.example.org/scratch/a.dat"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwf1 asks to delete a.dat:")
+	for _, rm := range cadv.Removed {
+		fmt.Printf("  removed %s: %s (wf2 still uses the file)\n", rm.RequestID, rm.Reason)
+	}
+
+	// wf2 releases it: now the deletion is approved.
+	cadv2, err := svc.AdviseCleanups([]policyflow.CleanupSpec{
+		{RequestID: "c2", WorkflowID: "wf2",
+			FileURL: "file://cluster.example.org/scratch/a.dat"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwf2 (the last user) asks to delete a.dat:")
+	for _, c := range cadv2.Cleanups {
+		fmt.Printf("  approved %s -> delete %s\n", c.ID, c.FileURL)
+	}
+
+	snap := svc.Snapshot()
+	fmt.Printf("\nservice state: %d tracked files, %d in-flight transfers\n",
+		snap.TrackedFiles, snap.InFlight)
+}

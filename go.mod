@@ -1,0 +1,3 @@
+module policyflow
+
+go 1.22

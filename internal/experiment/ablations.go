@@ -1,0 +1,272 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"policyflow/internal/dag"
+	"policyflow/internal/executor"
+	"policyflow/internal/montage"
+	"policyflow/internal/policy"
+	"policyflow/internal/simnet"
+	"policyflow/internal/stats"
+	"policyflow/internal/transfer"
+	"policyflow/internal/workflow"
+)
+
+// ClusteringResult compares clustered and unclustered transfer execution
+// (Fig. 2's motivation: grouping transfers eliminates per-job
+// initialization overheads).
+type ClusteringResult struct {
+	// Unclustered and Clustered are the aggregated makespans.
+	Unclustered stats.Summary
+	Clustered   stats.Summary
+	// SessionsUnclustered and SessionsClustered count transfer sessions
+	// opened in the last trial of each mode.
+	SessionsUnclustered int64
+	SessionsClustered   int64
+}
+
+// Fig2Clustering runs the clustering comparison: the same augmented
+// workflow executed with singleton staging tasks versus staging tasks
+// clustered with the given factor.
+func Fig2Clustering(fileMB float64, factor int, o Options) (ClusteringResult, error) {
+	o = o.norm()
+	var res ClusteringResult
+	base := Scenario{
+		ExtraMB:        fileMB,
+		UsePolicy:      true,
+		Algorithm:      policy.AlgoGreedy,
+		Threshold:      50,
+		DefaultStreams: 4,
+		GridSize:       o.GridSize,
+		Seed:           o.Seed,
+	}
+	var un, cl []float64
+	for i := 0; i < o.Trials; i++ {
+		s := base
+		s.Seed = o.Seed + int64(i)*7919
+		m, err := RunMontage(s)
+		if err != nil {
+			return res, err
+		}
+		un = append(un, m.MakespanSeconds)
+		res.SessionsUnclustered = m.Sessions
+
+		s.ClusterFactor = factor
+		m, err = RunMontage(s)
+		if err != nil {
+			return res, err
+		}
+		cl = append(cl, m.MakespanSeconds)
+		res.SessionsClustered = m.Sessions
+	}
+	res.Unclustered = stats.Summarize(un)
+	res.Clustered = stats.Summarize(cl)
+	return res, nil
+}
+
+// AllocatorComparison reports greedy vs balanced allocation under transfer
+// clustering, the scenario the balanced algorithm is designed for
+// (Section III(b)): with clustering, later-arriving clusters are starved
+// by greedy but protected by balanced allocation.
+type AllocatorComparison struct {
+	Greedy   stats.Summary
+	Balanced stats.Summary
+}
+
+// BalancedVsGreedy runs the allocator ablation with the given clustering
+// factor and additional-file size.
+func BalancedVsGreedy(fileMB float64, factor int, o Options) (AllocatorComparison, error) {
+	o = o.norm()
+	var res AllocatorComparison
+	var gr, ba []float64
+	for i := 0; i < o.Trials; i++ {
+		seed := o.Seed + int64(i)*7919
+		g := Scenario{
+			ExtraMB: fileMB, UsePolicy: true, Algorithm: policy.AlgoGreedy,
+			Threshold: 50, DefaultStreams: 8, ClusterFactor: factor,
+			GridSize: o.GridSize, Seed: seed,
+		}
+		m, err := RunMontage(g)
+		if err != nil {
+			return res, err
+		}
+		gr = append(gr, m.MakespanSeconds)
+
+		b := g
+		b.Algorithm = policy.AlgoBalanced
+		m, err = RunMontage(b)
+		if err != nil {
+			return res, err
+		}
+		ba = append(ba, m.MakespanSeconds)
+	}
+	res.Greedy = stats.Summarize(gr)
+	res.Balanced = stats.Summarize(ba)
+	return res, nil
+}
+
+// PriorityComparison maps each structure-based priority algorithm (and
+// "none") to its makespan summary.
+type PriorityComparison map[string]stats.Summary
+
+// PriorityAblation compares the Section III(c) priority algorithms.
+func PriorityAblation(fileMB float64, o Options) (PriorityComparison, error) {
+	o = o.norm()
+	out := make(PriorityComparison)
+	algos := append([]dag.PriorityAlgorithm{""}, dag.Algorithms()...)
+	for _, algo := range algos {
+		var mk []float64
+		for i := 0; i < o.Trials; i++ {
+			s := Scenario{
+				ExtraMB: fileMB, UsePolicy: true, Algorithm: policy.AlgoGreedy,
+				Threshold: 50, DefaultStreams: 8,
+				PriorityAlgorithm: algo,
+				GridSize:          o.GridSize, Seed: o.Seed + int64(i)*7919,
+			}
+			m, err := RunMontage(s)
+			if err != nil {
+				return nil, err
+			}
+			mk = append(mk, m.MakespanSeconds)
+		}
+		name := string(algo)
+		if name == "" {
+			name = "none"
+		}
+		out[name] = stats.Summarize(mk)
+	}
+	return out, nil
+}
+
+// MultiWorkflowResult measures the policy service's cross-workflow file
+// sharing: two concurrent workflows over the same input data, staged into
+// a shared scratch directory.
+type MultiWorkflowResult struct {
+	// MakespanSeconds is the time until both workflows finish.
+	MakespanSeconds float64
+	// TransfersExecuted and TransfersSuppressed: with sharing, roughly
+	// half of all staging is suppressed as duplicate.
+	TransfersExecuted   int64
+	TransfersSuppressed int64
+	// CleanupsSuppressed counts deletions blocked because the other
+	// workflow still used the file.
+	CleanupsSuppressed int64
+}
+
+// MultiWorkflow runs two concurrent Montage workflows with a shared
+// scratch directory through one policy service.
+func MultiWorkflow(fileMB float64, usePolicy bool, o Options) (MultiWorkflowResult, error) {
+	o = o.norm()
+	var res MultiWorkflowResult
+
+	mcfg := montage.DefaultConfig(fileMB)
+	if o.GridSize > 0 {
+		mcfg.GridSize = o.GridSize
+	}
+	w, err := montage.Generate(mcfg)
+	if err != nil {
+		return res, err
+	}
+
+	env := simnet.NewEnv(o.Seed)
+	fab := transfer.NewSimFabric(env, PipeConfigFor)
+	var advisor transfer.Advisor
+	if usePolicy {
+		pcfg := policy.DefaultConfig()
+		pcfg.DefaultThreshold = 50
+		pcfg.DefaultStreams = 4
+		svc, err := policy.New(pcfg)
+		if err != nil {
+			return res, err
+		}
+		advisor = svc
+	}
+	ptt, err := transfer.New(transfer.Config{
+		Advisor: advisor, Fabric: fab, DefaultStreams: 4,
+		SessionSetupSeconds: 2.0, TransferSetupSeconds: 0.5, PolicyCallSeconds: 0.15,
+	})
+	if err != nil {
+		return res, err
+	}
+	ecfg := executor.DefaultConfig()
+	cores := env.NewResource("cores", ecfg.ComputeCores)
+	slots := env.NewResource("slots", ecfg.StagingSlots)
+
+	var handles []*executor.Handle
+	for i := 0; i < 2; i++ {
+		plan, err := w.Plan(workflow.PlanConfig{
+			WorkflowID:      fmt.Sprintf("wf%d", i+1),
+			ComputeSiteBase: "file://obelix.isi.example.org/scratch",
+			SharedScratch:   true,
+			Cleanup:         true,
+		})
+		if err != nil {
+			return res, err
+		}
+		h, err := executor.Start(env, plan, ptt, cores, slots, ecfg)
+		if err != nil {
+			return res, err
+		}
+		handles = append(handles, h)
+	}
+	res.MakespanSeconds = env.Run(0)
+	for i, h := range handles {
+		if _, err := h.Result(); err != nil {
+			return res, fmt.Errorf("workflow %d: %w", i+1, err)
+		}
+	}
+	st := ptt.Stats()
+	res.TransfersExecuted = st.TransfersExecuted
+	res.TransfersSuppressed = st.TransfersSuppressed
+	res.CleanupsSuppressed = st.CleanupsSuppressed
+	return res, nil
+}
+
+// OverheadPoint measures the cost of consulting an external policy service
+// (the paper notes the approach "incurs overheads for the service calls"
+// but does not isolate them).
+type OverheadPoint struct {
+	PolicyCallSeconds float64
+	Makespan          stats.Summary
+}
+
+// PolicyOverheadSweep reruns the 100 MB greedy-50 configuration with
+// increasing per-call policy service latency.
+func PolicyOverheadSweep(latencies []float64, o Options) ([]OverheadPoint, error) {
+	o = o.norm()
+	var out []OverheadPoint
+	for _, lat := range latencies {
+		var mk []float64
+		for i := 0; i < o.Trials; i++ {
+			callLat := lat
+			if callLat == 0 {
+				callLat = -1 // Scenario: negative selects zero latency
+			}
+			m, err := RunMontage(Scenario{
+				ExtraMB: 100, UsePolicy: true, Algorithm: policy.AlgoGreedy,
+				Threshold: 50, DefaultStreams: 8,
+				PolicyCallSeconds: callLat,
+				GridSize:          o.GridSize, Seed: o.Seed + int64(i)*7919,
+			})
+			if err != nil {
+				return nil, err
+			}
+			mk = append(mk, m.MakespanSeconds)
+		}
+		out = append(out, OverheadPoint{PolicyCallSeconds: lat, Makespan: stats.Summarize(mk)})
+	}
+	return out, nil
+}
+
+// WriteOverheads renders a policy-overhead sweep.
+func WriteOverheads(w io.Writer, pts []OverheadPoint) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy call latency (s)\tmean makespan (s)\tstddev")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%.2f\t%.1f\t%.1f\n", p.PolicyCallSeconds, p.Makespan.Mean, p.Makespan.StdDev)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,262 @@
+// Package experiment reproduces the paper's evaluation (Section V): the
+// augmented Montage workflow is executed on the simulated testbed under
+// each policy configuration, and the harness regenerates Table IV and the
+// data series of Figs. 5-9, plus the ablations listed in DESIGN.md.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"policyflow/internal/dag"
+	"policyflow/internal/executor"
+	"policyflow/internal/montage"
+	"policyflow/internal/policy"
+	"policyflow/internal/simnet"
+	"policyflow/internal/stats"
+	"policyflow/internal/transfer"
+	"policyflow/internal/workflow"
+)
+
+// Scenario is one complete experimental configuration.
+type Scenario struct {
+	// Name labels the scenario in tables.
+	Name string
+	// ExtraMB is the size of the additional staged file per staging job
+	// (the paper sweeps 0, 10, 100, 500, 1000).
+	ExtraMB float64
+	// UsePolicy toggles consultation of the policy service; false is the
+	// paper's "default Pegasus, no policy" baseline.
+	UsePolicy bool
+	// Algorithm selects the allocation policy when UsePolicy is set.
+	Algorithm policy.Algorithm
+	// Threshold is the greedy/balanced max-streams threshold per host pair.
+	Threshold int
+	// DefaultStreams is the per-transfer stream request.
+	DefaultStreams int
+	// ClusterFactor > 1 enables transfer clustering at planning time.
+	ClusterFactor int
+	// PriorityAlgorithm, when set, orders staging by workflow structure.
+	PriorityAlgorithm dag.PriorityAlgorithm
+	// GridSize scales the Montage workflow; 0 selects the paper's
+	// 1-degree configuration (9x9 grid, 89 staging jobs).
+	GridSize int
+	// RuntimeScale scales compute-job durations; 0 means 1.
+	RuntimeScale float64
+	// PolicyCallSeconds overrides the simulated policy-service call
+	// latency; negative means 0, zero selects the default (0.15 s).
+	PolicyCallSeconds float64
+	// Seed drives all simulation randomness.
+	Seed int64
+}
+
+// Metrics is the outcome of one run.
+type Metrics struct {
+	// Completed is false when the workflow failed permanently (a task
+	// exhausted its retry budget) — possible in deep-overload regimes.
+	Completed bool
+	// MakespanSeconds is the workflow execution time, the paper's
+	// y-axis (time until permanent failure for incomplete runs).
+	MakespanSeconds float64
+	// MaxWANStreams is the peak concurrent stream count on the WAN pair
+	// (Table IV's quantity).
+	MaxWANStreams int
+	// WANMBMoved is the payload transferred over the WAN, including
+	// retried work.
+	WANMBMoved float64
+	// TransferFailures counts failed transfer attempts.
+	TransferFailures int64
+	// Retries counts task re-executions.
+	Retries int
+	// TransfersExecuted and TransfersSuppressed count PTT operations.
+	TransfersExecuted   int64
+	TransfersSuppressed int64
+	// PolicyCalls counts policy service round trips.
+	PolicyCalls int64
+	// Sessions counts transfer sessions opened.
+	Sessions int64
+	// CleanupsExecuted counts deletions performed.
+	CleanupsExecuted int64
+	// Exec carries the executor's full result (per-task records,
+	// busy/queue time aggregation, timeline export).
+	Exec *executor.Result
+}
+
+// wanHost identifies the WAN source in generated URLs.
+const wanHost = "alamo.futuregrid.tacc.example.org"
+
+// PipeConfigFor returns the bandwidth model for a host pair: the WAN model
+// when the source is the FutureGrid VM, the LAN model otherwise.
+func PipeConfigFor(pair policy.HostPair) simnet.PipeConfig {
+	if strings.Contains(pair.Src, "futuregrid") || strings.Contains(pair.Dst, "futuregrid") {
+		return simnet.WANConfig()
+	}
+	return simnet.LANConfig()
+}
+
+// RunMontage executes one scenario and returns its metrics.
+func RunMontage(s Scenario) (Metrics, error) {
+	mcfg := montage.DefaultConfig(s.ExtraMB)
+	if s.GridSize > 0 {
+		mcfg.GridSize = s.GridSize
+	}
+	if s.RuntimeScale > 0 {
+		mcfg.RuntimeScale = s.RuntimeScale
+	}
+	w, err := montage.Generate(mcfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	plan, err := w.Plan(workflow.PlanConfig{
+		WorkflowID:        fmt.Sprintf("run-%d", s.Seed),
+		ComputeSiteBase:   "file://obelix.isi.example.org/scratch",
+		OutputSiteBase:    "file://obelix.isi.example.org/results",
+		ClusterFactor:     s.ClusterFactor,
+		Cleanup:           true,
+		PriorityAlgorithm: s.PriorityAlgorithm,
+	})
+	if err != nil {
+		return Metrics{}, err
+	}
+
+	env := simnet.NewEnv(s.Seed)
+	fab := transfer.NewSimFabric(env, PipeConfigFor)
+
+	var advisor transfer.Advisor
+	var svc *policy.Service
+	if s.UsePolicy {
+		pcfg := policy.DefaultConfig()
+		pcfg.Algorithm = s.Algorithm
+		if pcfg.Algorithm == "" {
+			pcfg.Algorithm = policy.AlgoGreedy
+		}
+		pcfg.DefaultThreshold = s.Threshold
+		if pcfg.DefaultThreshold <= 0 {
+			pcfg.DefaultThreshold = 50
+		}
+		pcfg.DefaultStreams = s.DefaultStreams
+		if s.ClusterFactor > 1 {
+			pcfg.ClusterFactor = s.ClusterFactor
+		}
+		svc, err = policy.New(pcfg)
+		if err != nil {
+			return Metrics{}, err
+		}
+		advisor = svc
+	}
+
+	callLatency := s.PolicyCallSeconds
+	switch {
+	case callLatency == 0:
+		callLatency = 0.15
+	case callLatency < 0:
+		callLatency = 0
+	}
+	ptt, err := transfer.New(transfer.Config{
+		Advisor:              advisor,
+		Fabric:               fab,
+		DefaultStreams:       s.DefaultStreams,
+		SessionSetupSeconds:  2.0,
+		TransferSetupSeconds: 0.5,
+		PolicyCallSeconds:    callLatency,
+	})
+	if err != nil {
+		return Metrics{}, err
+	}
+
+	ecfg := executor.DefaultConfig()
+	cores := env.NewResource("cores", ecfg.ComputeCores)
+	slots := env.NewResource("slots", ecfg.StagingSlots)
+	h, err := executor.Start(env, plan, ptt, cores, slots, ecfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	env.Run(0)
+	res, err := h.Result()
+	completed := err == nil
+	if err != nil && len(res.FailedTasks) == 0 {
+		// Structural failure rather than exhausted retries: a real error.
+		return Metrics{}, err
+	}
+
+	return collectMetrics(completed, res, ptt, fab), nil
+}
+
+// collectMetrics assembles run metrics from the executor result, transfer
+// tool counters and the WAN pipes.
+func collectMetrics(completed bool, res *executor.Result, ptt *transfer.PTT, fab *transfer.SimFabric) Metrics {
+	m := Metrics{
+		Completed:       completed,
+		MakespanSeconds: res.Makespan,
+		Retries:         res.Retries,
+		Exec:            res,
+	}
+	st := ptt.Stats()
+	m.TransfersExecuted = st.TransfersExecuted
+	m.TransfersSuppressed = st.TransfersSuppressed
+	m.TransferFailures = st.TransfersFailed
+	m.PolicyCalls = st.PolicyCalls
+	m.Sessions = st.Sessions
+	m.CleanupsExecuted = st.CleanupsExecuted
+	for pair, pipe := range fab.Pipes() {
+		if strings.Contains(pair.Src, "futuregrid") {
+			mb, _, _ := pipe.Stats()
+			m.WANMBMoved += mb
+			if pipe.MaxStreamsSeen() > m.MaxWANStreams {
+				m.MaxWANStreams = pipe.MaxStreamsSeen()
+			}
+		}
+	}
+	return m
+}
+
+// Series aggregates repeated runs of one scenario.
+type Series struct {
+	Scenario Scenario
+	// Makespan summarizes completed trials only.
+	Makespan stats.Summary
+	// DNF counts trials whose workflow failed permanently (retry budget
+	// exhausted under deep overload).
+	DNF int
+	// MaxWANStreams is the maximum across trials.
+	MaxWANStreams int
+	// MeanFailures and MeanRetries average the failure/retry counters.
+	MeanFailures float64
+	MeanRetries  float64
+	// MeanSuppressed averages policy suppressions per run.
+	MeanSuppressed float64
+}
+
+// RunTrials executes the scenario `trials` times with distinct seeds and
+// aggregates the results. Seeds derive from Scenario.Seed.
+func RunTrials(s Scenario, trials int) (Series, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	var mk, fails, retries, supp []float64
+	out := Series{Scenario: s}
+	for i := 0; i < trials; i++ {
+		run := s
+		run.Seed = s.Seed + int64(i)*1000003
+		m, err := RunMontage(run)
+		if err != nil {
+			return out, fmt.Errorf("experiment %s trial %d: %w", s.Name, i, err)
+		}
+		if !m.Completed {
+			out.DNF++
+			continue
+		}
+		mk = append(mk, m.MakespanSeconds)
+		fails = append(fails, float64(m.TransferFailures))
+		retries = append(retries, float64(m.Retries))
+		supp = append(supp, float64(m.TransfersSuppressed))
+		if m.MaxWANStreams > out.MaxWANStreams {
+			out.MaxWANStreams = m.MaxWANStreams
+		}
+	}
+	out.Makespan = stats.Summarize(mk)
+	out.MeanFailures = stats.Mean(fails)
+	out.MeanRetries = stats.Mean(retries)
+	out.MeanSuppressed = stats.Mean(supp)
+	return out, nil
+}

@@ -1,0 +1,384 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"policyflow/internal/policy"
+)
+
+// paperScenario returns a full-scale (9x9 grid, 89 staging jobs) scenario.
+func paperScenario(extraMB float64, usePolicy bool, threshold, defStreams int, seed int64) Scenario {
+	return Scenario{
+		ExtraMB:        extraMB,
+		UsePolicy:      usePolicy,
+		Algorithm:      policy.AlgoGreedy,
+		Threshold:      threshold,
+		DefaultStreams: defStreams,
+		Seed:           seed,
+	}
+}
+
+func TestRunMontageBasics(t *testing.T) {
+	m, err := RunMontage(paperScenario(100, true, 50, 8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MakespanSeconds <= 0 {
+		t.Fatal("zero makespan")
+	}
+	// 89 extra files x 100 MB cross the WAN.
+	if m.WANMBMoved < 8900-1 {
+		t.Fatalf("WAN MB = %v, want >= 8900", m.WANMBMoved)
+	}
+	// 89 stage-in jobs x 2 transfers + stage-outs succeeded.
+	if m.TransfersExecuted < 178 {
+		t.Fatalf("transfers executed = %d", m.TransfersExecuted)
+	}
+	if m.PolicyCalls == 0 {
+		t.Fatal("policy service never consulted")
+	}
+	if m.CleanupsExecuted == 0 {
+		t.Fatal("no cleanups")
+	}
+}
+
+// TestMaxStreamsMatchTableIV: the simulation's observed peak WAN stream
+// counts must equal the analytic Table IV values, because 20 staging jobs
+// are in flight at peak.
+func TestMaxStreamsMatchTableIV(t *testing.T) {
+	cases := []struct {
+		threshold, defStreams int
+		usePolicy             bool
+		want                  int
+	}{
+		{50, 8, true, 63},
+		{50, 4, true, 57},
+		{50, 12, true, 65},
+		{100, 8, true, 107},
+		{200, 8, true, 160},
+		{200, 12, true, 203},
+		{0, 4, false, 80}, // no policy: 20 jobs x 4 streams
+	}
+	for _, c := range cases {
+		m, err := RunMontage(paperScenario(100, c.usePolicy, c.threshold, c.defStreams, 3))
+		if err != nil {
+			t.Fatalf("th=%d d=%d: %v", c.threshold, c.defStreams, err)
+		}
+		if m.MaxWANStreams != c.want {
+			t.Errorf("th=%d d=%d: max WAN streams = %d, want %d",
+				c.threshold, c.defStreams, m.MaxWANStreams, c.want)
+		}
+	}
+}
+
+func TestTableIVAnalytic(t *testing.T) {
+	tab := TableIV()
+	want := map[int][]int{
+		50:  {57, 61, 63, 65, 65},
+		100: {80, 103, 107, 110, 111},
+		200: {80, 120, 160, 200, 203},
+		0:   {80, 120, 160, 200, 240},
+	}
+	for th, row := range want {
+		for i, v := range row {
+			if tab[th][i] != v {
+				t.Errorf("TableIV[%d][%d] = %d, want %d", th, i, tab[th][i], v)
+			}
+		}
+	}
+	var sb strings.Builder
+	WriteTableIV(&sb)
+	if !strings.Contains(sb.String(), "no-policy") {
+		t.Fatal("rendered table missing no-policy row")
+	}
+}
+
+// TestFig7Shape asserts the paper's headline 100 MB results: greedy-50
+// beats no-policy by roughly 6.7% at 8 default streams, and threshold 200
+// is roughly 28.8% worse than threshold 50.
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale figure run")
+	}
+	trials := 3
+	g50, err := RunTrials(paperScenario(100, true, 50, 8, 11), trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g200, err := RunTrials(paperScenario(100, true, 200, 8, 11), trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := RunTrials(paperScenario(100, false, 0, 4, 11), trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("greedy-50=%v greedy-200=%v no-policy=%v", g50.Makespan, g200.Makespan, np.Makespan)
+	// Ordering: 50 < no-policy < 200.
+	if !(g50.Makespan.Mean < np.Makespan.Mean && np.Makespan.Mean < g200.Makespan.Mean) {
+		t.Fatalf("ordering violated: 50=%.0f np=%.0f 200=%.0f",
+			g50.Makespan.Mean, np.Makespan.Mean, g200.Makespan.Mean)
+	}
+	// Paper: no-policy 6.7% slower than greedy-50 (we accept 3-15%).
+	rel := np.Makespan.Mean/g50.Makespan.Mean - 1
+	if rel < 0.03 || rel > 0.15 {
+		t.Errorf("no-policy vs greedy-50 = %.1f%%, want ~6.7%%", rel*100)
+	}
+	// Paper: greedy-200 28.8% slower than greedy-50 (we accept 18-45%).
+	rel = g200.Makespan.Mean/g50.Makespan.Mean - 1
+	if rel < 0.18 || rel > 0.45 {
+		t.Errorf("greedy-200 vs greedy-50 = %.1f%%, want ~28.8%%", rel*100)
+	}
+}
+
+// TestFig6Shape: at 10 MB additional files the policies barely differ
+// (the paper: "not much difference", at most ~6%).
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale figure run")
+	}
+	trials := 2
+	g50, err := RunTrials(paperScenario(10, true, 50, 8, 21), trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g200, err := RunTrials(paperScenario(10, true, 200, 8, 21), trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := g200.Makespan.Mean/g50.Makespan.Mean - 1
+	if spread < 0 {
+		spread = -spread
+	}
+	// The spread at 10 MB must be far below the ~29% separation seen at
+	// 100 MB (Fig. 7): small files are overhead- and compute-dominated.
+	if spread > 0.15 {
+		t.Errorf("10MB threshold spread = %.1f%%, want small (<15%%)", spread*100)
+	}
+}
+
+// TestFig8Shape: at 500 MB, greedy-50 clearly beats no-policy (paper: 14%
+// at 8 streams; we accept 6-25%) and threshold 100 stays close to 50.
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale figure run")
+	}
+	trials := 2
+	g50, err := RunTrials(paperScenario(500, true, 50, 8, 31), trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g100, err := RunTrials(paperScenario(500, true, 100, 8, 31), trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := RunTrials(paperScenario(500, false, 0, 4, 31), trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("500MB: greedy-50=%v greedy-100=%v no-policy=%v", g50.Makespan, g100.Makespan, np.Makespan)
+	rel := np.Makespan.Mean/g50.Makespan.Mean - 1
+	if rel < 0.06 || rel > 0.25 {
+		t.Errorf("500MB no-policy vs greedy-50 = %.1f%%, want ~14%%", rel*100)
+	}
+	// Threshold 100: the paper places it between 50 and no-policy; in
+	// our simulator greedy-100's one-stream stragglers under overload
+	// make it land next to no-policy instead (documented deviation in
+	// EXPERIMENTS.md). Assert it stays well below threshold 200
+	// territory (which is ~40%+ worse at 500 MB).
+	rel = g100.Makespan.Mean/g50.Makespan.Mean - 1
+	if rel > 0.25 {
+		t.Errorf("500MB greedy-100 vs greedy-50 = %.1f%%, want < 25%%", rel*100)
+	}
+}
+
+// TestFig9Shape: at 1 GB the paper finds "no clear advantage to using any
+// of the greedy threshold values over the default Pegasus performance".
+// Our simulator keeps a modest ordering advantage for threshold 50
+// (documented deviation); this test pins the reproduced relationship:
+// threshold 50 is never worse than no-policy, and the two are within ~25%.
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale figure run")
+	}
+	trials := 2
+	g50, err := RunTrials(paperScenario(1000, true, 50, 8, 51), trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := RunTrials(paperScenario(1000, false, 0, 4, 51), trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("1GB: greedy-50=%v no-policy=%v", g50.Makespan, np.Makespan)
+	if g50.Makespan.Mean > np.Makespan.Mean*1.02 {
+		t.Errorf("greedy-50 (%v) worse than no-policy (%v) at 1GB",
+			g50.Makespan.Mean, np.Makespan.Mean)
+	}
+	if rel := np.Makespan.Mean/g50.Makespan.Mean - 1; rel > 0.25 {
+		t.Errorf("1GB separation = %.1f%%, implausibly large", rel*100)
+	}
+}
+
+// TestFig5Shape: with the threshold fixed at 50, file size dominates and
+// the default stream count has little effect (the paper's Fig. 5).
+func TestFig5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale figure run")
+	}
+	// Size effect: 500 MB takes much longer than 10 MB.
+	m10, err := RunMontage(paperScenario(10, true, 50, 8, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m500, err := RunMontage(paperScenario(500, true, 50, 8, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m500.MakespanSeconds < 3*m10.MakespanSeconds {
+		t.Errorf("size effect too weak: 10MB=%.0f 500MB=%.0f",
+			m10.MakespanSeconds, m500.MakespanSeconds)
+	}
+	// Stream-count effect at threshold 50: small (same saturated pipe).
+	d4, err := RunMontage(paperScenario(100, true, 50, 4, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d12, err := RunMontage(paperScenario(100, true, 50, 12, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := d12.MakespanSeconds/d4.MakespanSeconds - 1
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 0.08 {
+		t.Errorf("default-streams effect at threshold 50 = %.1f%%, want small", rel*100)
+	}
+}
+
+func TestMultiWorkflowSharing(t *testing.T) {
+	// Scaled-down grid for speed; the sharing logic is size-independent.
+	o := Options{Trials: 1, GridSize: 4, Seed: 5}
+	withPolicy, err := MultiWorkflow(10, true, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withPolicy.TransfersSuppressed == 0 {
+		t.Fatal("no duplicate suppression across workflows")
+	}
+	noPolicy, err := MultiWorkflow(10, false, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noPolicy.TransfersSuppressed != 0 {
+		t.Fatal("suppression without policy?")
+	}
+	// Sharing halves the staged bytes, so the policy run is faster.
+	if withPolicy.MakespanSeconds >= noPolicy.MakespanSeconds {
+		t.Errorf("sharing did not help: with=%v without=%v",
+			withPolicy.MakespanSeconds, noPolicy.MakespanSeconds)
+	}
+	if withPolicy.CleanupsSuppressed == 0 {
+		t.Error("no cleanup suppression despite shared files")
+	}
+}
+
+func TestFig2ClusteringReducesSessions(t *testing.T) {
+	o := Options{Trials: 1, GridSize: 4, Seed: 7}
+	res, err := Fig2Clustering(10, 4, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SessionsClustered >= res.SessionsUnclustered {
+		t.Errorf("clustering did not reduce sessions: %d vs %d",
+			res.SessionsClustered, res.SessionsUnclustered)
+	}
+}
+
+func TestBalancedVsGreedyRuns(t *testing.T) {
+	o := Options{Trials: 1, GridSize: 4, Seed: 9}
+	res, err := BalancedVsGreedy(10, 4, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Greedy.Mean <= 0 || res.Balanced.Mean <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+}
+
+func TestPriorityAblationRuns(t *testing.T) {
+	o := Options{Trials: 1, GridSize: 3, Seed: 13}
+	res, err := PriorityAblation(10, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"none", "bfs", "dfs", "direct-dependent", "dependent"} {
+		if _, ok := res[name]; !ok {
+			t.Errorf("missing algorithm %s", name)
+		}
+	}
+}
+
+func TestPolicyOverheadSweep(t *testing.T) {
+	o := Options{Trials: 1, GridSize: 4, Seed: 17}
+	pts, err := PolicyOverheadSweep([]float64{0, 2}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Higher call latency can only slow the workflow down.
+	if pts[1].Makespan.Mean < pts[0].Makespan.Mean {
+		t.Errorf("latency sped things up: %+v", pts)
+	}
+	var sb strings.Builder
+	WriteOverheads(&sb, pts)
+	if !strings.Contains(sb.String(), "policy call latency") {
+		t.Fatal("overhead table malformed")
+	}
+}
+
+func TestFigDriversSmallGrid(t *testing.T) {
+	o := Options{Trials: 1, GridSize: 3, Seed: 19}
+	pts, err := FigThreshold(10, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 thresholds x 5 defaults + 1 no-policy point.
+	if len(pts) != 16 {
+		t.Fatalf("points = %d, want 16", len(pts))
+	}
+	if _, ok := FindPoint(pts, "no-policy", 4); !ok {
+		t.Fatal("missing no-policy point")
+	}
+	if _, ok := FindPoint(pts, "greedy-50", 12); !ok {
+		t.Fatal("missing greedy-50 series")
+	}
+	var sb strings.Builder
+	WritePoints(&sb, "fig", pts)
+	if !strings.Contains(sb.String(), "greedy-200") {
+		t.Fatal("rendered points missing series")
+	}
+}
+
+func TestRunTrialsAggregates(t *testing.T) {
+	s := paperScenario(10, true, 50, 4, 23)
+	s.GridSize = 3
+	ser, err := RunTrials(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.Makespan.N != 3 {
+		t.Fatalf("N = %d", ser.Makespan.N)
+	}
+	if ser.Makespan.Mean <= 0 {
+		t.Fatal("zero mean")
+	}
+	// Distinct seeds: jitter should produce nonzero variance.
+	if ser.Makespan.StdDev == 0 {
+		t.Error("zero stddev across seeded trials")
+	}
+}

@@ -1,0 +1,223 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"policyflow/internal/policy"
+)
+
+// DefaultStreamsSweep is the x-axis of Figs. 5-9: the default number of
+// streams per transfer.
+var DefaultStreamsSweep = []int{4, 6, 8, 10, 12}
+
+// ThresholdSweep is the greedy thresholds compared in Figs. 6-9.
+var ThresholdSweep = []int{50, 100, 200}
+
+// FileSizesMB is the additional-file sizes swept in Fig. 5 (0 = the
+// unaugmented workflow).
+var FileSizesMB = []float64{0, 10, 100, 500, 1000}
+
+// Options tunes a figure regeneration.
+type Options struct {
+	// Trials per data point; the paper runs each experiment >= 5 times.
+	Trials int
+	// GridSize scales the workflow down for fast test runs (0 = paper).
+	GridSize int
+	// Seed is the base random seed.
+	Seed int64
+}
+
+func (o Options) norm() Options {
+	if o.Trials < 1 {
+		o.Trials = 5
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Point is one plotted datum of a figure.
+type Point struct {
+	// Series labels the curve ("greedy-50", "no-policy", "10MB", ...).
+	Series string
+	// X is the default streams per transfer.
+	X int
+	// MeanSeconds and StdSeconds are the workflow execution time stats.
+	MeanSeconds float64
+	StdSeconds  float64
+	// MaxWANStreams is the observed peak stream count.
+	MaxWANStreams int
+	// DNF counts trials that failed permanently (deep overload).
+	DNF int
+}
+
+// TableIV regenerates Table IV: maximum streams allocated for 20
+// concurrent staging jobs under each (threshold, default streams)
+// combination, plus the no-policy row. It is analytic (the paper derives
+// it the same way); the simulation's observed peaks are checked against it
+// in the tests.
+func TableIV() map[int][]int {
+	const concurrentJobs = 20
+	out := make(map[int][]int)
+	for _, th := range ThresholdSweep {
+		row := make([]int, len(DefaultStreamsSweep))
+		for i, d := range DefaultStreamsSweep {
+			row[i] = policy.GreedyMaxStreams(th, d, concurrentJobs)
+		}
+		out[th] = row
+	}
+	// No-policy: every job uses the default (the paper reports the
+	// 4-stream column: 80).
+	row := make([]int, len(DefaultStreamsSweep))
+	for i, d := range DefaultStreamsSweep {
+		row[i] = concurrentJobs * d
+	}
+	out[0] = row
+	return out
+}
+
+// WriteTableIV renders Table IV.
+func WriteTableIV(w io.Writer) {
+	t := TableIV()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "threshold\t4\t6\t8\t10\t12")
+	for _, th := range ThresholdSweep {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\n",
+			th, t[th][0], t[th][1], t[th][2], t[th][3], t[th][4])
+	}
+	fmt.Fprintf(tw, "no-policy\t%d\t%d\t%d\t%d\t%d\n",
+		t[0][0], t[0][1], t[0][2], t[0][3], t[0][4])
+	tw.Flush()
+}
+
+// Fig5 regenerates Fig. 5: workflow execution time vs default streams per
+// transfer, one series per additional-file size, greedy threshold fixed at
+// 50.
+func Fig5(o Options) ([]Point, error) {
+	o = o.norm()
+	var pts []Point
+	for _, size := range FileSizesMB {
+		for _, d := range DefaultStreamsSweep {
+			s := Scenario{
+				Name:           fmt.Sprintf("fig5-%gMB-%dstr", size, d),
+				ExtraMB:        size,
+				UsePolicy:      true,
+				Algorithm:      policy.AlgoGreedy,
+				Threshold:      50,
+				DefaultStreams: d,
+				GridSize:       o.GridSize,
+				Seed:           o.Seed,
+			}
+			ser, err := RunTrials(s, o.Trials)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, Point{
+				Series:        fmt.Sprintf("%gMB", size),
+				X:             d,
+				MeanSeconds:   ser.Makespan.Mean,
+				StdSeconds:    ser.Makespan.StdDev,
+				MaxWANStreams: ser.MaxWANStreams,
+				DNF:           ser.DNF,
+			})
+		}
+	}
+	return pts, nil
+}
+
+// FigThreshold regenerates Figs. 6-9 for one additional-file size: series
+// for greedy thresholds 50/100/200 across the default-streams sweep, plus
+// the single no-policy point at 4 default streams (the blue circle in the
+// paper's plots).
+func FigThreshold(fileMB float64, o Options) ([]Point, error) {
+	o = o.norm()
+	var pts []Point
+	for _, th := range ThresholdSweep {
+		for _, d := range DefaultStreamsSweep {
+			s := Scenario{
+				Name:           fmt.Sprintf("fig-%gMB-th%d-%dstr", fileMB, th, d),
+				ExtraMB:        fileMB,
+				UsePolicy:      true,
+				Algorithm:      policy.AlgoGreedy,
+				Threshold:      th,
+				DefaultStreams: d,
+				GridSize:       o.GridSize,
+				Seed:           o.Seed,
+			}
+			ser, err := RunTrials(s, o.Trials)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, Point{
+				Series:        fmt.Sprintf("greedy-%d", th),
+				X:             d,
+				MeanSeconds:   ser.Makespan.Mean,
+				StdSeconds:    ser.Makespan.StdDev,
+				MaxWANStreams: ser.MaxWANStreams,
+				DNF:           ser.DNF,
+			})
+		}
+	}
+	// No-policy baseline: default Pegasus with 4 streams per transfer.
+	s := Scenario{
+		Name:           fmt.Sprintf("fig-%gMB-nopolicy", fileMB),
+		ExtraMB:        fileMB,
+		UsePolicy:      false,
+		DefaultStreams: 4,
+		GridSize:       o.GridSize,
+		Seed:           o.Seed,
+	}
+	ser, err := RunTrials(s, o.Trials)
+	if err != nil {
+		return nil, err
+	}
+	pts = append(pts, Point{
+		Series:        "no-policy",
+		X:             4,
+		MeanSeconds:   ser.Makespan.Mean,
+		StdSeconds:    ser.Makespan.StdDev,
+		MaxWANStreams: ser.MaxWANStreams,
+		DNF:           ser.DNF,
+	})
+	return pts, nil
+}
+
+// WritePoints renders a point series as a table grouped by series label.
+func WritePoints(w io.Writer, title string, pts []Point) {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "series\tstreams/transfer\tmean(s)\tstddev(s)\tmax WAN streams\tDNF")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%d\t%d\n",
+			p.Series, p.X, p.MeanSeconds, p.StdSeconds, p.MaxWANStreams, p.DNF)
+	}
+	tw.Flush()
+}
+
+// WritePointsCSV renders a point series as CSV
+// (series,streams,mean_s,stddev_s,max_wan_streams,dnf) for plotting.
+func WritePointsCSV(w io.Writer, pts []Point) error {
+	if _, err := fmt.Fprintln(w, "series,streams,mean_s,stddev_s,max_wan_streams,dnf"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%s,%d,%.3f,%.3f,%d,%d\n",
+			p.Series, p.X, p.MeanSeconds, p.StdSeconds, p.MaxWANStreams, p.DNF); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FindPoint returns the first point with the given series and x.
+func FindPoint(pts []Point, series string, x int) (Point, bool) {
+	for _, p := range pts {
+		if p.Series == series && p.X == x {
+			return p, true
+		}
+	}
+	return Point{}, false
+}

@@ -1,0 +1,161 @@
+package experiment
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"policyflow/internal/executor"
+	"policyflow/internal/montage"
+	"policyflow/internal/policy"
+	"policyflow/internal/policyhttp"
+	"policyflow/internal/simnet"
+	"policyflow/internal/transfer"
+	"policyflow/internal/workflow"
+)
+
+// TestEndToEndOverHTTP runs a scaled Montage workflow on the simulator
+// with the policy service deployed behind its real RESTful interface —
+// the full production topology: executor -> transfer tool -> HTTP client
+// -> HTTP server -> rule engine, and back.
+func TestEndToEndOverHTTP(t *testing.T) {
+	pcfg := policy.DefaultConfig()
+	pcfg.DefaultThreshold = 50
+	pcfg.DefaultStreams = 4
+	svc, err := policy.New(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(policyhttp.NewServer(svc, nil))
+	defer ts.Close()
+
+	for _, mode := range []string{"json", "xml"} {
+		t.Run(mode, func(t *testing.T) {
+			var opts []policyhttp.ClientOption
+			if mode == "xml" {
+				opts = append(opts, policyhttp.WithXML())
+			}
+			client := policyhttp.NewClient(ts.URL, opts...)
+
+			mcfg := montage.DefaultConfig(10)
+			mcfg.GridSize = 4
+			w, err := montage.Generate(mcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := w.Plan(workflow.PlanConfig{
+				WorkflowID:      "http-" + mode,
+				ComputeSiteBase: "file://obelix.isi.example.org/scratch",
+				Cleanup:         true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			env := simnet.NewEnv(11)
+			fab := transfer.NewSimFabric(env, PipeConfigFor)
+			ptt, err := transfer.New(transfer.Config{
+				Advisor: client, Fabric: fab, DefaultStreams: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ecfg := executor.DefaultConfig()
+			cores := env.NewResource("cores", ecfg.ComputeCores)
+			slots := env.NewResource("slots", ecfg.StagingSlots)
+			h, err := executor.Start(env, plan, ptt, cores, slots, ecfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env.Run(0)
+			res, err := h.Result()
+			if err != nil {
+				t.Fatalf("workflow failed over HTTP: %v", err)
+			}
+			if res.Completed != len(plan.Tasks) {
+				t.Fatalf("completed %d of %d", res.Completed, len(plan.Tasks))
+			}
+			st, err := client.State()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.InFlight != 0 {
+				t.Fatalf("transfers leaked on the service: %+v", st)
+			}
+			stats := ptt.Stats()
+			if stats.PolicyCalls == 0 || stats.TransfersExecuted == 0 {
+				t.Fatalf("stats = %+v", stats)
+			}
+		})
+	}
+}
+
+// TestEndToEndWithReplicatedAdvisor runs the workflow against a
+// two-replica policy deployment, killing the primary mid-run; the
+// workflow must complete via failover without any duplicate staging.
+func TestEndToEndWithReplicatedAdvisor(t *testing.T) {
+	mk := func() (*httptest.Server, *policy.Service) {
+		pcfg := policy.DefaultConfig()
+		svc, err := policy.New(pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return httptest.NewServer(policyhttp.NewServer(svc, nil)), svc
+	}
+	primary, _ := mk()
+	secondary, secondarySvc := mk()
+	defer secondary.Close()
+
+	rc, err := policyhttp.NewReplicatedClient(
+		policyhttp.NewClient(primary.URL),
+		policyhttp.NewClient(secondary.URL),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mcfg := montage.DefaultConfig(10)
+	mcfg.GridSize = 3
+	w, err := montage.Generate(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := w.Plan(workflow.PlanConfig{
+		WorkflowID:      "replicated",
+		ComputeSiteBase: "file://obelix.isi.example.org/scratch",
+		Cleanup:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env := simnet.NewEnv(13)
+	fab := transfer.NewSimFabric(env, PipeConfigFor)
+	ptt, err := transfer.New(transfer.Config{Advisor: rc, Fabric: fab, DefaultStreams: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecfg := executor.DefaultConfig()
+	cores := env.NewResource("cores", ecfg.ComputeCores)
+	slots := env.NewResource("slots", ecfg.StagingSlots)
+	h, err := executor.Start(env, plan, ptt, cores, slots, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the primary partway through the simulated run.
+	env.At(30, func() { primary.Close() })
+	env.Run(0)
+	res, err := h.Result()
+	if err != nil {
+		t.Fatalf("workflow failed despite replication: %v", err)
+	}
+	if res.Completed != len(plan.Tasks) {
+		t.Fatalf("completed %d of %d", res.Completed, len(plan.Tasks))
+	}
+	if got := rc.Healthy(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("healthy = %v, want only the secondary", got)
+	}
+	// The surviving replica carries the complete final state.
+	if snap := secondarySvc.Snapshot(); snap.InFlight != 0 {
+		t.Fatalf("secondary state = %+v", snap)
+	}
+}

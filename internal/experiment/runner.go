@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"fmt"
+
+	"policyflow/internal/dag"
+	"policyflow/internal/executor"
+	"policyflow/internal/policy"
+	"policyflow/internal/simnet"
+	"policyflow/internal/transfer"
+	"policyflow/internal/workflow"
+)
+
+// WorkflowRun configures the execution of an arbitrary abstract workflow
+// on the simulated testbed — the general form of RunMontage, used for
+// synthetic-workload experiments.
+type WorkflowRun struct {
+	// Workflow is the abstract workflow to plan and execute.
+	Workflow *workflow.Workflow
+	// WorkflowID defaults to the workflow name.
+	WorkflowID string
+	// Planning options.
+	ClusterFactor     int
+	Cleanup           bool
+	PriorityAlgorithm dag.PriorityAlgorithm
+	SharedScratch     bool
+	// Policy options.
+	UsePolicy         bool
+	Algorithm         policy.Algorithm
+	Threshold         int
+	DefaultStreams    int
+	PolicyCallSeconds float64
+	// Resources; zero selects the paper defaults (54 cores, 20 slots).
+	Cores int
+	Slots int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// RunWorkflow plans and executes the run, returning its metrics.
+func RunWorkflow(r WorkflowRun) (Metrics, error) {
+	if r.Workflow == nil {
+		return Metrics{}, fmt.Errorf("experiment: WorkflowRun.Workflow is required")
+	}
+	if r.WorkflowID == "" {
+		r.WorkflowID = r.Workflow.Name
+	}
+	plan, err := r.Workflow.Plan(workflow.PlanConfig{
+		WorkflowID:        r.WorkflowID,
+		ComputeSiteBase:   "file://obelix.isi.example.org/scratch",
+		OutputSiteBase:    "file://obelix.isi.example.org/results",
+		ClusterFactor:     r.ClusterFactor,
+		Cleanup:           r.Cleanup,
+		PriorityAlgorithm: r.PriorityAlgorithm,
+		SharedScratch:     r.SharedScratch,
+	})
+	if err != nil {
+		return Metrics{}, err
+	}
+
+	env := simnet.NewEnv(r.Seed)
+	fab := transfer.NewSimFabric(env, PipeConfigFor)
+
+	var advisor transfer.Advisor
+	if r.UsePolicy {
+		pcfg := policy.DefaultConfig()
+		if r.Algorithm != "" {
+			pcfg.Algorithm = r.Algorithm
+		}
+		if r.Threshold > 0 {
+			pcfg.DefaultThreshold = r.Threshold
+		}
+		if r.DefaultStreams > 0 {
+			pcfg.DefaultStreams = r.DefaultStreams
+		}
+		if r.ClusterFactor > 1 {
+			pcfg.ClusterFactor = r.ClusterFactor
+		}
+		svc, err := policy.New(pcfg)
+		if err != nil {
+			return Metrics{}, err
+		}
+		advisor = svc
+	}
+
+	callLatency := r.PolicyCallSeconds
+	if callLatency == 0 {
+		callLatency = 0.15
+	} else if callLatency < 0 {
+		callLatency = 0
+	}
+	ptt, err := transfer.New(transfer.Config{
+		Advisor:              advisor,
+		Fabric:               fab,
+		DefaultStreams:       max(1, r.DefaultStreams),
+		SessionSetupSeconds:  2.0,
+		TransferSetupSeconds: 0.5,
+		PolicyCallSeconds:    callLatency,
+	})
+	if err != nil {
+		return Metrics{}, err
+	}
+
+	ecfg := executor.DefaultConfig()
+	if r.Cores > 0 {
+		ecfg.ComputeCores = r.Cores
+	}
+	if r.Slots > 0 {
+		ecfg.StagingSlots = r.Slots
+	}
+	cores := env.NewResource("cores", ecfg.ComputeCores)
+	slots := env.NewResource("slots", ecfg.StagingSlots)
+	h, err := executor.Start(env, plan, ptt, cores, slots, ecfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	env.Run(0)
+	res, err := h.Result()
+	completed := err == nil
+	if err != nil && len(res.FailedTasks) == 0 {
+		return Metrics{}, err
+	}
+	return collectMetrics(completed, res, ptt, fab), nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,158 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"policyflow/internal/executor"
+	"policyflow/internal/montage"
+	"policyflow/internal/policy"
+	"policyflow/internal/simnet"
+	"policyflow/internal/stats"
+	"policyflow/internal/transfer"
+	"policyflow/internal/workflow"
+)
+
+// timingAdvisor wraps a policy service and measures the real (wall-clock)
+// cost of each advice call — the rule engine's actual evaluation time,
+// which is what bounds a centralized service's throughput.
+type timingAdvisor struct {
+	svc *policy.Service
+	mu  sync.Mutex
+	// adviseMicros records each AdviseTransfers duration in microseconds.
+	adviseMicros []float64
+}
+
+func (a *timingAdvisor) AdviseTransfers(specs []policy.TransferSpec) (*policy.TransferAdvice, error) {
+	start := time.Now()
+	adv, err := a.svc.AdviseTransfers(specs)
+	elapsed := float64(time.Since(start).Microseconds())
+	a.mu.Lock()
+	a.adviseMicros = append(a.adviseMicros, elapsed)
+	a.mu.Unlock()
+	return adv, err
+}
+
+func (a *timingAdvisor) ReportTransfers(r policy.CompletionReport) error {
+	return a.svc.ReportTransfers(r)
+}
+
+func (a *timingAdvisor) AdviseCleanups(specs []policy.CleanupSpec) (*policy.CleanupAdvice, error) {
+	return a.svc.AdviseCleanups(specs)
+}
+
+func (a *timingAdvisor) ReportCleanups(r policy.CleanupReport) error {
+	return a.svc.ReportCleanups(r)
+}
+
+// ScalabilityPoint measures the centralized policy service under K
+// concurrently planned workflows (the paper's future-work question about
+// "the scalability of the centralized policy service when planning
+// multiple complex workflows").
+type ScalabilityPoint struct {
+	// Workflows is the number of concurrent workflows.
+	Workflows int
+	// MakespanSeconds is the simulated time for all workflows to finish.
+	MakespanSeconds float64
+	// Advise summarizes the real rule-engine evaluation cost per advice
+	// call, in microseconds of wall-clock time.
+	Advise stats.Summary
+	// PolicyCalls counts total service round trips.
+	PolicyCalls int64
+	// RuleFirings counts rule activations fired over the run.
+	RuleFirings int64
+	// FinalFacts is the Policy Memory size at the end of the run (staged
+	// resources persist).
+	FinalFacts int
+}
+
+// ServiceScalability runs K concurrent scaled-down Montage workflows
+// against one policy service for each K in workflowCounts.
+func ServiceScalability(workflowCounts []int, o Options) ([]ScalabilityPoint, error) {
+	o = o.norm()
+	grid := o.GridSize
+	if grid == 0 {
+		grid = 4
+	}
+	var out []ScalabilityPoint
+	for _, k := range workflowCounts {
+		if k < 1 {
+			return nil, fmt.Errorf("experiment: invalid workflow count %d", k)
+		}
+		pcfg := policy.DefaultConfig()
+		pcfg.DefaultThreshold = 50
+		pcfg.DefaultStreams = 4
+		svc, err := policy.New(pcfg)
+		if err != nil {
+			return nil, err
+		}
+		ta := &timingAdvisor{svc: svc}
+
+		env := simnet.NewEnv(o.Seed + int64(k))
+		fab := transfer.NewSimFabric(env, PipeConfigFor)
+		ptt, err := transfer.New(transfer.Config{
+			Advisor: ta, Fabric: fab, DefaultStreams: 4,
+			SessionSetupSeconds: 2, TransferSetupSeconds: 0.5, PolicyCallSeconds: 0.15,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ecfg := executor.DefaultConfig()
+		cores := env.NewResource("cores", ecfg.ComputeCores)
+		slots := env.NewResource("slots", ecfg.StagingSlots)
+
+		var handles []*executor.Handle
+		for i := 0; i < k; i++ {
+			mcfg := montage.DefaultConfig(10)
+			mcfg.GridSize = grid
+			w, err := montage.Generate(mcfg)
+			if err != nil {
+				return nil, err
+			}
+			plan, err := w.Plan(workflow.PlanConfig{
+				WorkflowID:      fmt.Sprintf("scale-wf%d", i+1),
+				ComputeSiteBase: "file://obelix.isi.example.org/scratch",
+				Cleanup:         true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			h, err := executor.Start(env, plan, ptt, cores, slots, ecfg)
+			if err != nil {
+				return nil, err
+			}
+			handles = append(handles, h)
+		}
+		makespan := env.Run(0)
+		for i, h := range handles {
+			if _, err := h.Result(); err != nil {
+				return nil, fmt.Errorf("scalability k=%d wf%d: %w", k, i+1, err)
+			}
+		}
+		pt := ScalabilityPoint{
+			Workflows:       k,
+			MakespanSeconds: makespan,
+			Advise:          stats.Summarize(ta.adviseMicros),
+			PolicyCalls:     ptt.Stats().PolicyCalls,
+			RuleFirings:     svc.RuleFirings(),
+			FinalFacts:      svc.FactCount(),
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// WriteScalability renders a scalability sweep.
+func WriteScalability(w io.Writer, pts []ScalabilityPoint) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workflows\tmakespan (s)\tadvice mean (µs)\tadvice max (µs)\tpolicy calls\trule firings\tfinal facts")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%d\t%.1f\t%.0f\t%.0f\t%d\t%d\t%d\n",
+			p.Workflows, p.MakespanSeconds, p.Advise.Mean, p.Advise.Max,
+			p.PolicyCalls, p.RuleFirings, p.FinalFacts)
+	}
+	tw.Flush()
+}

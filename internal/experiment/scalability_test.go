@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestServiceScalability(t *testing.T) {
+	pts, err := ServiceScalability([]int{1, 3}, Options{Trials: 1, GridSize: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	one, three := pts[0], pts[1]
+	if one.Workflows != 1 || three.Workflows != 3 {
+		t.Fatalf("workflow counts = %d, %d", one.Workflows, three.Workflows)
+	}
+	// Triple the workflows, triple the advice traffic and rule firings
+	// (same workload per workflow; dedup doesn't apply across per-run
+	// scratch dirs).
+	if three.PolicyCalls != 3*one.PolicyCalls {
+		t.Errorf("policy calls: %d vs 3x%d", three.PolicyCalls, one.PolicyCalls)
+	}
+	if three.RuleFirings <= 2*one.RuleFirings {
+		t.Errorf("rule firings: %d vs %d", three.RuleFirings, one.RuleFirings)
+	}
+	// Shared resources (cores, slots, WAN): more workflows take longer.
+	if three.MakespanSeconds <= one.MakespanSeconds {
+		t.Errorf("makespans: %v vs %v", three.MakespanSeconds, one.MakespanSeconds)
+	}
+	if one.Advise.N == 0 || one.Advise.Mean <= 0 {
+		t.Fatalf("no advice timing collected: %+v", one.Advise)
+	}
+	var sb strings.Builder
+	WriteScalability(&sb, pts)
+	if !strings.Contains(sb.String(), "advice mean") {
+		t.Fatal("table malformed")
+	}
+	if _, err := ServiceScalability([]int{0}, Options{}); err == nil {
+		t.Fatal("zero workflows accepted")
+	}
+}

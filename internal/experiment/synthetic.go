@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"policyflow/internal/dag"
+	"policyflow/internal/stats"
+	"policyflow/internal/synth"
+)
+
+// ShapePriorityResult holds, for one workflow shape, the makespan of each
+// priority algorithm (and "none").
+type ShapePriorityResult struct {
+	Shape     synth.Shape
+	Makespans map[string]stats.Summary
+}
+
+// SyntheticPriorityAblation measures the structure-based priority
+// algorithms across workflow shapes, with staging slots made scarce so
+// ordering matters. On Montage the staging mix is level-symmetric and
+// priorities are a null result (see EXPERIMENTS.md); on a fan-out shape,
+// staging the root before the leaves lets compute overlap the remaining
+// staging and shortens the makespan.
+func SyntheticPriorityAblation(shapes []synth.Shape, o Options) ([]ShapePriorityResult, error) {
+	o = o.norm()
+	if len(shapes) == 0 {
+		shapes = synth.Shapes()
+	}
+	algos := append([]dag.PriorityAlgorithm{""}, dag.Algorithms()...)
+	var out []ShapePriorityResult
+	for _, shape := range shapes {
+		res := ShapePriorityResult{Shape: shape, Makespans: map[string]stats.Summary{}}
+		for _, algo := range algos {
+			var mk []float64
+			for trial := 0; trial < o.Trials; trial++ {
+				seed := o.Seed + int64(trial)*7919
+				w, err := synth.Generate(synth.Config{
+					Shape:          shape,
+					Jobs:           24,
+					InputMB:        50,
+					RuntimeSeconds: 30,
+					Seed:           seed,
+					Scramble:       true, // submission order is arbitrary
+				})
+				if err != nil {
+					return nil, err
+				}
+				m, err := RunWorkflow(WorkflowRun{
+					Workflow:          w,
+					WorkflowID:        fmt.Sprintf("%s-%s-%d", shape, algo, trial),
+					PriorityAlgorithm: algo,
+					UsePolicy:         true,
+					Threshold:         50,
+					DefaultStreams:    4,
+					Slots:             2, // scarce staging slots: order matters
+					Seed:              seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				mk = append(mk, m.MakespanSeconds)
+			}
+			name := string(algo)
+			if name == "" {
+				name = "none"
+			}
+			res.Makespans[name] = stats.Summarize(mk)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// WriteShapePriorities renders the ablation as a table.
+func WriteShapePriorities(w io.Writer, results []ShapePriorityResult) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "shape\tnone\tbfs\tdfs\tdirect-dependent\tdependent")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s", r.Shape)
+		for _, algo := range []string{"none", "bfs", "dfs", "direct-dependent", "dependent"} {
+			fmt.Fprintf(tw, "\t%.0f±%.0f", r.Makespans[algo].Mean, r.Makespans[algo].StdDev)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}

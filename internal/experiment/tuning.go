@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"policyflow/internal/policy"
+	"policyflow/internal/tuner"
+)
+
+// TunerEpisode records one episode of threshold learning.
+type TunerEpisode struct {
+	Threshold int
+	// RewardMBps is the effective WAN goodput of the episode's workflow
+	// run (WAN megabytes over makespan).
+	RewardMBps float64
+	Makespan   float64
+}
+
+// TunerResult summarizes a threshold-learning experiment.
+type TunerResult struct {
+	Episodes []TunerEpisode
+	// Best is the learner's final recommendation.
+	Best int
+	// BaselineMakespan is the mean makespan over the last quarter of
+	// episodes (converged behaviour).
+	ConvergedMakespan float64
+}
+
+// TuneThreshold runs the paper's proposed machine-learning extension
+// end to end: a learner picks the greedy threshold for each workflow run
+// (episode), observes the achieved WAN goodput, and converges toward the
+// testbed's knee — discovering, rather than being told, the "threshold
+// number of streams most beneficial for the application".
+func TuneThreshold(fileMB float64, episodes int, learner tuner.Learner, o Options) (TunerResult, error) {
+	o = o.norm()
+	var res TunerResult
+	if episodes < 1 {
+		episodes = 1
+	}
+	for i := 0; i < episodes; i++ {
+		th := learner.Next()
+		m, err := RunMontage(Scenario{
+			ExtraMB:        fileMB,
+			UsePolicy:      true,
+			Algorithm:      policy.AlgoGreedy,
+			Threshold:      th,
+			DefaultStreams: 8,
+			GridSize:       o.GridSize,
+			Seed:           o.Seed + int64(i)*7919,
+		})
+		if err != nil {
+			return res, fmt.Errorf("tuning episode %d: %w", i, err)
+		}
+		reward := 0.0
+		if m.Completed && m.MakespanSeconds > 0 {
+			reward = m.WANMBMoved / m.MakespanSeconds
+		}
+		learner.Record(th, reward)
+		res.Episodes = append(res.Episodes, TunerEpisode{
+			Threshold:  th,
+			RewardMBps: reward,
+			Makespan:   m.MakespanSeconds,
+		})
+	}
+	res.Best = learner.Best()
+	tail := len(res.Episodes) / 4
+	if tail < 1 {
+		tail = 1
+	}
+	sum := 0.0
+	for _, e := range res.Episodes[len(res.Episodes)-tail:] {
+		sum += e.Makespan
+	}
+	res.ConvergedMakespan = sum / float64(tail)
+	return res, nil
+}
+
+// WriteTunerResult renders a tuning trajectory.
+func WriteTunerResult(w io.Writer, res TunerResult) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "episode\tthreshold\treward (MB/s)\tmakespan (s)")
+	for i, e := range res.Episodes {
+		fmt.Fprintf(tw, "%d\t%d\t%.3f\t%.1f\n", i+1, e.Threshold, e.RewardMBps, e.Makespan)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "recommended threshold: %d (converged makespan %.1f s)\n",
+		res.Best, res.ConvergedMakespan)
+}

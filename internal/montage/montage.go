@@ -1,0 +1,294 @@
+// Package montage generates the Montage astronomy workflow used as the
+// paper's benchmark: an image-mosaic pipeline whose 1-degree-square
+// configuration yields 89 data staging jobs, augmented (as in Section V)
+// with one additional large data file per staging job to emulate emerging
+// big-data applications.
+//
+// Structure (per the Montage papers and the Pegasus workflow gallery):
+//
+//	mHdr, mOverlaps                  header/overlap preparation
+//	mProjectPP ×(p·p)                re-project each input image
+//	mDiffFit   ×(2·p·(p-1))          fit overlapping image pairs
+//	mConcatFit                       concatenate the fits
+//	mBgModel                         model background corrections
+//	mBackground ×(p·p)               apply corrections
+//	mImgtbl                          build the image table
+//	mAdd                             co-add into the mosaic
+//	mShrink, mJPEG                   shrink and render the final image
+//
+// With the default GridSize of 9 there are 81 mProjectPP jobs, each with a
+// staged input image, plus 8 auxiliary jobs with one staged configuration
+// input each — 89 stage-in jobs, matching the paper's workflow.
+package montage
+
+import (
+	"fmt"
+
+	"policyflow/internal/workflow"
+)
+
+// Config parameterizes the generated workflow.
+type Config struct {
+	// Name is the workflow name; defaults to "montage-1deg".
+	Name string
+	// GridSize is the image grid edge p (p·p input images). Default 9.
+	GridSize int
+	// ImageMB is the size of each input image in MB. The paper reports
+	// an average stage-in size of 2 MB for mProjectPP inputs. Default 2.
+	ImageMB float64
+	// ImageSourceBase is the URL prefix the input images are staged from
+	// (the paper serves them from an Apache server on the cluster LAN).
+	ImageSourceBase string
+	// AuxSourceBase is the URL prefix for the auxiliary configuration
+	// inputs; defaults to ImageSourceBase.
+	AuxSourceBase string
+	// ExtraMB, when positive, augments the workflow: every staging job
+	// stages one additional data file of this size (Fig. 3).
+	ExtraMB float64
+	// ExtraSourceBase is the URL prefix the additional files are staged
+	// from (the paper uses a GridFTP server on a FutureGrid VM at TACC,
+	// reached over the WAN).
+	ExtraSourceBase string
+	// Runtime scale: multiplies all compute runtimes; default 1.
+	RuntimeScale float64
+}
+
+// ConfigForDegrees returns a configuration approximating a mosaic of the
+// given angular size: the image count grows with the square of the survey
+// degree (the paper's experiments use 1 degree; 0.5 and 2 degrees are the
+// other sizes commonly benchmarked with Montage).
+func ConfigForDegrees(degrees, extraMB float64) Config {
+	cfg := DefaultConfig(extraMB)
+	switch {
+	case degrees <= 0.5:
+		cfg.GridSize = 5
+		cfg.Name = "montage-0.5deg"
+	case degrees <= 1:
+		cfg.GridSize = 9
+		cfg.Name = "montage-1deg"
+	case degrees <= 2:
+		cfg.GridSize = 13
+		cfg.Name = "montage-2deg"
+	default:
+		cfg.GridSize = 18
+		cfg.Name = fmt.Sprintf("montage-%.0fdeg", degrees)
+	}
+	return cfg
+}
+
+// DefaultConfig returns the paper's augmented-Montage configuration with
+// the given additional-file size in MB (0 = unaugmented).
+func DefaultConfig(extraMB float64) Config {
+	return Config{
+		Name:            "montage-1deg",
+		GridSize:        9,
+		ImageMB:         2,
+		ImageSourceBase: "http://apache.obelix.isi.example.org/2mass/images",
+		ExtraMB:         extraMB,
+		ExtraSourceBase: "gsiftp://alamo.futuregrid.tacc.example.org/bigdata",
+		RuntimeScale:    1,
+	}
+}
+
+func (c *Config) normalize() error {
+	if c.Name == "" {
+		c.Name = "montage-1deg"
+	}
+	if c.GridSize <= 0 {
+		c.GridSize = 9
+	}
+	if c.GridSize < 2 {
+		return fmt.Errorf("montage: GridSize must be >= 2, got %d", c.GridSize)
+	}
+	if c.ImageMB <= 0 {
+		c.ImageMB = 2
+	}
+	if c.ImageSourceBase == "" {
+		return fmt.Errorf("montage: ImageSourceBase is required")
+	}
+	if c.AuxSourceBase == "" {
+		c.AuxSourceBase = c.ImageSourceBase
+	}
+	if c.ExtraMB > 0 && c.ExtraSourceBase == "" {
+		return fmt.Errorf("montage: ExtraMB set but no ExtraSourceBase")
+	}
+	if c.RuntimeScale <= 0 {
+		c.RuntimeScale = 1
+	}
+	return nil
+}
+
+func mb(x float64) int64 { return int64(x * (1 << 20)) }
+
+// Generate builds the Montage workflow.
+func Generate(cfg Config) (*workflow.Workflow, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	p := cfg.GridSize
+	w := workflow.New(cfg.Name)
+	rt := func(seconds float64) float64 { return seconds * cfg.RuntimeScale }
+
+	// extraFor attaches the augmentation file for the staging job feeding
+	// compute job id, returning the input file names to add.
+	extraSeq := 0
+	extraFor := func(jobID string) []string {
+		if cfg.ExtraMB <= 0 {
+			return nil
+		}
+		extraSeq++
+		name := fmt.Sprintf("extra_%03d_%s.dat", extraSeq, jobID)
+		w.MustAddFile(&workflow.File{
+			Name:      name,
+			SizeBytes: mb(cfg.ExtraMB),
+			SourceURL: cfg.ExtraSourceBase + "/" + name,
+		})
+		return []string{name}
+	}
+	aux := func(name string, sizeMB float64) string {
+		w.MustAddFile(&workflow.File{
+			Name:      name,
+			SizeBytes: mb(sizeMB),
+			SourceURL: cfg.AuxSourceBase + "/" + name,
+		})
+		return name
+	}
+
+	// Preparation: mHdr builds the region header from survey metadata;
+	// mOverlaps computes the overlap table from the archive image list.
+	w.MustAddFile(&workflow.File{Name: "region.hdr", SizeBytes: mb(0.01)})
+	w.MustAddFile(&workflow.File{Name: "overlaps.tbl", SizeBytes: mb(0.05)})
+	w.MustAddJob(&workflow.Job{
+		ID: "mHdr", Transformation: "mHdr", RuntimeSeconds: rt(5),
+		Inputs:  append([]string{aux("survey_meta.tbl", 0.1)}, extraFor("mHdr")...),
+		Outputs: []string{"region.hdr"},
+	})
+	w.MustAddJob(&workflow.Job{
+		ID: "mOverlaps", Transformation: "mOverlaps", RuntimeSeconds: rt(10),
+		Inputs:  append([]string{aux("archive_list.tbl", 0.2)}, extraFor("mOverlaps")...),
+		Outputs: []string{"overlaps.tbl"},
+	})
+
+	// mProjectPP per input image.
+	n := p * p
+	for i := 1; i <= n; i++ {
+		img := fmt.Sprintf("image_%03d.fits", i)
+		proj := fmt.Sprintf("proj_%03d.fits", i)
+		w.MustAddFile(&workflow.File{
+			Name: img, SizeBytes: mb(cfg.ImageMB),
+			SourceURL: cfg.ImageSourceBase + "/" + img,
+		})
+		w.MustAddFile(&workflow.File{Name: proj, SizeBytes: mb(cfg.ImageMB * 1.6)})
+		id := fmt.Sprintf("mProjectPP_%03d", i)
+		w.MustAddJob(&workflow.Job{
+			ID: id, Transformation: "mProjectPP", RuntimeSeconds: rt(20),
+			Inputs:  append([]string{img, "region.hdr"}, extraFor(id)...),
+			Outputs: []string{proj},
+		})
+	}
+
+	// mDiffFit for each horizontally/vertically adjacent image pair.
+	idx := func(r, c int) int { return r*p + c + 1 }
+	var diffs []string
+	addDiff := func(a, b int) {
+		k := len(diffs) + 1
+		diff := fmt.Sprintf("diff_%03d.tbl", k)
+		w.MustAddFile(&workflow.File{Name: diff, SizeBytes: mb(0.1)})
+		diffs = append(diffs, diff)
+		w.MustAddJob(&workflow.Job{
+			ID:             fmt.Sprintf("mDiffFit_%03d", k),
+			Transformation: "mDiffFit", RuntimeSeconds: rt(8),
+			Inputs: []string{
+				fmt.Sprintf("proj_%03d.fits", a),
+				fmt.Sprintf("proj_%03d.fits", b),
+				"overlaps.tbl",
+			},
+			Outputs: []string{diff},
+		})
+	}
+	for r := 0; r < p; r++ {
+		for c := 0; c < p; c++ {
+			if c+1 < p {
+				addDiff(idx(r, c), idx(r, c+1))
+			}
+			if r+1 < p {
+				addDiff(idx(r, c), idx(r+1, c))
+			}
+		}
+	}
+
+	// mConcatFit and mBgModel.
+	w.MustAddFile(&workflow.File{Name: "fits.tbl", SizeBytes: mb(0.5)})
+	w.MustAddJob(&workflow.Job{
+		ID: "mConcatFit", Transformation: "mConcatFit", RuntimeSeconds: rt(15),
+		Inputs:  append(append([]string{aux("fit_params.cfg", 0.05)}, diffs...), extraFor("mConcatFit")...),
+		Outputs: []string{"fits.tbl"},
+	})
+	w.MustAddFile(&workflow.File{Name: "corrections.tbl", SizeBytes: mb(0.2)})
+	w.MustAddJob(&workflow.Job{
+		ID: "mBgModel", Transformation: "mBgModel", RuntimeSeconds: rt(100),
+		Inputs:  append([]string{"fits.tbl", aux("bg_config.cfg", 0.05)}, extraFor("mBgModel")...),
+		Outputs: []string{"corrections.tbl"},
+	})
+
+	// mBackground per projected image.
+	var corrs []string
+	for i := 1; i <= n; i++ {
+		corr := fmt.Sprintf("corr_%03d.fits", i)
+		w.MustAddFile(&workflow.File{Name: corr, SizeBytes: mb(cfg.ImageMB * 1.6)})
+		corrs = append(corrs, corr)
+		w.MustAddJob(&workflow.Job{
+			ID:             fmt.Sprintf("mBackground_%03d", i),
+			Transformation: "mBackground", RuntimeSeconds: rt(8),
+			Inputs:  []string{fmt.Sprintf("proj_%03d.fits", i), "corrections.tbl"},
+			Outputs: []string{corr},
+		})
+	}
+
+	// mImgtbl, mAdd, mShrink, mJPEG.
+	w.MustAddFile(&workflow.File{Name: "images.tbl", SizeBytes: mb(0.1)})
+	w.MustAddJob(&workflow.Job{
+		ID: "mImgtbl", Transformation: "mImgtbl", RuntimeSeconds: rt(20),
+		Inputs:  append(append([]string{aux("region_tbl.hdr", 0.02)}, corrs...), extraFor("mImgtbl")...),
+		Outputs: []string{"images.tbl"},
+	})
+	w.MustAddFile(&workflow.File{Name: "mosaic.fits", SizeBytes: mb(64), Output: true})
+	w.MustAddJob(&workflow.Job{
+		ID: "mAdd", Transformation: "mAdd", RuntimeSeconds: rt(120),
+		Inputs:  append(append([]string{"images.tbl", aux("add_header.hdr", 0.02)}, corrs...), extraFor("mAdd")...),
+		Outputs: []string{"mosaic.fits"},
+	})
+	w.MustAddFile(&workflow.File{Name: "mosaic_small.fits", SizeBytes: mb(8), Output: true})
+	w.MustAddJob(&workflow.Job{
+		ID: "mShrink", Transformation: "mShrink", RuntimeSeconds: rt(30),
+		Inputs:  append([]string{"mosaic.fits", aux("shrink_params.cfg", 0.01)}, extraFor("mShrink")...),
+		Outputs: []string{"mosaic_small.fits"},
+	})
+	w.MustAddFile(&workflow.File{Name: "mosaic.jpg", SizeBytes: mb(2), Output: true})
+	w.MustAddJob(&workflow.Job{
+		ID: "mJPEG", Transformation: "mJPEG", RuntimeSeconds: rt(10),
+		Inputs:  append([]string{"mosaic_small.fits", aux("palette.cfg", 0.01)}, extraFor("mJPEG")...),
+		Outputs: []string{"mosaic.jpg"},
+	})
+
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// StagingJobCount returns the number of stage-in jobs the workflow will
+// produce under no-clustering planning: one per compute job with at least
+// one external input.
+func StagingJobCount(w *workflow.Workflow) int {
+	n := 0
+	for _, j := range w.Jobs() {
+		for _, in := range j.Inputs {
+			if f, ok := w.File(in); ok && f.IsExternalInput() {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}

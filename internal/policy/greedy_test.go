@@ -1,0 +1,95 @@
+package policy
+
+import "testing"
+
+func TestGreedyGrantPaperExample(t *testing.T) {
+	// Paper, Section V: "With a greedy threshold of 50 streams and a
+	// default allocation of 8 streams, the first 6 staging jobs will
+	// receive an allocation of 8 streams (for a total of 48 streams); the
+	// next job will receive 2 streams (reaching the threshold of 50
+	// streams); and the remaining 13 data staging jobs will receive 1
+	// stream, for a total of 63 allocated streams."
+	const threshold, request, jobs = 50, 8, 20
+	allocated := 0
+	var grants []int
+	for i := 0; i < jobs; i++ {
+		g := greedyGrant(request, threshold, allocated, 1)
+		grants = append(grants, g)
+		allocated += g
+	}
+	for i := 0; i < 6; i++ {
+		if grants[i] != 8 {
+			t.Fatalf("grant[%d] = %d, want 8", i, grants[i])
+		}
+	}
+	if grants[6] != 2 {
+		t.Fatalf("grant[6] = %d, want 2", grants[6])
+	}
+	for i := 7; i < jobs; i++ {
+		if grants[i] != 1 {
+			t.Fatalf("grant[%d] = %d, want 1", i, grants[i])
+		}
+	}
+	if allocated != 63 {
+		t.Fatalf("total allocated = %d, want 63", allocated)
+	}
+}
+
+// TestGreedyGrantTableIV verifies every cell of Table IV: the maximum
+// number of simultaneous streams for 20 concurrent staging jobs, for each
+// (threshold, default streams) combination.
+func TestGreedyGrantTableIV(t *testing.T) {
+	maxStreams := func(threshold, request int) int {
+		allocated := 0
+		for i := 0; i < 20; i++ {
+			allocated += greedyGrant(request, threshold, allocated, 1)
+		}
+		return allocated
+	}
+	cases := []struct {
+		threshold int
+		defaults  []int // default streams 4, 6, 8, 10, 12
+		want      []int
+	}{
+		{50, []int{4, 6, 8, 10, 12}, []int{57, 61, 63, 65, 65}},
+		{100, []int{4, 6, 8, 10, 12}, []int{80, 103, 107, 110, 111}},
+		{200, []int{4, 6, 8, 10, 12}, []int{80, 120, 160, 200, 203}},
+	}
+	for _, c := range cases {
+		for i, d := range c.defaults {
+			if got := maxStreams(c.threshold, d); got != c.want[i] {
+				t.Errorf("threshold %d, default %d: max streams = %d, want %d",
+					c.threshold, d, got, c.want[i])
+			}
+		}
+	}
+	// No-policy row: 20 jobs x 4 default streams = 80.
+	if got := 20 * 4; got != 80 {
+		t.Fatalf("no-policy row: %d", got)
+	}
+}
+
+func TestGreedyGrantEdgeCases(t *testing.T) {
+	cases := []struct {
+		name                                    string
+		requested, threshold, allocated, minStr int
+		want                                    int
+	}{
+		{"full grant", 8, 50, 0, 1, 8},
+		{"exact fit", 8, 50, 42, 1, 8},
+		{"partial", 8, 50, 48, 1, 2},
+		{"at threshold", 8, 50, 50, 1, 1},
+		{"over threshold", 8, 50, 60, 1, 1},
+		{"request below min", 0, 50, 0, 1, 1},
+		{"min streams 2 at threshold", 8, 50, 50, 2, 2},
+		{"remaining below min", 8, 50, 49, 2, 2},
+		{"negative min treated as 1", 8, 50, 50, -3, 1},
+		{"threshold 1", 8, 1, 0, 1, 1},
+	}
+	for _, c := range cases {
+		if got := greedyGrant(c.requested, c.threshold, c.allocated, c.minStr); got != c.want {
+			t.Errorf("%s: greedyGrant(%d,%d,%d,%d) = %d, want %d",
+				c.name, c.requested, c.threshold, c.allocated, c.minStr, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package policy
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestHostPairIsolation: the paper's thresholds are per host pair;
+// saturating one pair must not affect allocations on another.
+func TestHostPairIsolation(t *testing.T) {
+	s := newGreedy(t, 10, 8)
+	mkSpec := func(src string, i int) TransferSpec {
+		return TransferSpec{
+			RequestID:  fmt.Sprintf("%s-%d", src, i),
+			WorkflowID: "wf1",
+			SourceURL:  fmt.Sprintf("gsiftp://%s/data/f%d", src, i),
+			DestURL:    fmt.Sprintf("file://dst.example.org/%s/f%d", src, i),
+		}
+	}
+	// Saturate pair A (threshold 10 with 8-stream requests).
+	var aSpecs []TransferSpec
+	for i := 0; i < 4; i++ {
+		aSpecs = append(aSpecs, mkSpec("a.example.org", i))
+	}
+	advA, err := s.AdviseTransfers(aSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, tr := range advA.Transfers {
+		total += tr.Streams
+	}
+	if total < 10 {
+		t.Fatalf("pair A not saturated: %d", total)
+	}
+	// Pair B is untouched: full default grant.
+	advB, err := s.AdviseTransfers([]TransferSpec{mkSpec("b.example.org", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advB.Transfers[0].Streams != 8 {
+		t.Fatalf("pair B grant = %d, want 8 (isolated)", advB.Transfers[0].Streams)
+	}
+	// Each pair has its own ledger and group.
+	snap := s.Snapshot()
+	if len(snap.Pairs) != 2 {
+		t.Fatalf("pairs = %+v", snap.Pairs)
+	}
+	if advA.Transfers[0].GroupID == advB.Transfers[0].GroupID {
+		t.Fatal("distinct pairs share a group ID")
+	}
+}
+
+// TestManyPairsScale: the service handles dozens of pairs with correct
+// independent accounting.
+func TestManyPairsScale(t *testing.T) {
+	s := newGreedy(t, 50, 4)
+	const pairs = 30
+	var ids []string
+	for p := 0; p < pairs; p++ {
+		adv, err := s.AdviseTransfers([]TransferSpec{{
+			RequestID:  fmt.Sprintf("p%d", p),
+			WorkflowID: "wf1",
+			SourceURL:  fmt.Sprintf("gsiftp://src%02d.example.org/f", p),
+			DestURL:    fmt.Sprintf("file://dst%02d.example.org/f", p),
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, adv.Transfers[0].ID)
+	}
+	snap := s.Snapshot()
+	if len(snap.Pairs) != pairs {
+		t.Fatalf("pairs = %d", len(snap.Pairs))
+	}
+	for _, p := range snap.Pairs {
+		if p.Allocated != 4 || p.InFlight != 1 {
+			t.Fatalf("pair state = %+v", p)
+		}
+	}
+	if err := s.ReportTransfers(CompletionReport{TransferIDs: ids}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Snapshot().Pairs {
+		if p.Allocated != 0 {
+			t.Fatalf("pair leaked: %+v", p)
+		}
+	}
+}

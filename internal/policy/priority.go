@@ -1,0 +1,100 @@
+package policy
+
+import "policyflow/internal/rules"
+
+// Priority-based policy rules — the paper leaves "the implementation of
+// rules related to the structure-based job priorities ... for future
+// work" (Section IV); this file implements them. Two behaviours, per
+// Section III(c): the Policy Service "can then use the priorities to
+// determine the order of the transfers to be performed as well as the
+// number of streams to allocate for particular data transfers."
+//
+// Ordering is realized by sortAdvice (priority descending). Stream
+// weighting is realized by the rules below: before allocation, a transfer
+// whose priority is strictly above the current median of the batch has
+// its requested streams raised (up to PriorityBoostFactor x the default),
+// and one strictly below has it reduced (never below MinStreams). The
+// greedy/balanced threshold enforcement still applies afterwards, so the
+// host-pair cap is never violated.
+
+const (
+	salPriorityWeight = 55 // after defaults (80), before allocation (50)
+)
+
+// PriorityWeighting configures the stream-weighting rules.
+type PriorityWeighting struct {
+	// BoostFactor multiplies the requested streams of above-median
+	// priority transfers (>= 1; 0 disables boosting).
+	BoostFactor float64
+	// ReduceFactor multiplies the requested streams of below-median
+	// priority transfers (0 < f <= 1; 0 disables reduction).
+	ReduceFactor float64
+}
+
+// DefaultPriorityWeighting boosts important transfers by 1.5x and halves
+// unimportant ones.
+func DefaultPriorityWeighting() PriorityWeighting {
+	return PriorityWeighting{BoostFactor: 1.5, ReduceFactor: 0.5}
+}
+
+// priorityRules implements the stream-weighting policy. It fires once per
+// submitted transfer that carries a non-zero priority, comparing it to
+// the median priority of all currently submitted transfers.
+func priorityRules(cfg Config, w PriorityWeighting) []*rules.Rule {
+	return []*rules.Rule{
+		{
+			Name:     "priority-weight-streams",
+			Salience: salPriorityWeight,
+			NoLoop:   true,
+			When: []rules.Pattern{
+				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
+					return t.State == TransferSubmitted && t.Priority != 0 &&
+						t.RequestedStreams > 0 && t.AllocatedStreams == 0
+				}),
+			},
+			Then: func(ctx *rules.Context) {
+				t := ctx.Get("t").(*Transfer)
+				med := medianSubmittedPriority(ctx)
+				switch {
+				case w.BoostFactor > 1 && t.Priority > med:
+					boosted := int(float64(t.RequestedStreams) * w.BoostFactor)
+					if boosted > t.RequestedStreams {
+						t.RequestedStreams = boosted
+						ctx.Update(t)
+					}
+				case w.ReduceFactor > 0 && w.ReduceFactor < 1 && t.Priority < med:
+					reduced := int(float64(t.RequestedStreams) * w.ReduceFactor)
+					if reduced < cfg.MinStreams {
+						reduced = cfg.MinStreams
+					}
+					if reduced < t.RequestedStreams {
+						t.RequestedStreams = reduced
+						ctx.Update(t)
+					}
+				}
+			},
+		},
+	}
+}
+
+// medianSubmittedPriority computes the median priority over the submitted
+// transfers in working memory (including duplicates, which still reflect
+// the batch's structure).
+func medianSubmittedPriority(ctx *rules.Context) int {
+	var ps []int
+	for _, t := range rules.CtxFactsOf[*Transfer](ctx) {
+		if t.State == TransferSubmitted || t.State == TransferDuplicate {
+			ps = append(ps, t.Priority)
+		}
+	}
+	if len(ps) == 0 {
+		return 0
+	}
+	// Insertion sort; batches are small.
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j] < ps[j-1]; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+	return ps[len(ps)/2]
+}

@@ -1,0 +1,216 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestLedgerConservationProperty drives the service with random sequences
+// of advise / complete / fail / cleanup operations and checks, after every
+// step, the core accounting invariants:
+//
+//  1. each pair's StreamLedger equals the sum of allocated streams over
+//     that pair's in-flight transfers (never negative),
+//  2. no two in-flight transfers target the same destination URL,
+//  3. every advised transfer receives at least one stream and no single
+//     grant exceeds the pair threshold,
+//  4. the snapshot's in-flight count matches the driver's shadow model.
+func TestLedgerConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultConfig()
+		cfg.DefaultThreshold = 5 + rng.Intn(60)
+		cfg.DefaultStreams = 1 + rng.Intn(12)
+		if rng.Intn(2) == 0 {
+			cfg.Algorithm = AlgoBalanced
+			cfg.ClusterFactor = 1 + rng.Intn(4)
+		}
+		s, err := New(cfg)
+		if err != nil {
+			return false
+		}
+
+		type flight struct {
+			id      string
+			streams int
+			dest    string
+		}
+		inflight := map[string]*flight{} // by transfer ID
+		staged := map[string]bool{}      // dest URLs known staged
+		nfiles := 3 + rng.Intn(10)
+		destOf := func(i int) string {
+			return fmt.Sprintf("file://dst.example.org/scratch/f%02d", i)
+		}
+		srcOf := func(i int) string {
+			return fmt.Sprintf("gsiftp://src.example.org/data/f%02d", i)
+		}
+
+		check := func() bool {
+			snap := s.Snapshot()
+			if snap.InFlight != len(inflight) {
+				return false
+			}
+			total := 0
+			for _, fl := range inflight {
+				total += fl.streams
+				if fl.streams < 1 {
+					return false
+				}
+			}
+			sum := 0
+			for _, p := range snap.Pairs {
+				if p.Allocated < 0 {
+					return false
+				}
+				sum += p.Allocated
+			}
+			return sum == total
+		}
+
+		for step := 0; step < 60; step++ {
+			switch rng.Intn(4) {
+			case 0, 1: // advise a batch
+				n := 1 + rng.Intn(4)
+				var specs []TransferSpec
+				for j := 0; j < n; j++ {
+					i := rng.Intn(nfiles)
+					specs = append(specs, TransferSpec{
+						RequestID:  fmt.Sprintf("s%d-%d", step, j),
+						WorkflowID: fmt.Sprintf("wf%d", rng.Intn(3)),
+						ClusterID:  fmt.Sprintf("c%d", rng.Intn(3)),
+						SourceURL:  srcOf(i),
+						DestURL:    destOf(i),
+					})
+				}
+				adv, err := s.AdviseTransfers(specs)
+				if err != nil {
+					return false
+				}
+				for _, tr := range adv.Transfers {
+					if dup := inflight[tr.ID]; dup != nil {
+						return false
+					}
+					// Invariant 2: no double-staging of a dest.
+					for _, fl := range inflight {
+						if fl.dest == tr.DestURL {
+							return false
+						}
+					}
+					if staged[tr.DestURL] {
+						return false // staged files must be suppressed
+					}
+					if tr.Streams < 1 || tr.Streams > cfg.DefaultThreshold+cfg.DefaultStreams {
+						return false
+					}
+					inflight[tr.ID] = &flight{id: tr.ID, streams: tr.Streams, dest: tr.DestURL}
+				}
+			case 2: // complete or fail a random in-flight transfer
+				for id, fl := range inflight {
+					rep := CompletionReport{}
+					failed := rng.Intn(3) == 0
+					if failed {
+						rep.FailedIDs = []string{id}
+					} else {
+						rep.TransferIDs = []string{id}
+						staged[fl.dest] = true
+					}
+					if err := s.ReportTransfers(rep); err != nil {
+						return false
+					}
+					delete(inflight, id)
+					break
+				}
+			case 3: // cleanup a staged file (single-user workflows only
+				// sometimes; tolerate suppression)
+				for dest := range staged {
+					adv, err := s.AdviseCleanups([]CleanupSpec{{
+						RequestID:  fmt.Sprintf("c%d", step),
+						WorkflowID: fmt.Sprintf("wf%d", rng.Intn(3)),
+						FileURL:    dest,
+					}})
+					if err != nil {
+						return false
+					}
+					for _, c := range adv.Cleanups {
+						if err := s.ReportCleanups(CleanupReport{CleanupIDs: []string{c.ID}}); err != nil {
+							return false
+						}
+						delete(staged, dest)
+					}
+					break
+				}
+			}
+			if !check() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdviceDeterminismProperty: two services with identical configuration
+// receiving identical call sequences produce identical advice — the
+// property the replicated deployment relies on.
+func TestAdviceDeterminismProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultConfig()
+		cfg.DefaultThreshold = 10 + rng.Intn(50)
+		mk := func() *Service {
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+		a, b := mk(), mk()
+		for step := 0; step < 25; step++ {
+			n := 1 + rng.Intn(3)
+			var specs []TransferSpec
+			for j := 0; j < n; j++ {
+				i := rng.Intn(8)
+				specs = append(specs, TransferSpec{
+					RequestID:  fmt.Sprintf("r%d-%d", step, j),
+					WorkflowID: "wf",
+					SourceURL:  fmt.Sprintf("gsiftp://s.example.org/f%d", i),
+					DestURL:    fmt.Sprintf("file://d.example.org/f%d", i),
+				})
+			}
+			advA, errA := a.AdviseTransfers(specs)
+			advB, errB := b.AdviseTransfers(specs)
+			if (errA == nil) != (errB == nil) {
+				return false
+			}
+			if errA != nil {
+				continue
+			}
+			if len(advA.Transfers) != len(advB.Transfers) || len(advA.Removed) != len(advB.Removed) {
+				return false
+			}
+			for i := range advA.Transfers {
+				if advA.Transfers[i] != advB.Transfers[i] {
+					return false
+				}
+			}
+			// Complete the same prefix on both.
+			if len(advA.Transfers) > 0 {
+				rep := CompletionReport{TransferIDs: []string{advA.Transfers[0].ID}}
+				if err := a.ReportTransfers(rep); err != nil {
+					return false
+				}
+				if err := b.ReportTransfers(rep); err != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,472 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"policyflow/internal/rules"
+)
+
+// Algorithm selects the stream-allocation policy applied by the service.
+type Algorithm string
+
+const (
+	// AlgoNone grants every transfer its requested streams (bookkeeping
+	// only) — the paper's default-Pegasus behaviour.
+	AlgoNone Algorithm = "none"
+	// AlgoGreedy applies the greedy allocation algorithm (Table II).
+	AlgoGreedy Algorithm = "greedy"
+	// AlgoBalanced applies the balanced allocation algorithm (Table III).
+	AlgoBalanced Algorithm = "balanced"
+)
+
+// Config configures a policy Service. The zero value is not valid; use
+// DefaultConfig as a starting point.
+type Config struct {
+	// Algorithm selects greedy, balanced or pass-through allocation.
+	Algorithm Algorithm
+	// DefaultStreams is assigned to transfers that do not request a
+	// stream count ("the default number of streams per transfer").
+	DefaultStreams int
+	// MinStreams is the floor for every allocation; at least 1.
+	MinStreams int
+	// DefaultThreshold is the maximum number of parallel streams allowed
+	// between a host pair when no per-pair threshold is configured.
+	DefaultThreshold int
+	// PairThresholds overrides DefaultThreshold for specific host pairs.
+	PairThresholds map[HostPair]int
+	// ClusterFactor is the number of transfer clusters running in
+	// parallel (balanced allocation input; the Pegasus clustering factor).
+	ClusterFactor int
+	// FireBudget bounds rule firings per request; 0 selects the engine
+	// default.
+	FireBudget int
+	// Priority enables the priority stream-weighting rules (the paper's
+	// Section III(c) future work): transfers above the batch's median
+	// priority request more streams, those below request fewer. The zero
+	// value disables weighting; ordering by priority always applies.
+	Priority PriorityWeighting
+}
+
+// DefaultConfig returns the configuration used in the paper's experiments:
+// greedy allocation, 4 default streams per transfer and a 50-stream
+// threshold between each host pair.
+func DefaultConfig() Config {
+	return Config{
+		Algorithm:        AlgoGreedy,
+		DefaultStreams:   4,
+		MinStreams:       1,
+		DefaultThreshold: 50,
+		ClusterFactor:    1,
+	}
+}
+
+func (c *Config) normalize() error {
+	switch c.Algorithm {
+	case "":
+		c.Algorithm = AlgoGreedy
+	case AlgoNone, AlgoGreedy, AlgoBalanced:
+	default:
+		return fmt.Errorf("policy: unknown algorithm %q", c.Algorithm)
+	}
+	if c.DefaultStreams < 1 {
+		c.DefaultStreams = 1
+	}
+	if c.MinStreams < 1 {
+		c.MinStreams = 1
+	}
+	if c.DefaultThreshold < 1 {
+		return fmt.Errorf("policy: DefaultThreshold must be >= 1, got %d", c.DefaultThreshold)
+	}
+	if c.ClusterFactor < 1 {
+		c.ClusterFactor = 1
+	}
+	return nil
+}
+
+// Service is the policy engine plus its Policy Memory: one long-lived rule
+// session whose facts persist across advice requests. It is safe for
+// concurrent use.
+type Service struct {
+	mu      sync.Mutex
+	cfg     Config
+	session *rules.Session
+
+	nextTransfer int
+	nextGroup    int
+	nextCleanup  int
+
+	// advised counts transfers ever advised, for observability.
+	advised    int
+	suppressed int
+
+	// observer, when set, receives performance measurements for
+	// completed transfers that carried timings.
+	observer TransferObserver
+}
+
+// TransferObserver receives per-transfer performance measurements — the
+// "recent data transfer performance" knowledge the paper's service bases
+// its advice on, and the reward signal for threshold tuning.
+type TransferObserver func(pair HostPair, streams int, sizeBytes int64, seconds float64)
+
+// New constructs a Service with the given configuration.
+func New(cfg Config) (*Service, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	s := &Service{cfg: cfg, session: rules.NewSession()}
+	// FIFO fairness: within a batch, the first submitted transfer is
+	// allocated first.
+	s.session.SetOldestFirst(true)
+
+	newGroupID := func() string {
+		s.nextGroup++
+		return fmt.Sprintf("g-%04d", s.nextGroup)
+	}
+	s.session.MustAddRules(commonTransferRules(cfg, newGroupID)...)
+	s.session.MustAddRules(cleanupRules()...)
+	if cfg.Priority.BoostFactor > 1 || (cfg.Priority.ReduceFactor > 0 && cfg.Priority.ReduceFactor < 1) {
+		s.session.MustAddRules(priorityRules(cfg, cfg.Priority)...)
+	}
+	switch cfg.Algorithm {
+	case AlgoGreedy:
+		s.session.MustAddRules(greedyRules(cfg)...)
+	case AlgoBalanced:
+		s.session.MustAddRules(balancedRules(cfg)...)
+	case AlgoNone:
+		s.session.MustAddRules(passthroughRules(cfg)...)
+	}
+
+	// Configuration facts.
+	s.session.Insert(&Defaults{DefaultStreams: cfg.DefaultStreams, MinStreams: cfg.MinStreams})
+	s.session.Insert(&ClusterFactor{N: cfg.ClusterFactor})
+	for pair, max := range cfg.PairThresholds {
+		s.session.Insert(&Threshold{Pair: pair, Max: max})
+	}
+	return s, nil
+}
+
+// Config returns the service configuration.
+func (s *Service) Config() Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg
+}
+
+// ErrEmptyRequest is returned when an advice request has no entries.
+var ErrEmptyRequest = errors.New("policy: empty request")
+
+// AdviseTransfers evaluates a list of requested transfers against the
+// policy rules and returns the modified list: duplicates removed, group IDs
+// and stream counts assigned, ordered by priority and group. Transfers in
+// the returned list are recorded as in progress until reported via
+// ReportTransfers.
+func (s *Service) AdviseTransfers(specs []TransferSpec) (*TransferAdvice, error) {
+	if len(specs) == 0 {
+		return nil, ErrEmptyRequest
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	batch := make([]*Transfer, 0, len(specs))
+	for i, spec := range specs {
+		if spec.SourceURL == "" || spec.DestURL == "" {
+			return nil, fmt.Errorf("policy: request %d: source and destination URLs are required", i)
+		}
+		s.nextTransfer++
+		t := &Transfer{
+			ID:               fmt.Sprintf("t-%08d", s.nextTransfer),
+			RequestID:        spec.RequestID,
+			WorkflowID:       spec.WorkflowID,
+			JobID:            spec.JobID,
+			ClusterID:        spec.ClusterID,
+			SourceURL:        spec.SourceURL,
+			DestURL:          spec.DestURL,
+			Pair:             PairOf(spec.SourceURL, spec.DestURL),
+			SizeBytes:        spec.SizeBytes,
+			RequestedStreams: spec.RequestedStreams,
+			Priority:         spec.Priority,
+			State:            TransferSubmitted,
+		}
+		batch = append(batch, t)
+		s.session.Insert(t)
+	}
+	if _, err := s.session.FireAll(s.cfg.FireBudget); err != nil {
+		return nil, fmt.Errorf("policy: rule evaluation: %w", err)
+	}
+
+	adv := &TransferAdvice{}
+	for _, t := range batch {
+		switch t.State {
+		case TransferDuplicate:
+			adv.Removed = append(adv.Removed, RemovedTransfer{
+				RequestID: t.RequestID,
+				SourceURL: t.SourceURL,
+				DestURL:   t.DestURL,
+				Reason:    t.DupReason,
+			})
+			s.suppressed++
+			// Detailed duplicate state leaves Policy Memory; the resource
+			// association (made by the rules) survives.
+			s.session.Retract(t)
+		case TransferAdvised:
+			t.State = TransferInProgress
+			s.session.Update(t)
+			s.advised++
+			adv.Transfers = append(adv.Transfers, AdvisedTransfer{
+				ID:               t.ID,
+				RequestID:        t.RequestID,
+				WorkflowID:       t.WorkflowID,
+				JobID:            t.JobID,
+				ClusterID:        t.ClusterID,
+				SourceURL:        t.SourceURL,
+				DestURL:          t.DestURL,
+				SourceHost:       t.Pair.Src,
+				DestHost:         t.Pair.Dst,
+				SizeBytes:        t.SizeBytes,
+				Streams:          t.AllocatedStreams,
+				GroupID:          t.GroupID,
+				Priority:         t.Priority,
+				RequestedStreams: t.RequestedStreams,
+			})
+		default:
+			return nil, fmt.Errorf("policy: transfer %s left in unexpected state %v", t.ID, t.State)
+		}
+	}
+	sortAdvice(adv.Transfers)
+	return adv, nil
+}
+
+// sortAdvice orders the returned transfer list: higher priority first, then
+// by group ID, then by source and destination URL (Table I: "Sort the list
+// of transfers by the source and destination URLs"), then by ID.
+func sortAdvice(ts []AdvisedTransfer) {
+	sort.SliceStable(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.Priority != b.Priority {
+			return a.Priority > b.Priority
+		}
+		if a.GroupID != b.GroupID {
+			return a.GroupID < b.GroupID
+		}
+		if a.SourceURL != b.SourceURL {
+			return a.SourceURL < b.SourceURL
+		}
+		if a.DestURL != b.DestURL {
+			return a.DestURL < b.DestURL
+		}
+		return a.ID < b.ID
+	})
+}
+
+// SetTraceLogger forwards rule-engine firing traces to f (nil disables) —
+// each line names the fired rule and its fact tuple, which is how the
+// tests verify that the Tables I-III policies actually execute as rules.
+func (s *Service) SetTraceLogger(f func(format string, args ...any)) {
+	s.session.SetLogger(f)
+}
+
+// SetObserver installs the performance observer (nil disables).
+func (s *Service) SetObserver(obs TransferObserver) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observer = obs
+}
+
+// ReportTransfers records completed and failed transfers: their detailed
+// state is removed from Policy Memory, their streams are released, and (on
+// success) the staged file's resource is marked staged so future requests
+// for the same file are suppressed. Timings, when present, are forwarded
+// to the performance observer.
+func (s *Service) ReportTransfers(report CompletionReport) error {
+	type observation struct {
+		pair    HostPair
+		streams int
+		size    int64
+		seconds float64
+	}
+	var pending []observation
+
+	s.mu.Lock()
+	if s.observer != nil {
+		// Look the transfers up before the rules retract them; the
+		// observer itself runs after the lock is released so it may call
+		// back into the service (e.g. SetThreshold from a tuner).
+		for _, tm := range report.Timings {
+			id := tm.TransferID
+			if t, ok := rules.First(s.session, func(t *Transfer) bool { return t.ID == id }); ok {
+				pending = append(pending, observation{t.Pair, t.AllocatedStreams, t.SizeBytes, tm.Seconds})
+			}
+		}
+	}
+	for _, id := range report.TransferIDs {
+		s.session.Insert(&TransferResult{TransferID: id})
+	}
+	for _, id := range report.FailedIDs {
+		s.session.Insert(&TransferResult{TransferID: id, Failed: true})
+	}
+	_, err := s.session.FireAll(s.cfg.FireBudget)
+	obs := s.observer
+	s.mu.Unlock()
+
+	if err != nil {
+		return fmt.Errorf("policy: rule evaluation: %w", err)
+	}
+	if obs != nil {
+		for _, o := range pending {
+			obs(o.pair, o.streams, o.size, o.seconds)
+		}
+	}
+	return nil
+}
+
+// AdviseCleanups evaluates a list of file-deletion requests: duplicates and
+// deletions of files still in use by other workflows are removed. Approved
+// cleanups are recorded as in progress until reported via ReportCleanups.
+func (s *Service) AdviseCleanups(specs []CleanupSpec) (*CleanupAdvice, error) {
+	if len(specs) == 0 {
+		return nil, ErrEmptyRequest
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	batch := make([]*Cleanup, 0, len(specs))
+	for i, spec := range specs {
+		if spec.FileURL == "" {
+			return nil, fmt.Errorf("policy: cleanup request %d: file URL is required", i)
+		}
+		s.nextCleanup++
+		c := &Cleanup{
+			ID:         fmt.Sprintf("c-%08d", s.nextCleanup),
+			RequestID:  spec.RequestID,
+			WorkflowID: spec.WorkflowID,
+			FileURL:    spec.FileURL,
+			State:      CleanupSubmitted,
+		}
+		batch = append(batch, c)
+		s.session.Insert(c)
+	}
+	if _, err := s.session.FireAll(s.cfg.FireBudget); err != nil {
+		return nil, fmt.Errorf("policy: rule evaluation: %w", err)
+	}
+
+	adv := &CleanupAdvice{}
+	for _, c := range batch {
+		switch c.State {
+		case CleanupRemoved:
+			adv.Removed = append(adv.Removed, RemovedCleanup{
+				RequestID: c.RequestID,
+				FileURL:   c.FileURL,
+				Reason:    c.Reason,
+			})
+			s.session.Retract(c)
+		case CleanupAdvised:
+			c.State = CleanupInProgress
+			s.session.Update(c)
+			adv.Cleanups = append(adv.Cleanups, AdvisedCleanup{
+				ID:         c.ID,
+				RequestID:  c.RequestID,
+				WorkflowID: c.WorkflowID,
+				FileURL:    c.FileURL,
+			})
+		default:
+			return nil, fmt.Errorf("policy: cleanup %s left in unexpected state %v", c.ID, c.State)
+		}
+	}
+	return adv, nil
+}
+
+// ReportCleanups records completed cleanup operations; their state and the
+// deleted files' resources are removed from Policy Memory.
+func (s *Service) ReportCleanups(report CleanupReport) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range report.CleanupIDs {
+		s.session.Insert(&CleanupResult{CleanupID: id})
+	}
+	if _, err := s.session.FireAll(s.cfg.FireBudget); err != nil {
+		return fmt.Errorf("policy: rule evaluation: %w", err)
+	}
+	return nil
+}
+
+// SetThreshold sets the maximum number of parallel streams between a host
+// pair, overriding the default for that pair from now on.
+func (s *Service) SetThreshold(srcHost, dstHost string, max int) error {
+	if max < 1 {
+		return fmt.Errorf("policy: threshold must be >= 1, got %d", max)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pair := HostPair{Src: srcHost, Dst: dstHost}
+	if th, ok := rules.First(s.session, func(th *Threshold) bool { return th.Pair == pair }); ok {
+		th.Max = max
+		s.session.Update(th)
+		return nil
+	}
+	s.session.Insert(&Threshold{Pair: pair, Max: max})
+	return nil
+}
+
+// Snapshot reports the externally visible state of the service.
+func (s *Service) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := Snapshot{
+		Algorithm:      string(s.cfg.Algorithm),
+		DefaultStreams: s.cfg.DefaultStreams,
+	}
+	inFlightByPair := make(map[HostPair]int)
+	for _, t := range rules.FactsOf[*Transfer](s.session) {
+		if t.State == TransferInProgress {
+			snap.InFlight++
+			inFlightByPair[t.Pair]++
+		}
+	}
+	for _, r := range rules.FactsOf[*Resource](s.session) {
+		snap.TrackedFiles++
+		if r.Staged {
+			snap.StagedResources++
+		}
+	}
+	snap.PendingCleanups = rules.CountOf(s.session, func(c *Cleanup) bool {
+		return c.State == CleanupInProgress
+	})
+	thresholds := make(map[HostPair]int)
+	for _, th := range rules.FactsOf[*Threshold](s.session) {
+		thresholds[th.Pair] = th.Max
+	}
+	for _, l := range rules.FactsOf[*StreamLedger](s.session) {
+		snap.Pairs = append(snap.Pairs, PairState{
+			SourceHost: l.Pair.Src,
+			DestHost:   l.Pair.Dst,
+			Threshold:  thresholds[l.Pair],
+			Allocated:  l.Allocated,
+			InFlight:   inFlightByPair[l.Pair],
+		})
+	}
+	sort.Slice(snap.Pairs, func(i, j int) bool {
+		if snap.Pairs[i].SourceHost != snap.Pairs[j].SourceHost {
+			return snap.Pairs[i].SourceHost < snap.Pairs[j].SourceHost
+		}
+		return snap.Pairs[i].DestHost < snap.Pairs[j].DestHost
+	})
+	return snap
+}
+
+// Stats returns cumulative counters: transfers advised and suppressed.
+func (s *Service) Stats() (advised, suppressed int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.advised, s.suppressed
+}
+
+// RuleFirings returns the lifetime rule-firing count of the underlying
+// engine session (a scalability diagnostic).
+func (s *Service) RuleFirings() int64 { return s.session.Firings() }
+
+// FactCount returns the number of facts currently in Policy Memory.
+func (s *Service) FactCount() int { return s.session.FactCount() }

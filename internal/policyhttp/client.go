@@ -1,0 +1,189 @@
+package policyhttp
+
+import (
+	"bytes"
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"policyflow/internal/policy"
+)
+
+// Client is the Go client for the policy service's RESTful interface; the
+// modified Pegasus Transfer Tool uses it to obtain advice before executing
+// transfers. The zero value is not usable; call NewClient.
+type Client struct {
+	base string
+	http *http.Client
+	// useXML selects the XML wire format instead of JSON.
+	useXML bool
+}
+
+// ClientOption customizes a Client.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client.
+func WithHTTPClient(h *http.Client) ClientOption {
+	return func(c *Client) { c.http = h }
+}
+
+// WithXML makes the client speak XML on the wire (the service supports
+// both; the paper's interface offers "XML or JSON data structures").
+func WithXML() ClientOption {
+	return func(c *Client) { c.useXML = true }
+}
+
+// NewClient returns a client for the policy service at baseURL (e.g.
+// "http://localhost:8765").
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: &http.Client{Timeout: 30 * time.Second},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+func (c *Client) contentType() string {
+	if c.useXML {
+		return "application/xml"
+	}
+	return "application/json"
+}
+
+func (c *Client) encode(v any) (io.Reader, error) {
+	var buf bytes.Buffer
+	if c.useXML {
+		if err := xml.NewEncoder(&buf).Encode(v); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := json.NewEncoder(&buf).Encode(v); err != nil {
+			return nil, err
+		}
+	}
+	return &buf, nil
+}
+
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		var err error
+		body, err = c.encode(in)
+		if err != nil {
+			return fmt.Errorf("policyhttp: encode request: %w", err)
+		}
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("policyhttp: build request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", c.contentType())
+	}
+	req.Header.Set("Accept", c.contentType())
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("policyhttp: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return c.decodeError(resp)
+	}
+	if out == nil || resp.StatusCode == http.StatusNoContent {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if c.useXML {
+		if err := xml.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("policyhttp: decode response: %w", err)
+		}
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("policyhttp: decode response: %w", err)
+	}
+	return nil
+}
+
+func (c *Client) decodeError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var doc ErrorDoc
+	if c.useXML {
+		if xml.Unmarshal(data, &doc) == nil && doc.Message != "" {
+			return fmt.Errorf("policyhttp: server: %s (HTTP %d)", doc.Message, resp.StatusCode)
+		}
+	} else if json.Unmarshal(data, &doc) == nil && doc.Message != "" {
+		return fmt.Errorf("policyhttp: server: %s (HTTP %d)", doc.Message, resp.StatusCode)
+	}
+	return fmt.Errorf("policyhttp: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+}
+
+// AdviseTransfers submits a transfer list and returns the modified list.
+func (c *Client) AdviseTransfers(specs []policy.TransferSpec) (*policy.TransferAdvice, error) {
+	var doc TransferAdviceDoc
+	if err := c.do(http.MethodPost, "/v1/transfers", &TransferRequest{Transfers: specs}, &doc); err != nil {
+		return nil, err
+	}
+	return &doc.TransferAdvice, nil
+}
+
+// ReportTransfers reports completed and failed transfers.
+func (c *Client) ReportTransfers(report policy.CompletionReport) error {
+	return c.do(http.MethodPost, "/v1/transfers/completed", &CompletionDoc{CompletionReport: report}, nil)
+}
+
+// AdviseCleanups submits a cleanup list and returns the modified list.
+func (c *Client) AdviseCleanups(specs []policy.CleanupSpec) (*policy.CleanupAdvice, error) {
+	var doc CleanupAdviceDoc
+	if err := c.do(http.MethodPost, "/v1/cleanups", &CleanupRequest{Cleanups: specs}, &doc); err != nil {
+		return nil, err
+	}
+	return &doc.CleanupAdvice, nil
+}
+
+// ReportCleanups reports completed cleanups.
+func (c *Client) ReportCleanups(report policy.CleanupReport) error {
+	return c.do(http.MethodPost, "/v1/cleanups/completed", &CleanupReportDoc{CleanupReport: report}, nil)
+}
+
+// State fetches the service's externally visible state.
+func (c *Client) State() (*policy.Snapshot, error) {
+	var doc SnapshotDoc
+	if err := c.do(http.MethodGet, "/v1/state", nil, &doc); err != nil {
+		return nil, err
+	}
+	return &doc.Snapshot, nil
+}
+
+// SetThreshold sets the stream threshold for a host pair.
+func (c *Client) SetThreshold(sourceHost, destHost string, max int) error {
+	return c.do(http.MethodPut, "/v1/thresholds", &ThresholdUpdate{
+		SourceHost: sourceHost, DestHost: destHost, Max: max,
+	}, nil)
+}
+
+// Healthz probes the service.
+func (c *Client) Healthz() error {
+	return c.do(http.MethodGet, "/v1/healthz", nil, nil)
+}
+
+// Dump fetches a full Policy Memory snapshot.
+func (c *Client) Dump() (*policy.StateDump, error) {
+	var dump policy.StateDump
+	if err := c.do(http.MethodGet, "/v1/state/dump", nil, &dump); err != nil {
+		return nil, err
+	}
+	return &dump, nil
+}
+
+// Restore replaces the remote service's Policy Memory with the dump.
+func (c *Client) Restore(dump *policy.StateDump) error {
+	return c.do(http.MethodPost, "/v1/state/restore", dump, nil)
+}

@@ -1,0 +1,116 @@
+package policyhttp
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"policyflow/internal/policy"
+)
+
+func TestConfigEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, frag := range []string{`"algorithm":"greedy"`, `"defaultThreshold":50`, `"defaultStreams":4`} {
+		if !strings.Contains(string(body), frag) {
+			t.Errorf("config missing %s: %s", frag, body)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	c := NewClient(ts.URL)
+	adv, err := c.AdviseTransfers([]policy.TransferSpec{testSpec(1, "wf1"), testSpec(2, "wf1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, frag := range []string{
+		"policy_transfers_advised_total 2",
+		"policy_transfers_suppressed_total 0",
+		"policy_transfers_in_flight 1",
+		"policy_staged_files 1",
+		`policy_streams_allocated{src="src.example.org",dst="dst.example.org"} 4`,
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("metrics missing %q:\n%s", frag, text)
+		}
+	}
+}
+
+// TestConcurrentClients hammers the service from many goroutines; run
+// under -race this verifies the full HTTP + rule-engine path is
+// thread-safe, and the final accounting must balance.
+func TestConcurrentClients(t *testing.T) {
+	ts, svc := newTestServer(t)
+	const workers = 8
+	const perWorker = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := NewClient(ts.URL)
+			for i := 0; i < perWorker; i++ {
+				spec := policy.TransferSpec{
+					RequestID:  fmt.Sprintf("w%d-r%d", w, i),
+					WorkflowID: fmt.Sprintf("wf%d", w),
+					SourceURL:  fmt.Sprintf("gsiftp://src.example.org/w%d/f%d", w, i),
+					DestURL:    fmt.Sprintf("file://dst.example.org/w%d/f%d", w, i),
+				}
+				adv, err := c.AdviseTransfers([]policy.TransferSpec{spec})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(adv.Transfers) != 1 {
+					errs <- fmt.Errorf("worker %d: advice %+v", w, adv)
+					return
+				}
+				if err := c.ReportTransfers(policy.CompletionReport{
+					TransferIDs: []string{adv.Transfers[0].ID},
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	snap := svc.Snapshot()
+	if snap.InFlight != 0 {
+		t.Fatalf("in-flight after all completions: %+v", snap)
+	}
+	if snap.StagedResources != workers*perWorker {
+		t.Fatalf("staged = %d, want %d", snap.StagedResources, workers*perWorker)
+	}
+	for _, p := range snap.Pairs {
+		if p.Allocated != 0 {
+			t.Fatalf("streams leaked: %+v", p)
+		}
+	}
+}

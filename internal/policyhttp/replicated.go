@@ -1,0 +1,161 @@
+package policyhttp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"policyflow/internal/policy"
+)
+
+// ReplicatedClient realizes the paper's future-work reliability strategy
+// ("strategies for distribution and replication of policy logic to
+// improve reliability") with client-sequenced state-machine replication:
+// every mutating call is applied to all reachable replicas in the same
+// order, so — the policy service being deterministic — their Policy
+// Memories stay identical (including assigned transfer IDs). Advice is
+// taken from the first replica that answers; replicas that fail are
+// marked down and skipped until Resync brings them back using a state
+// dump from a healthy peer.
+//
+// ReplicatedClient implements the same Advisor interface the transfer
+// tool uses, so a Pegasus-side deployment needs no changes to gain
+// failover.
+type ReplicatedClient struct {
+	mu       sync.Mutex
+	replicas []*Client
+	down     []bool
+}
+
+// ErrNoReplicas is returned when every replica is down.
+var ErrNoReplicas = errors.New("policyhttp: no healthy replicas")
+
+// NewReplicatedClient wraps one client per replica endpoint. At least one
+// is required.
+func NewReplicatedClient(replicas ...*Client) (*ReplicatedClient, error) {
+	if len(replicas) == 0 {
+		return nil, errors.New("policyhttp: replicated client needs at least one replica")
+	}
+	return &ReplicatedClient{replicas: replicas, down: make([]bool, len(replicas))}, nil
+}
+
+// Healthy returns the indexes of replicas currently considered up.
+func (rc *ReplicatedClient) Healthy() []int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	var up []int
+	for i, d := range rc.down {
+		if !d {
+			up = append(up, i)
+		}
+	}
+	return up
+}
+
+// apply runs op against every healthy replica in index order. The first
+// successful result wins; replicas that error are marked down. An error
+// is returned only when no replica succeeds.
+func apply[T any](rc *ReplicatedClient, op func(*Client) (T, error)) (T, error) {
+	var zero T
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	got := false
+	var result T
+	var lastErr error
+	for i, c := range rc.replicas {
+		if rc.down[i] {
+			continue
+		}
+		r, err := op(c)
+		if err != nil {
+			rc.down[i] = true
+			lastErr = err
+			continue
+		}
+		if !got {
+			result, got = r, true
+		}
+	}
+	if !got {
+		if lastErr != nil {
+			return zero, fmt.Errorf("%w: last error: %v", ErrNoReplicas, lastErr)
+		}
+		return zero, ErrNoReplicas
+	}
+	return result, nil
+}
+
+// AdviseTransfers implements the Advisor interface with replication.
+func (rc *ReplicatedClient) AdviseTransfers(specs []policy.TransferSpec) (*policy.TransferAdvice, error) {
+	return apply(rc, func(c *Client) (*policy.TransferAdvice, error) {
+		return c.AdviseTransfers(specs)
+	})
+}
+
+// ReportTransfers implements the Advisor interface with replication.
+func (rc *ReplicatedClient) ReportTransfers(report policy.CompletionReport) error {
+	_, err := apply(rc, func(c *Client) (struct{}, error) {
+		return struct{}{}, c.ReportTransfers(report)
+	})
+	return err
+}
+
+// AdviseCleanups implements the Advisor interface with replication.
+func (rc *ReplicatedClient) AdviseCleanups(specs []policy.CleanupSpec) (*policy.CleanupAdvice, error) {
+	return apply(rc, func(c *Client) (*policy.CleanupAdvice, error) {
+		return c.AdviseCleanups(specs)
+	})
+}
+
+// ReportCleanups implements the Advisor interface with replication.
+func (rc *ReplicatedClient) ReportCleanups(report policy.CleanupReport) error {
+	_, err := apply(rc, func(c *Client) (struct{}, error) {
+		return struct{}{}, c.ReportCleanups(report)
+	})
+	return err
+}
+
+// SetThreshold applies a threshold change to every healthy replica.
+func (rc *ReplicatedClient) SetThreshold(src, dst string, max int) error {
+	_, err := apply(rc, func(c *Client) (struct{}, error) {
+		return struct{}{}, c.SetThreshold(src, dst, max)
+	})
+	return err
+}
+
+// State reads the externally visible state from the first healthy replica.
+func (rc *ReplicatedClient) State() (*policy.Snapshot, error) {
+	return apply(rc, func(c *Client) (*policy.Snapshot, error) { return c.State() })
+}
+
+// Resync restores replica i from a healthy peer's state dump and marks it
+// up again.
+func (rc *ReplicatedClient) Resync(i int) error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if i < 0 || i >= len(rc.replicas) {
+		return fmt.Errorf("policyhttp: replica index %d out of range", i)
+	}
+	var dump *policy.StateDump
+	var err error
+	for j, c := range rc.replicas {
+		if j == i || rc.down[j] {
+			continue
+		}
+		if dump, err = c.Dump(); err == nil {
+			break
+		}
+		rc.down[j] = true
+	}
+	if dump == nil {
+		if err != nil {
+			return fmt.Errorf("%w: last error: %v", ErrNoReplicas, err)
+		}
+		return ErrNoReplicas
+	}
+	if err := rc.replicas[i].Restore(dump); err != nil {
+		return fmt.Errorf("policyhttp: restore replica %d: %w", i, err)
+	}
+	rc.down[i] = false
+	return nil
+}

@@ -1,0 +1,201 @@
+package policyhttp
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"policyflow/internal/policy"
+)
+
+// replicaSet starts n policy services behind test servers.
+func replicaSet(t *testing.T, n int) ([]*httptest.Server, []*policy.Service, []*Client) {
+	t.Helper()
+	var servers []*httptest.Server
+	var services []*policy.Service
+	var clients []*Client
+	for i := 0; i < n; i++ {
+		cfg := policy.DefaultConfig()
+		svc, err := policy.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(NewServer(svc, nil))
+		t.Cleanup(ts.Close)
+		servers = append(servers, ts)
+		services = append(services, svc)
+		clients = append(clients, NewClient(ts.URL))
+	}
+	return servers, services, clients
+}
+
+func TestReplicasStayIdentical(t *testing.T) {
+	_, services, clients := replicaSet(t, 3)
+	rc, err := NewReplicatedClient(clients...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := rc.AdviseTransfers([]policy.TransferSpec{testSpec(1, "wf1"), testSpec(2, "wf1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv.Transfers) != 2 {
+		t.Fatalf("advice = %+v", adv)
+	}
+	if err := rc.ReportTransfers(policy.CompletionReport{
+		TransferIDs: []string{adv.Transfers[0].ID},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// All replicas hold identical state (deterministic replication).
+	want := services[0].ExportState()
+	for i := 1; i < 3; i++ {
+		got := services[i].ExportState()
+		if len(got.Transfers) != len(want.Transfers) ||
+			len(got.Resources) != len(want.Resources) ||
+			got.NextTransfer != want.NextTransfer {
+			t.Fatalf("replica %d diverged: %+v vs %+v", i, got, want)
+		}
+	}
+	// In-flight count matches on every replica: 1 remaining.
+	for i, svc := range services {
+		if snap := svc.Snapshot(); snap.InFlight != 1 {
+			t.Fatalf("replica %d InFlight = %d", i, snap.InFlight)
+		}
+	}
+}
+
+func TestFailoverOnPrimaryDeath(t *testing.T) {
+	servers, _, clients := replicaSet(t, 2)
+	rc, err := NewReplicatedClient(clients...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.AdviseTransfers([]policy.TransferSpec{testSpec(1, "wf1")}); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the primary. The next call fails over to the secondary, whose
+	// memory already contains the in-progress transfer: the duplicate is
+	// suppressed exactly as the primary would have.
+	servers[0].Close()
+	adv, err := rc.AdviseTransfers([]policy.TransferSpec{testSpec(1, "wf2")})
+	if err != nil {
+		t.Fatalf("failover failed: %v", err)
+	}
+	if len(adv.Removed) != 1 || adv.Removed[0].Reason != "in-progress" {
+		t.Fatalf("secondary lost state: %+v", adv)
+	}
+	if healthy := rc.Healthy(); len(healthy) != 1 || healthy[0] != 1 {
+		t.Fatalf("healthy = %v", healthy)
+	}
+}
+
+func TestAllReplicasDown(t *testing.T) {
+	servers, _, clients := replicaSet(t, 2)
+	rc, err := NewReplicatedClient(clients...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers[0].Close()
+	servers[1].Close()
+	if _, err := rc.AdviseTransfers([]policy.TransferSpec{testSpec(1, "wf1")}); !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("err = %v, want ErrNoReplicas", err)
+	}
+}
+
+func TestResyncRecoversReplica(t *testing.T) {
+	_, services, clients := replicaSet(t, 2)
+	rc, err := NewReplicatedClient(clients...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build state through the replicated client.
+	adv, err := rc.AdviseTransfers([]policy.TransferSpec{testSpec(1, "wf1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate replica 1 losing its memory (fresh restart).
+	blank, err := policy.New(policy.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := services[1].ImportState(blank.ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	if snap := services[1].Snapshot(); snap.StagedResources != 0 {
+		t.Fatal("replica 1 should be blank")
+	}
+	// Resync from replica 0.
+	if err := rc.Resync(1); err != nil {
+		t.Fatal(err)
+	}
+	if snap := services[1].Snapshot(); snap.StagedResources != 1 {
+		t.Fatalf("resync did not restore state: %+v", snap)
+	}
+	// The resynced replica suppresses duplicates like the primary.
+	adv2, err := clients[1].AdviseTransfers([]policy.TransferSpec{testSpec(1, "wf2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv2.Removed) != 1 || adv2.Removed[0].Reason != "already-staged" {
+		t.Fatalf("resynced replica advice = %+v", adv2)
+	}
+}
+
+func TestResyncValidation(t *testing.T) {
+	_, _, clients := replicaSet(t, 1)
+	rc, err := NewReplicatedClient(clients...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Resync(5); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	// With a single replica there is no peer to resync from.
+	if err := rc.Resync(0); !errors.Is(err, ErrNoReplicas) {
+		t.Errorf("err = %v, want ErrNoReplicas", err)
+	}
+	if _, err := NewReplicatedClient(); err == nil {
+		t.Error("empty replica set accepted")
+	}
+}
+
+func TestDumpRestoreOverHTTP(t *testing.T) {
+	for _, mode := range []string{"json", "xml"} {
+		t.Run(mode, func(t *testing.T) {
+			_, _, clients := replicaSet(t, 2)
+			a, b := clients[0], clients[1]
+			if mode == "xml" {
+				a = NewClient(a.base, WithXML())
+				b = NewClient(b.base, WithXML())
+			}
+			adv, err := a.AdviseTransfers([]policy.TransferSpec{testSpec(7, "wf1")})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+				t.Fatal(err)
+			}
+			dump, err := a.Dump()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(dump.Resources) != 1 || !dump.Resources[0].Staged {
+				t.Fatalf("dump = %+v", dump)
+			}
+			if err := b.Restore(dump); err != nil {
+				t.Fatal(err)
+			}
+			st, err := b.State()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.StagedResources != 1 {
+				t.Fatalf("restored state = %+v", st)
+			}
+		})
+	}
+}

@@ -1,0 +1,395 @@
+// Package policyhttp exposes the policy service over a RESTful web
+// interface, playing the role of the paper's Policy Controller and RESTful
+// Web Interface (hosted on Apache Tomcat in the original system). Requests
+// and responses are XML or JSON data structures; the wire format is chosen
+// per request via the Content-Type and Accept headers.
+//
+// Endpoints (all under /v1):
+//
+//	POST /v1/transfers            submit a transfer list, receive advice
+//	POST /v1/transfers/completed  report completed/failed transfers
+//	POST /v1/cleanups             submit a cleanup list, receive advice
+//	POST /v1/cleanups/completed   report completed cleanups
+//	GET  /v1/state                observe stream ledgers and resources
+//	PUT  /v1/thresholds           set a host-pair stream threshold
+//	GET  /v1/healthz              liveness probe
+package policyhttp
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"mime"
+	"net/http"
+	"strings"
+
+	"policyflow/internal/policy"
+)
+
+// maxBodyBytes bounds request bodies; a transfer list for even a very
+// large workflow is far below this.
+const maxBodyBytes = 16 << 20
+
+// TransferRequest is the wire envelope for a transfer-advice request.
+type TransferRequest struct {
+	XMLName   xml.Name              `xml:"transferRequest" json:"-"`
+	Transfers []policy.TransferSpec `json:"transfers" xml:"transfers>transfer"`
+}
+
+// CleanupRequest is the wire envelope for a cleanup-advice request.
+type CleanupRequest struct {
+	XMLName  xml.Name             `xml:"cleanupRequest" json:"-"`
+	Cleanups []policy.CleanupSpec `json:"cleanups" xml:"cleanups>cleanup"`
+}
+
+// TransferAdviceDoc wraps policy.TransferAdvice for XML round-trips.
+type TransferAdviceDoc struct {
+	XMLName xml.Name `xml:"transferAdvice" json:"-"`
+	policy.TransferAdvice
+}
+
+// CleanupAdviceDoc wraps policy.CleanupAdvice for XML round-trips.
+type CleanupAdviceDoc struct {
+	XMLName xml.Name `xml:"cleanupAdvice" json:"-"`
+	policy.CleanupAdvice
+}
+
+// CompletionDoc wraps policy.CompletionReport for XML round-trips.
+type CompletionDoc struct {
+	XMLName xml.Name `xml:"completionReport" json:"-"`
+	policy.CompletionReport
+}
+
+// CleanupReportDoc wraps policy.CleanupReport for XML round-trips.
+type CleanupReportDoc struct {
+	XMLName xml.Name `xml:"cleanupReport" json:"-"`
+	policy.CleanupReport
+}
+
+// SnapshotDoc wraps policy.Snapshot for XML round-trips.
+type SnapshotDoc struct {
+	XMLName xml.Name `xml:"state" json:"-"`
+	policy.Snapshot
+}
+
+// ThresholdUpdate is the wire type for PUT /v1/thresholds.
+type ThresholdUpdate struct {
+	XMLName    xml.Name `xml:"threshold" json:"-"`
+	SourceHost string   `json:"sourceHost" xml:"sourceHost"`
+	DestHost   string   `json:"destHost" xml:"destHost"`
+	Max        int      `json:"max" xml:"max"`
+}
+
+// ErrorDoc is the error response body.
+type ErrorDoc struct {
+	XMLName xml.Name `xml:"error" json:"-"`
+	Message string   `json:"error" xml:"message"`
+}
+
+// Server adapts a policy.Service to HTTP. It implements http.Handler.
+type Server struct {
+	svc *policy.Service
+	mux *http.ServeMux
+	log *log.Logger
+}
+
+// NewServer wraps svc. logger may be nil to disable request logging.
+func NewServer(svc *policy.Service, logger *log.Logger) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux(), log: logger}
+	s.mux.HandleFunc("POST /v1/transfers", s.handleTransfers)
+	s.mux.HandleFunc("POST /v1/transfers/completed", s.handleTransfersCompleted)
+	s.mux.HandleFunc("POST /v1/cleanups", s.handleCleanups)
+	s.mux.HandleFunc("POST /v1/cleanups/completed", s.handleCleanupsCompleted)
+	s.mux.HandleFunc("GET /v1/state", s.handleState)
+	s.mux.HandleFunc("GET /v1/state/dump", s.handleDump)
+	s.mux.HandleFunc("POST /v1/state/restore", s.handleRestore)
+	s.mux.HandleFunc("PUT /v1/thresholds", s.handleThreshold)
+	s.mux.HandleFunc("GET /v1/config", s.handleConfig)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	return s
+}
+
+// ConfigDoc is the wire form of the service configuration.
+type ConfigDoc struct {
+	XMLName          xml.Name `json:"-" xml:"config"`
+	Algorithm        string   `json:"algorithm" xml:"algorithm"`
+	DefaultStreams   int      `json:"defaultStreams" xml:"defaultStreams"`
+	MinStreams       int      `json:"minStreams" xml:"minStreams"`
+	DefaultThreshold int      `json:"defaultThreshold" xml:"defaultThreshold"`
+	ClusterFactor    int      `json:"clusterFactor" xml:"clusterFactor"`
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	resf := responseFormat(r, formatJSON)
+	cfg := s.svc.Config()
+	s.writeResponse(w, resf, http.StatusOK, &ConfigDoc{
+		Algorithm:        string(cfg.Algorithm),
+		DefaultStreams:   cfg.DefaultStreams,
+		MinStreams:       cfg.MinStreams,
+		DefaultThreshold: cfg.DefaultThreshold,
+		ClusterFactor:    cfg.ClusterFactor,
+	})
+}
+
+// handleMetrics exposes cumulative counters in the Prometheus text
+// exposition format (no external dependency needed for the text form).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	advised, suppressed := s.svc.Stats()
+	snap := s.svc.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# HELP policy_transfers_advised_total Transfers returned for execution.\n")
+	fmt.Fprintf(w, "# TYPE policy_transfers_advised_total counter\n")
+	fmt.Fprintf(w, "policy_transfers_advised_total %d\n", advised)
+	fmt.Fprintf(w, "# HELP policy_transfers_suppressed_total Transfers removed as duplicates.\n")
+	fmt.Fprintf(w, "# TYPE policy_transfers_suppressed_total counter\n")
+	fmt.Fprintf(w, "policy_transfers_suppressed_total %d\n", suppressed)
+	fmt.Fprintf(w, "# HELP policy_transfers_in_flight In-progress transfers.\n")
+	fmt.Fprintf(w, "# TYPE policy_transfers_in_flight gauge\n")
+	fmt.Fprintf(w, "policy_transfers_in_flight %d\n", snap.InFlight)
+	fmt.Fprintf(w, "# HELP policy_staged_files Staged files tracked in Policy Memory.\n")
+	fmt.Fprintf(w, "# TYPE policy_staged_files gauge\n")
+	fmt.Fprintf(w, "policy_staged_files %d\n", snap.StagedResources)
+	for _, p := range snap.Pairs {
+		fmt.Fprintf(w, "policy_streams_allocated{src=%q,dst=%q} %d\n", p.SourceHost, p.DestHost, p.Allocated)
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.log != nil {
+		s.log.Printf("%s %s", r.Method, r.URL.Path)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// format identifies a wire encoding.
+type format int
+
+const (
+	formatJSON format = iota
+	formatXML
+)
+
+func (f format) contentType() string {
+	if f == formatXML {
+		return "application/xml; charset=utf-8"
+	}
+	return "application/json; charset=utf-8"
+}
+
+// requestFormat inspects Content-Type; unknown or absent means JSON.
+func requestFormat(r *http.Request) (format, error) {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return formatJSON, nil
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return formatJSON, fmt.Errorf("bad Content-Type %q", ct)
+	}
+	switch {
+	case mt == "application/json" || strings.HasSuffix(mt, "+json"):
+		return formatJSON, nil
+	case mt == "application/xml" || mt == "text/xml" || strings.HasSuffix(mt, "+xml"):
+		return formatXML, nil
+	default:
+		return formatJSON, fmt.Errorf("unsupported Content-Type %q", mt)
+	}
+}
+
+// responseFormat inspects Accept; default is the request's own format.
+func responseFormat(r *http.Request, def format) format {
+	accept := r.Header.Get("Accept")
+	switch {
+	case strings.Contains(accept, "application/xml"), strings.Contains(accept, "text/xml"):
+		return formatXML
+	case strings.Contains(accept, "application/json"):
+		return formatJSON
+	default:
+		return def
+	}
+}
+
+func decode(r *http.Request, f format, v any) error {
+	body := io.LimitReader(r.Body, maxBodyBytes)
+	switch f {
+	case formatXML:
+		return xml.NewDecoder(body).Decode(v)
+	default:
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		return dec.Decode(v)
+	}
+}
+
+func (s *Server) writeResponse(w http.ResponseWriter, f format, status int, v any) {
+	w.Header().Set("Content-Type", f.contentType())
+	w.WriteHeader(status)
+	var err error
+	switch f {
+	case formatXML:
+		if _, werr := io.WriteString(w, xml.Header); werr != nil {
+			return
+		}
+		enc := xml.NewEncoder(w)
+		enc.Indent("", "  ")
+		err = enc.Encode(v)
+	default:
+		enc := json.NewEncoder(w)
+		err = enc.Encode(v)
+	}
+	if err != nil && s.log != nil {
+		s.log.Printf("encode response: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, f format, status int, err error) {
+	s.writeResponse(w, f, status, &ErrorDoc{Message: err.Error()})
+}
+
+func (s *Server) handleTransfers(w http.ResponseWriter, r *http.Request) {
+	reqf, err := requestFormat(r)
+	resf := responseFormat(r, reqf)
+	if err != nil {
+		s.writeError(w, resf, http.StatusUnsupportedMediaType, err)
+		return
+	}
+	var req TransferRequest
+	if err := decode(r, reqf, &req); err != nil {
+		s.writeError(w, resf, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	adv, err := s.svc.AdviseTransfers(req.Transfers)
+	if err != nil {
+		s.writeError(w, resf, statusFor(err), err)
+		return
+	}
+	s.writeResponse(w, resf, http.StatusOK, &TransferAdviceDoc{TransferAdvice: *adv})
+}
+
+func (s *Server) handleTransfersCompleted(w http.ResponseWriter, r *http.Request) {
+	reqf, err := requestFormat(r)
+	resf := responseFormat(r, reqf)
+	if err != nil {
+		s.writeError(w, resf, http.StatusUnsupportedMediaType, err)
+		return
+	}
+	var doc CompletionDoc
+	if err := decode(r, reqf, &doc); err != nil {
+		s.writeError(w, resf, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if err := s.svc.ReportTransfers(doc.CompletionReport); err != nil {
+		s.writeError(w, resf, http.StatusInternalServerError, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleCleanups(w http.ResponseWriter, r *http.Request) {
+	reqf, err := requestFormat(r)
+	resf := responseFormat(r, reqf)
+	if err != nil {
+		s.writeError(w, resf, http.StatusUnsupportedMediaType, err)
+		return
+	}
+	var req CleanupRequest
+	if err := decode(r, reqf, &req); err != nil {
+		s.writeError(w, resf, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	adv, err := s.svc.AdviseCleanups(req.Cleanups)
+	if err != nil {
+		s.writeError(w, resf, statusFor(err), err)
+		return
+	}
+	s.writeResponse(w, resf, http.StatusOK, &CleanupAdviceDoc{CleanupAdvice: *adv})
+}
+
+func (s *Server) handleCleanupsCompleted(w http.ResponseWriter, r *http.Request) {
+	reqf, err := requestFormat(r)
+	resf := responseFormat(r, reqf)
+	if err != nil {
+		s.writeError(w, resf, http.StatusUnsupportedMediaType, err)
+		return
+	}
+	var doc CleanupReportDoc
+	if err := decode(r, reqf, &doc); err != nil {
+		s.writeError(w, resf, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if err := s.svc.ReportCleanups(doc.CleanupReport); err != nil {
+		s.writeError(w, resf, http.StatusInternalServerError, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	resf := responseFormat(r, formatJSON)
+	s.writeResponse(w, resf, http.StatusOK, &SnapshotDoc{Snapshot: s.svc.Snapshot()})
+}
+
+func (s *Server) handleDump(w http.ResponseWriter, r *http.Request) {
+	resf := responseFormat(r, formatJSON)
+	s.writeResponse(w, resf, http.StatusOK, s.svc.ExportState())
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	reqf, err := requestFormat(r)
+	resf := responseFormat(r, reqf)
+	if err != nil {
+		s.writeError(w, resf, http.StatusUnsupportedMediaType, err)
+		return
+	}
+	var dump policy.StateDump
+	if err := decode(r, reqf, &dump); err != nil {
+		s.writeError(w, resf, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if err := s.svc.ImportState(&dump); err != nil {
+		s.writeError(w, resf, http.StatusBadRequest, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
+	reqf, err := requestFormat(r)
+	resf := responseFormat(r, reqf)
+	if err != nil {
+		s.writeError(w, resf, http.StatusUnsupportedMediaType, err)
+		return
+	}
+	var upd ThresholdUpdate
+	if err := decode(r, reqf, &upd); err != nil {
+		s.writeError(w, resf, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if upd.SourceHost == "" || upd.DestHost == "" {
+		s.writeError(w, resf, http.StatusBadRequest, errors.New("sourceHost and destHost are required"))
+		return
+	}
+	if err := s.svc.SetThreshold(upd.SourceHost, upd.DestHost, upd.Max); err != nil {
+		s.writeError(w, resf, http.StatusBadRequest, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func statusFor(err error) int {
+	if errors.Is(err, policy.ErrEmptyRequest) {
+		return http.StatusBadRequest
+	}
+	if strings.Contains(err.Error(), "required") {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}

@@ -1,0 +1,75 @@
+package policyhttp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"policyflow/internal/policy"
+)
+
+// StandbySyncer keeps a local policy service warm as a standby replica of
+// a remote primary: it periodically pulls the primary's Policy Memory dump
+// and restores it locally. If the primary dies, the standby answers with
+// state at most one sync interval old — the warm-standby half of the
+// paper's proposed replication strategies (the ReplicatedClient is the
+// active-replication half).
+type StandbySyncer struct {
+	local   *policy.Service
+	primary *Client
+	// Interval between syncs.
+	Interval time.Duration
+	// OnSync, when set, is called after each attempt with the error (nil
+	// on success).
+	OnSync func(error)
+	syncs  int
+	errors int
+}
+
+// NewStandbySyncer creates a syncer replicating primary into local.
+func NewStandbySyncer(local *policy.Service, primary *Client, interval time.Duration) (*StandbySyncer, error) {
+	if local == nil || primary == nil {
+		return nil, errors.New("policyhttp: standby syncer needs a local service and a primary client")
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	return &StandbySyncer{local: local, primary: primary, Interval: interval}, nil
+}
+
+// SyncOnce pulls one dump from the primary and restores it locally.
+func (s *StandbySyncer) SyncOnce() error {
+	dump, err := s.primary.Dump()
+	if err != nil {
+		s.errors++
+		return fmt.Errorf("policyhttp: standby pull: %w", err)
+	}
+	if err := s.local.ImportState(dump); err != nil {
+		s.errors++
+		return fmt.Errorf("policyhttp: standby restore: %w", err)
+	}
+	s.syncs++
+	return nil
+}
+
+// Stats returns (successful syncs, failed attempts).
+func (s *StandbySyncer) Stats() (syncs, failures int) { return s.syncs, s.errors }
+
+// Run syncs on the interval until ctx is cancelled. Failures are reported
+// through OnSync and do not stop the loop (the primary may come back).
+func (s *StandbySyncer) Run(ctx context.Context) {
+	ticker := time.NewTicker(s.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			err := s.SyncOnce()
+			if s.OnSync != nil {
+				s.OnSync(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package policyhttp
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"policyflow/internal/policy"
+)
+
+func TestStandbySyncOnce(t *testing.T) {
+	_, services, clients := replicaSet(t, 1)
+	primary := clients[0]
+	// Put state on the primary.
+	adv, err := primary.AdviseTransfers([]policy.TransferSpec{testSpec(1, "wf1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+		t.Fatal(err)
+	}
+	standby, err := policy.New(policy.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncer, err := NewStandbySyncer(standby, primary, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := syncer.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if snap := standby.Snapshot(); snap.StagedResources != 1 {
+		t.Fatalf("standby state = %+v", snap)
+	}
+	// Standby continues with identical semantics after primary death.
+	_ = services
+	adv2, err := standby.AdviseTransfers([]policy.TransferSpec{testSpec(1, "wf2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv2.Removed) != 1 || adv2.Removed[0].Reason != "already-staged" {
+		t.Fatalf("standby advice = %+v", adv2)
+	}
+	if syncs, fails := syncer.Stats(); syncs != 1 || fails != 0 {
+		t.Fatalf("stats = %d, %d", syncs, fails)
+	}
+}
+
+func TestStandbyRunLoop(t *testing.T) {
+	servers, _, clients := replicaSet(t, 1)
+	standby, err := policy.New(policy.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	synced := make(chan error, 16)
+	syncer, err := NewStandbySyncer(standby, clients[0], 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncer.OnSync = func(err error) { synced <- err }
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go syncer.Run(ctx)
+	// First sync succeeds.
+	select {
+	case err := <-synced:
+		if err != nil {
+			t.Fatalf("first sync: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no sync within deadline")
+	}
+	// After the primary dies, syncs fail but the loop keeps running.
+	servers[0].Close()
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case err := <-synced:
+			if err != nil {
+				return // observed a failed sync: loop survived the outage
+			}
+		case <-deadline:
+			t.Fatal("no failed sync observed after primary death")
+		}
+	}
+}
+
+func TestStandbyValidation(t *testing.T) {
+	if _, err := NewStandbySyncer(nil, nil, 0); err == nil {
+		t.Fatal("nil arguments accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package rules
+
+import "testing"
+
+func TestExistsFiresOncePerTuple(t *testing.T) {
+	s := NewSession()
+	fired := 0
+	s.MustAddRules(&Rule{
+		Name: "counter-when-any-item",
+		When: []Pattern{
+			Match[*counter]("c", nil),
+			Exists[*item](nil),
+		},
+		Then: func(ctx *Context) { fired++ },
+	})
+	s.Insert(&counter{})
+	s.Insert(&item{name: "a"})
+	s.Insert(&item{name: "b"})
+	s.Insert(&item{name: "c"})
+	if _, err := s.FireAll(0); err != nil {
+		t.Fatal(err)
+	}
+	// Three items satisfy the existential, but the rule fires once per
+	// counter tuple, not once per item.
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestExistsBlocksWhenAbsent(t *testing.T) {
+	s := NewSession()
+	fired := 0
+	s.MustAddRules(&Rule{
+		Name: "needs-done-item",
+		When: []Pattern{
+			Match[*counter]("c", nil),
+			Exists(func(b Bindings, v *item) bool { return v.done }),
+		},
+		Then: func(ctx *Context) { fired++ },
+	})
+	s.Insert(&counter{})
+	s.Insert(&item{name: "pending"})
+	if _, err := s.FireAll(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatal("fired without a matching fact")
+	}
+	it := &item{name: "finished", done: true}
+	s.Insert(it)
+	if _, err := s.FireAll(0); err != nil {
+		t.Fatal(err)
+	}
+	// The counter fact was not updated, so the activation key is
+	// unchanged... but a new fact arrival re-evaluates the join, and the
+	// tuple (counter) now succeeds: it must fire exactly once.
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestExistsGuardSeesBindings(t *testing.T) {
+	s := NewSession()
+	var matched []string
+	s.MustAddRules(&Rule{
+		Name: "has-twin",
+		When: []Pattern{
+			Match("it", func(b Bindings, v *item) bool { return !v.done }),
+			Exists(func(b Bindings, v *item) bool {
+				return v.done && v.name == b.Get("it").(*item).name
+			}),
+		},
+		Then: func(ctx *Context) { matched = append(matched, ctx.Get("it").(*item).name) },
+	})
+	s.Insert(&item{name: "a"})
+	s.Insert(&item{name: "a", done: true})
+	s.Insert(&item{name: "b"})
+	if _, err := s.FireAll(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(matched) != 1 || matched[0] != "a" {
+		t.Fatalf("matched = %v", matched)
+	}
+}
+
+func TestExistsValidation(t *testing.T) {
+	s := NewSession()
+	bad := Exists[*item](nil)
+	bad.Name = "nope"
+	if err := s.AddRule(&Rule{
+		Name: "bad",
+		When: []Pattern{Match[*counter]("c", nil), bad},
+		Then: func(*Context) {},
+	}); err == nil {
+		t.Fatal("named existential accepted")
+	}
+}

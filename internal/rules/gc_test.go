@@ -1,0 +1,81 @@
+package rules
+
+import "testing"
+
+// TestRefractionGarbageCollected: a long-lived session (the Policy Memory
+// pattern) must not accumulate refraction state for facts that have been
+// retracted.
+func TestRefractionGarbageCollected(t *testing.T) {
+	s := NewSession()
+	s.MustAddRules(&Rule{
+		Name: "touch",
+		When: []Pattern{Match[*item]("it", nil)},
+		Then: func(ctx *Context) {},
+	})
+	for round := 0; round < 50; round++ {
+		it := &item{qty: round}
+		s.Insert(it)
+		if _, err := s.FireAll(0); err != nil {
+			t.Fatal(err)
+		}
+		s.Retract(it)
+	}
+	if got := s.RefractionSize(); got != 0 {
+		t.Fatalf("refraction entries = %d after all facts retracted, want 0", got)
+	}
+	if s.Firings() != 50 {
+		t.Fatalf("firings = %d", s.Firings())
+	}
+}
+
+func TestRefractionBoundedByLiveFacts(t *testing.T) {
+	s := NewSession()
+	s.MustAddRules(&Rule{
+		Name: "pairwise",
+		When: []Pattern{
+			Match[*item]("a", nil),
+			Match[*item]("b", nil),
+		},
+		Then: func(ctx *Context) {},
+	})
+	var live []*item
+	for round := 0; round < 20; round++ {
+		it := &item{qty: round}
+		live = append(live, it)
+		s.Insert(it)
+		if len(live) > 4 {
+			s.Retract(live[0])
+			live = live[1:]
+		}
+		if _, err := s.FireAll(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With at most 4 live facts, pairwise refraction is at most 4x3
+	// entries; the 20-round history must not have accumulated.
+	if got := s.RefractionSize(); got > 12 {
+		t.Fatalf("refraction entries = %d, want <= 12", got)
+	}
+}
+
+func TestFiringsAcrossReset(t *testing.T) {
+	s := NewSession()
+	s.MustAddRules(&Rule{
+		Name: "touch",
+		When: []Pattern{Match[*item]("it", nil)},
+		Then: func(ctx *Context) {},
+	})
+	s.Insert(&item{})
+	if _, err := s.FireAll(0); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	// Lifetime firing counter survives Reset (it is a session statistic,
+	// not working-memory state).
+	if s.Firings() != 1 {
+		t.Fatalf("firings = %d", s.Firings())
+	}
+	if s.RefractionSize() != 0 {
+		t.Fatal("refraction survived Reset")
+	}
+}

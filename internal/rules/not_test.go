@@ -1,0 +1,100 @@
+package rules
+
+import "testing"
+
+type flag struct{ set bool }
+
+func TestNotMatchesWhenAbsent(t *testing.T) {
+	s := NewSession()
+	fired := 0
+	s.MustAddRules(&Rule{
+		Name: "create-if-missing",
+		When: []Pattern{
+			Match[*item]("it", nil),
+			Not[*flag](nil),
+		},
+		Then: func(ctx *Context) {
+			fired++
+			ctx.Insert(&flag{})
+		},
+	})
+	s.Insert(&item{name: "a"})
+	s.Insert(&item{name: "b"})
+	if _, err := s.FireAll(0); err != nil {
+		t.Fatal(err)
+	}
+	// First firing inserts the flag; the second activation's negation now
+	// fails, so exactly one firing happens.
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestNotWithGuardSeesBindings(t *testing.T) {
+	// Fire for items that have no matching "done twin" (same name, done).
+	s := NewSession()
+	var lone []string
+	s.MustAddRules(&Rule{
+		Name: "lonely",
+		When: []Pattern{
+			Match("it", func(b Bindings, v *item) bool { return !v.done }),
+			Not(func(b Bindings, v *item) bool {
+				return v.done && v.name == b.Get("it").(*item).name
+			}),
+		},
+		Then: func(ctx *Context) { lone = append(lone, ctx.Get("it").(*item).name) },
+	})
+	s.Insert(&item{name: "a"})
+	s.Insert(&item{name: "a", done: true})
+	s.Insert(&item{name: "b"})
+	if _, err := s.FireAll(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(lone) != 1 || lone[0] != "b" {
+		t.Fatalf("lone = %v, want [b]", lone)
+	}
+}
+
+func TestNotReArmsWhenFactRetracted(t *testing.T) {
+	s := NewSession()
+	fired := 0
+	blocker := &flag{}
+	it := &item{name: "a"}
+	s.MustAddRules(&Rule{
+		Name: "when-unblocked",
+		When: []Pattern{
+			Match[*item]("it", nil),
+			Not[*flag](nil),
+		},
+		Then: func(ctx *Context) { fired++ },
+	})
+	s.Insert(blocker)
+	s.Insert(it)
+	if _, err := s.FireAll(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatalf("fired while blocked: %d", fired)
+	}
+	s.Retract(blocker)
+	if _, err := s.FireAll(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d after unblock, want 1", fired)
+	}
+}
+
+func TestNegatedPatternValidation(t *testing.T) {
+	s := NewSession()
+	bad := Not[*flag](nil)
+	bad.Name = "oops"
+	err := s.AddRule(&Rule{
+		Name: "bad-not",
+		When: []Pattern{Match[*item]("it", nil), bad},
+		Then: func(*Context) {},
+	})
+	if err == nil {
+		t.Fatal("named negated pattern accepted")
+	}
+}

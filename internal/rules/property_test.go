@@ -1,0 +1,101 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+type pnum struct{ v int }
+
+// TestFireAllTerminatesAndCovers: for random batches of facts, a
+// once-per-fact rule fires exactly once per fact, independent of insertion
+// order, and FireAll terminates without touching the budget.
+func TestFireAllTerminatesAndCovers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		s := NewSession()
+		fired := map[int]int{}
+		s.MustAddRules(&Rule{
+			Name: "touch",
+			When: []Pattern{Match[*pnum]("x", nil)},
+			Then: func(ctx *Context) { fired[ctx.Get("x").(*pnum).v]++ },
+		})
+		for i := 0; i < n; i++ {
+			s.Insert(&pnum{v: i})
+		}
+		count, err := s.FireAll(0)
+		if err != nil || count != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if fired[i] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInterleavedMutationInvariant: randomly interleaving inserts, updates
+// and retracts between FireAll calls never double-fires a (fact, recency)
+// state and never leaves working memory inconsistent with the driver's
+// shadow set.
+func TestInterleavedMutationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSession()
+		s.MustAddRules(&Rule{
+			Name: "noop",
+			When: []Pattern{Match[*pnum]("x", nil)},
+			Then: func(ctx *Context) {},
+		})
+		live := map[*pnum]bool{}
+		var all []*pnum
+		for step := 0; step < 80; step++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				p := &pnum{v: step}
+				s.Insert(p)
+				live[p] = true
+				all = append(all, p)
+			case 2:
+				if len(all) > 0 {
+					p := all[rng.Intn(len(all))]
+					s.Update(p) // no-op for dead facts
+				}
+			case 3:
+				if len(all) > 0 {
+					p := all[rng.Intn(len(all))]
+					s.Retract(p)
+					delete(live, p)
+				}
+			}
+			if rng.Intn(3) == 0 {
+				if _, err := s.FireAll(0); err != nil {
+					return false
+				}
+			}
+		}
+		if s.FactCount() != len(live) {
+			return false
+		}
+		got := map[*pnum]bool{}
+		for _, v := range FactsOf[*pnum](s) {
+			got[v] = true
+		}
+		for p := range live {
+			if !got[p] {
+				return false
+			}
+		}
+		return len(got) == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

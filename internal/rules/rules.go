@@ -1,0 +1,240 @@
+// Package rules implements a forward-chaining production rule engine in the
+// style of Drools, which the paper uses to implement its Policy Service
+// (Section IV). The engine provides:
+//
+//   - a working memory of typed facts with insert / update / retract,
+//   - rules declared as data: a sequence of patterns (a join over fact
+//     types with guard predicates) plus a right-hand-side action,
+//   - an agenda with Drools-like conflict resolution (salience, then fact
+//     recency, then rule declaration order),
+//   - refraction (an activation fires at most once per fact-tuple state)
+//     and a NoLoop option (at most once per fact tuple, ever),
+//   - a fire budget that guarantees termination of FireAll.
+//
+// Rules are pure data handed to a session, so — as the paper argues for its
+// Drools rules — policy behaviour is separated from application logic and
+// can be swapped per deployment.
+//
+// Facts must be pointers (or otherwise comparable values); updates mutate
+// the fact in place and then call Update to re-evaluate affected rules.
+package rules
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// FactHandle identifies a fact inside a session's working memory.
+type FactHandle int64
+
+// Bindings gives guard predicates and rule actions access to the facts
+// matched by the patterns evaluated so far, by pattern name.
+type Bindings interface {
+	// Get returns the fact bound to the named pattern, or nil.
+	Get(name string) any
+	// Handle returns the working-memory handle of the named binding, or 0.
+	Handle(name string) FactHandle
+}
+
+// Pattern is one condition of a rule: it matches facts of a single dynamic
+// type and may further constrain the match with a guard that can consult
+// earlier bindings (making the rule a join).
+type Pattern struct {
+	// Name binds the matched fact for later patterns and the RHS. Negated
+	// patterns bind nothing and need no name.
+	Name string
+	// typ is the dynamic fact type matched by this pattern.
+	typ reflect.Type
+	// where is the guard; nil means unconditional.
+	where func(b Bindings, v any) bool
+	// negated inverts the pattern: it succeeds only when no fact of typ
+	// satisfies the guard (Drools "not").
+	negated bool
+	// existential makes the pattern succeed once if any fact of typ
+	// satisfies the guard, binding nothing (Drools "exists").
+	existential bool
+}
+
+// Match constructs a Pattern matching facts of dynamic type T (use the
+// same type facts are inserted with — conventionally a pointer type). The
+// guard may be nil.
+func Match[T any](name string, where func(b Bindings, v T) bool) Pattern {
+	var zero T
+	p := Pattern{Name: name, typ: reflect.TypeOf(zero)}
+	if p.typ == nil {
+		panic("rules: Match requires a concrete type parameter")
+	}
+	if where != nil {
+		p.where = func(b Bindings, v any) bool { return where(b, v.(T)) }
+	}
+	return p
+}
+
+// Not constructs a negated Pattern: the enclosing rule matches only when no
+// fact of type T satisfies the guard (nil guard = no fact of type T exists
+// at all). Negated patterns contribute no binding.
+func Not[T any](where func(b Bindings, v T) bool) Pattern {
+	p := Match("", where)
+	p.negated = true
+	return p
+}
+
+// Exists constructs an existential Pattern (Drools "exists"): the rule
+// matches when at least one fact of type T satisfies the guard, but the
+// fact is not bound and the rule fires at most once per surrounding tuple
+// regardless of how many facts satisfy it.
+func Exists[T any](where func(b Bindings, v T) bool) Pattern {
+	p := Match("", where)
+	p.existential = true
+	return p
+}
+
+// Rule is a production: when all patterns match (a join), the action runs.
+type Rule struct {
+	// Name identifies the rule in traces and refraction keys; must be
+	// unique within a session.
+	Name string
+	// Salience orders activations: higher fires first. Default 0.
+	Salience int
+	// NoLoop prevents the rule from ever firing twice on the same tuple
+	// of fact handles, even if the facts are updated.
+	NoLoop bool
+	// When is the sequence of patterns joined left to right.
+	When []Pattern
+	// Then is the right-hand side, run when the rule fires.
+	Then func(ctx *Context)
+}
+
+func (r *Rule) validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("rules: rule with empty name")
+	}
+	if len(r.When) == 0 {
+		return fmt.Errorf("rules: rule %q has no patterns", r.Name)
+	}
+	seen := map[string]bool{}
+	for i, p := range r.When {
+		if p.typ == nil {
+			return fmt.Errorf("rules: rule %q pattern %d built without Match/Not", r.Name, i)
+		}
+		if p.negated || p.existential {
+			if p.Name != "" {
+				return fmt.Errorf("rules: rule %q quantified pattern %d must not bind a name", r.Name, i)
+			}
+			continue
+		}
+		if p.Name == "" {
+			return fmt.Errorf("rules: rule %q pattern %d has no binding name", r.Name, i)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("rules: rule %q duplicate binding %q", r.Name, p.Name)
+		}
+		seen[p.Name] = true
+	}
+	if r.Then == nil {
+		return fmt.Errorf("rules: rule %q has no action", r.Name)
+	}
+	return nil
+}
+
+// Context is passed to a firing rule's action. It exposes the matched
+// bindings and working-memory operations. Mutating a fact's fields must be
+// followed by Update for dependent rules to re-evaluate.
+type Context struct {
+	s     *Session
+	tuple *tuple
+	rule  *Rule
+}
+
+// Rule returns the firing rule's name.
+func (c *Context) Rule() string { return c.rule.Name }
+
+// Get returns the fact bound to the named pattern.
+func (c *Context) Get(name string) any { return c.tuple.Get(name) }
+
+// Handle returns the handle bound to the named pattern.
+func (c *Context) Handle(name string) FactHandle { return c.tuple.Handle(name) }
+
+// Insert adds a fact to working memory.
+func (c *Context) Insert(v any) FactHandle { return c.s.insert(v) }
+
+// Update signals that fact v (matched by identity) was modified.
+func (c *Context) Update(v any) { c.s.update(v) }
+
+// Retract removes fact v (matched by identity) from working memory.
+func (c *Context) Retract(v any) { c.s.retract(v) }
+
+// RetractHandle removes the fact with the given handle.
+func (c *Context) RetractHandle(h FactHandle) { c.s.retractHandle(h) }
+
+// Halt stops FireAll after the current action returns.
+func (c *Context) Halt() { c.s.halted = true }
+
+// Logf writes to the session logger, if any.
+func (c *Context) Logf(format string, args ...any) {
+	c.s.logf("[%s] "+format, append([]any{c.rule.Name}, args...)...)
+}
+
+// Facts returns all facts of exemplar's dynamic type, in insertion order.
+// RHS actions must use Context queries (not Session methods, which lock).
+func (c *Context) Facts(exemplar any) []any {
+	return c.s.factsOfType(reflect.TypeOf(exemplar))
+}
+
+// CtxFactsOf returns all facts of type T visible to the firing rule.
+func CtxFactsOf[T any](c *Context) []T {
+	var zero T
+	vals := c.Facts(zero)
+	out := make([]T, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, v.(T))
+	}
+	return out
+}
+
+// CtxFirst returns the first fact of type T matching pred (nil = any).
+func CtxFirst[T any](c *Context, pred func(T) bool) (T, bool) {
+	for _, v := range CtxFactsOf[T](c) {
+		if pred == nil || pred(v) {
+			return v, true
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// CtxCountOf counts facts of type T matching pred (nil = all).
+func CtxCountOf[T any](c *Context, pred func(T) bool) int {
+	n := 0
+	for _, v := range CtxFactsOf[T](c) {
+		if pred == nil || pred(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// tuple is a concrete Bindings: the facts matched by a rule's patterns.
+type tuple struct {
+	names   []string
+	handles []FactHandle
+	values  []any
+}
+
+func (t *tuple) Get(name string) any {
+	for i, n := range t.names {
+		if n == name {
+			return t.values[i]
+		}
+	}
+	return nil
+}
+
+func (t *tuple) Handle(name string) FactHandle {
+	for i, n := range t.names {
+		if n == name {
+			return t.handles[i]
+		}
+	}
+	return 0
+}

@@ -1,0 +1,460 @@
+package rules
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrBudgetExhausted is returned by FireAll when the firing budget is spent
+// before the agenda empties — almost always a rule loop.
+var ErrBudgetExhausted = errors.New("rules: firing budget exhausted")
+
+// DefaultBudget is the FireAll firing budget used when none is given.
+const DefaultBudget = 100000
+
+// factRecord is a fact as stored in working memory.
+type factRecord struct {
+	handle  FactHandle
+	value   any
+	recency int64 // bumped on insert and update; drives conflict resolution
+}
+
+// Session is a rule session: working memory plus a rule base. It
+// corresponds to a Drools stateful knowledge session; the paper's Policy
+// Memory is the working memory of one long-lived session.
+//
+// Sessions are safe for concurrent use; every exported method locks.
+type Session struct {
+	mu       sync.Mutex
+	rules    []*Rule
+	facts    map[FactHandle]*factRecord
+	byType   map[reflect.Type][]FactHandle // insertion-ordered per type
+	identity map[any]FactHandle
+	next     FactHandle
+	clock    int64
+	fired    map[string]bool // refraction memory
+	// firedByHandle indexes refraction keys by the fact handles they
+	// reference, so retracting a fact garbage-collects its keys — without
+	// this, a long-lived session (the paper's Policy Memory persists for
+	// the service lifetime) would leak refraction state forever.
+	firedByHandle map[FactHandle][]string
+	firings       int64
+	halted        bool
+	logger        func(format string, args ...any)
+	// oldestFirst flips recency-based conflict resolution from Drools'
+	// default LIFO (most recent fact first) to FIFO.
+	oldestFirst bool
+}
+
+// NewSession returns an empty session.
+func NewSession() *Session {
+	return &Session{
+		facts:         make(map[FactHandle]*factRecord),
+		byType:        make(map[reflect.Type][]FactHandle),
+		identity:      make(map[any]FactHandle),
+		fired:         make(map[string]bool),
+		firedByHandle: make(map[FactHandle][]string),
+	}
+}
+
+// Firings returns the total number of rule firings over the session's
+// lifetime.
+func (s *Session) Firings() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.firings
+}
+
+// RefractionSize returns the number of retained refraction entries
+// (diagnostic; bounded by the live fact population thanks to retraction
+// garbage collection).
+func (s *Session) RefractionSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.fired)
+}
+
+// SetOldestFirst selects FIFO conflict resolution: at equal salience,
+// activations over the least recently touched facts fire first. The default
+// (false) matches Drools: most recent first.
+func (s *Session) SetOldestFirst(v bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.oldestFirst = v
+}
+
+// SetLogger installs a trace logger (e.g. testing.T.Logf). Nil disables.
+func (s *Session) SetLogger(f func(format string, args ...any)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logger = f
+}
+
+func (s *Session) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger(format, args...)
+	}
+}
+
+// AddRule appends a rule to the rule base. Rule names must be unique.
+func (s *Session) AddRule(r *Rule) error {
+	if err := r.validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, existing := range s.rules {
+		if existing.Name == r.Name {
+			return fmt.Errorf("rules: duplicate rule name %q", r.Name)
+		}
+	}
+	s.rules = append(s.rules, r)
+	return nil
+}
+
+// MustAddRules adds each rule, panicking on error. Intended for static rule
+// sets validated by tests.
+func (s *Session) MustAddRules(rs ...*Rule) {
+	for _, r := range rs {
+		if err := s.AddRule(r); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Insert adds a fact to working memory and returns its handle. Inserting a
+// value already present (by identity) returns the existing handle.
+func (s *Session) Insert(v any) FactHandle {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.insert(v)
+}
+
+func (s *Session) insert(v any) FactHandle {
+	if v == nil {
+		panic("rules: insert of nil fact")
+	}
+	if h, ok := s.identity[v]; ok {
+		return h
+	}
+	s.next++
+	s.clock++
+	h := s.next
+	rec := &factRecord{handle: h, value: v, recency: s.clock}
+	s.facts[h] = rec
+	t := reflect.TypeOf(v)
+	s.byType[t] = append(s.byType[t], h)
+	s.identity[v] = h
+	return h
+}
+
+// Update marks an existing fact (matched by identity) as modified so rules
+// re-evaluate against it. Unknown facts are ignored.
+func (s *Session) Update(v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.update(v)
+}
+
+func (s *Session) update(v any) {
+	h, ok := s.identity[v]
+	if !ok {
+		return
+	}
+	s.clock++
+	s.facts[h].recency = s.clock
+}
+
+// Retract removes a fact (matched by identity). Unknown facts are ignored.
+func (s *Session) Retract(v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retract(v)
+}
+
+func (s *Session) retract(v any) {
+	if h, ok := s.identity[v]; ok {
+		s.retractHandle(h)
+	}
+}
+
+func (s *Session) retractHandle(h FactHandle) {
+	rec, ok := s.facts[h]
+	if !ok {
+		return
+	}
+	delete(s.facts, h)
+	delete(s.identity, rec.value)
+	t := reflect.TypeOf(rec.value)
+	hs := s.byType[t]
+	for i, hh := range hs {
+		if hh == h {
+			s.byType[t] = append(hs[:i:i], hs[i+1:]...)
+			break
+		}
+	}
+	// Garbage-collect refraction entries referencing the retracted fact.
+	for _, key := range s.firedByHandle[h] {
+		delete(s.fired, key)
+	}
+	delete(s.firedByHandle, h)
+}
+
+// FactCount returns the number of facts in working memory.
+func (s *Session) FactCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.facts)
+}
+
+// Facts returns all facts whose dynamic type equals that of exemplar, in
+// insertion order.
+func (s *Session) Facts(exemplar any) []any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.factsOfType(reflect.TypeOf(exemplar))
+}
+
+func (s *Session) factsOfType(t reflect.Type) []any {
+	hs := s.byType[t]
+	out := make([]any, 0, len(hs))
+	for _, h := range hs {
+		out = append(out, s.facts[h].value)
+	}
+	return out
+}
+
+// FactsOf returns all facts of type T in insertion order.
+func FactsOf[T any](s *Session) []T {
+	var zero T
+	vals := s.Facts(zero)
+	out := make([]T, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, v.(T))
+	}
+	return out
+}
+
+// First returns the first fact of type T matching pred (nil pred = any),
+// and whether one was found.
+func First[T any](s *Session, pred func(T) bool) (T, bool) {
+	for _, v := range FactsOf[T](s) {
+		if pred == nil || pred(v) {
+			return v, true
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// CountOf returns the number of facts of type T matching pred (nil = all).
+func CountOf[T any](s *Session, pred func(T) bool) int {
+	n := 0
+	for _, v := range FactsOf[T](s) {
+		if pred == nil || pred(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// activation is a rule ready to fire on a specific tuple.
+type activation struct {
+	rule      *Rule
+	ruleIndex int
+	tuple     *tuple
+	recency   int64 // max recency across tuple facts
+	key       string
+}
+
+// FireAll runs the match–resolve–act cycle until the agenda is empty, Halt
+// is called, or budget firings have occurred (budget <= 0 selects
+// DefaultBudget). It returns the number of rule firings.
+func (s *Session) FireAll(budget int) (int, error) {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.halted = false
+	firings := 0
+	for firings < budget {
+		act := s.bestActivation()
+		if act == nil {
+			return firings, nil
+		}
+		s.fired[act.key] = true
+		for _, h := range act.tuple.handles {
+			s.firedByHandle[h] = append(s.firedByHandle[h], act.key)
+		}
+		s.logf("fire %s %v", act.rule.Name, act.tuple.handles)
+		act.rule.Then(&Context{s: s, tuple: act.tuple, rule: act.rule})
+		firings++
+		s.firings++
+		if s.halted {
+			return firings, nil
+		}
+	}
+	if s.bestActivation() == nil {
+		return firings, nil
+	}
+	return firings, fmt.Errorf("%w after %d firings", ErrBudgetExhausted, firings)
+}
+
+// bestActivation computes the current agenda and returns the activation
+// that wins conflict resolution, or nil if the agenda is empty.
+// Called with s.mu held.
+func (s *Session) bestActivation() *activation {
+	var agenda []*activation
+	for i, r := range s.rules {
+		s.matchRule(r, i, &agenda)
+	}
+	if len(agenda) == 0 {
+		return nil
+	}
+	sort.SliceStable(agenda, func(i, j int) bool {
+		a, b := agenda[i], agenda[j]
+		if a.rule.Salience != b.rule.Salience {
+			return a.rule.Salience > b.rule.Salience
+		}
+		if a.recency != b.recency {
+			if s.oldestFirst {
+				return a.recency < b.recency
+			}
+			return a.recency > b.recency
+		}
+		if a.ruleIndex != b.ruleIndex {
+			return a.ruleIndex < b.ruleIndex
+		}
+		// Deterministic final tie-break: earlier handles first.
+		for k := range a.tuple.handles {
+			if k >= len(b.tuple.handles) {
+				break
+			}
+			if a.tuple.handles[k] != b.tuple.handles[k] {
+				return a.tuple.handles[k] < b.tuple.handles[k]
+			}
+		}
+		return false
+	})
+	return agenda[0]
+}
+
+// matchRule appends every unfired activation of r to agenda.
+// Called with s.mu held.
+func (s *Session) matchRule(r *Rule, ruleIndex int, agenda *[]*activation) {
+	var join func(depth int, t *tuple)
+	join = func(depth int, t *tuple) {
+		if depth == len(r.When) {
+			key := s.activationRecencyKey(r, t)
+			if s.fired[key] {
+				return
+			}
+			var maxRec int64
+			for _, h := range t.handles {
+				if rec := s.facts[h]; rec != nil && rec.recency > maxRec {
+					maxRec = rec.recency
+				}
+			}
+			cp := &tuple{
+				names:   append([]string(nil), t.names...),
+				handles: append([]FactHandle(nil), t.handles...),
+				values:  append([]any(nil), t.values...),
+			}
+			*agenda = append(*agenda, &activation{rule: r, ruleIndex: ruleIndex, tuple: cp, recency: maxRec, key: key})
+			return
+		}
+		p := r.When[depth]
+		if p.negated || p.existential {
+			found := false
+			for _, h := range s.byType[p.typ] {
+				rec, ok := s.facts[h]
+				if !ok {
+					continue
+				}
+				if p.where == nil || p.where(t, rec.value) {
+					found = true
+					break
+				}
+			}
+			if found != p.negated {
+				// Negation succeeds when nothing matched; existence
+				// succeeds when something did.
+				join(depth+1, t)
+			}
+			return
+		}
+		for _, h := range append([]FactHandle(nil), s.byType[p.typ]...) {
+			rec, ok := s.facts[h]
+			if !ok {
+				continue
+			}
+			// A fact may satisfy at most one pattern position in a tuple.
+			dup := false
+			for _, used := range t.handles {
+				if used == h {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			t.names = append(t.names, p.Name)
+			t.handles = append(t.handles, h)
+			t.values = append(t.values, rec.value)
+			if p.where == nil || p.where(t, rec.value) {
+				join(depth+1, t)
+			}
+			t.names = t.names[:depth]
+			t.handles = t.handles[:depth]
+			t.values = t.values[:depth]
+		}
+	}
+	join(0, &tuple{})
+}
+
+// activationKey builds the refraction key: rule + tuple handles, plus the
+// facts' recencies unless the rule is NoLoop (so updates re-arm normal
+// rules but never NoLoop rules).
+func activationKey(r *Rule, t *tuple) string {
+	var sb strings.Builder
+	sb.WriteString(r.Name)
+	for _, h := range t.handles {
+		fmt.Fprintf(&sb, "|%d", h)
+	}
+	return sb.String()
+}
+
+// activationRecencyKey adds recency to the refraction key for non-NoLoop
+// rules, so fact updates re-arm normal rules but never NoLoop rules.
+func (s *Session) activationRecencyKey(r *Rule, t *tuple) string {
+	base := activationKey(r, t)
+	if r.NoLoop {
+		return base
+	}
+	var sb strings.Builder
+	sb.WriteString(base)
+	for _, h := range t.handles {
+		if rec := s.facts[h]; rec != nil {
+			fmt.Fprintf(&sb, "~%d", rec.recency)
+		}
+	}
+	return sb.String()
+}
+
+// Reset clears working memory and refraction state but keeps the rule base.
+func (s *Session) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.facts = make(map[FactHandle]*factRecord)
+	s.byType = make(map[reflect.Type][]FactHandle)
+	s.identity = make(map[any]FactHandle)
+	s.fired = make(map[string]bool)
+	s.firedByHandle = make(map[FactHandle][]string)
+	s.halted = false
+}

@@ -1,0 +1,150 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunMaxTimeLeavesProcsWithoutPanic(t *testing.T) {
+	e := NewEnv(1)
+	reached := false
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(100)
+		reached = true
+	})
+	end := e.Run(10) // cut off before the sleep completes
+	if end != 10 || reached {
+		t.Fatalf("end=%v reached=%v", end, reached)
+	}
+}
+
+func TestSignalBroadcastTwice(t *testing.T) {
+	e := NewEnv(1)
+	sig := e.NewSignal()
+	wakes := 0
+	e.Go("w", func(p *Proc) {
+		sig.Wait(p)
+		wakes++
+		sig.Wait(p)
+		wakes++
+	})
+	e.Go("b", func(p *Proc) {
+		p.Sleep(1)
+		sig.Broadcast()
+		p.Sleep(1)
+		sig.Broadcast()
+	})
+	e.Run(0)
+	if wakes != 2 {
+		t.Fatalf("wakes = %d", wakes)
+	}
+	// Broadcasting with no waiters is a no-op.
+	sig.Broadcast()
+}
+
+func TestReleaseWithoutWaiters(t *testing.T) {
+	e := NewEnv(1)
+	res := e.NewResource("r", 2)
+	res.Release(5) // clamp at zero, no panic
+	if res.InUse() != 0 {
+		t.Fatalf("InUse = %d", res.InUse())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-capacity resource accepted")
+		}
+	}()
+	e.NewResource("bad", 0)
+}
+
+func TestAcquireOverCapacityPanics(t *testing.T) {
+	e := NewEnv(1)
+	res := e.NewResource("r", 2)
+	panicked := false
+	e.Go("p", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		res.Acquire(p, 3)
+	})
+	e.Run(0)
+	if !panicked {
+		t.Fatal("over-capacity acquire did not panic")
+	}
+}
+
+func TestAcquireZeroIsNoop(t *testing.T) {
+	e := NewEnv(1)
+	res := e.NewResource("r", 1)
+	e.Go("p", func(p *Proc) {
+		res.Acquire(p, 0)
+		if res.InUse() != 0 {
+			t.Error("zero acquire took units")
+		}
+	})
+	e.Run(0)
+}
+
+func TestLANConfigNeverOverloads(t *testing.T) {
+	cfg := LANConfig()
+	for _, n := range []int{1, 10, 100, 1000} {
+		if eff := cfg.Efficiency(n); eff != 1 {
+			t.Fatalf("LAN eff(%d) = %v", n, eff)
+		}
+	}
+	// Many small LAN transfers complete near wire speed.
+	e := NewEnv(1)
+	cfg.FlowJitterSigma = 0
+	cfg.CapacityJitterSigma = 0
+	pipe := e.NewPipe(cfg)
+	for i := 0; i < 20; i++ {
+		e.Go("t", func(p *Proc) {
+			if err := pipe.Transfer(p, 2, 1); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	end := e.Run(0)
+	// 40 MB over min(20x40, 110) = 110 MB/s ≈ 0.36 s.
+	if math.Abs(end-40.0/110.0) > 1e-6 {
+		t.Fatalf("end = %v", end)
+	}
+}
+
+func TestCapacityJitterClamped(t *testing.T) {
+	cfg := WANConfig()
+	cfg.CapacityJitterSigma = 10 // absurd sigma: clamp must bound it
+	for seed := int64(0); seed < 30; seed++ {
+		e := NewEnv(seed)
+		pipe := e.NewPipe(cfg)
+		if pipe.capScale < 0.5 || pipe.capScale > 1.5 {
+			t.Fatalf("capScale = %v", pipe.capScale)
+		}
+	}
+}
+
+func TestCurveEffBeforeFirstPoint(t *testing.T) {
+	cfg := WANConfig()
+	// Between the knee (65) and the first curve point, interpolation
+	// starts at the first point's value.
+	if eff := cfg.Efficiency(66); eff > 1 || eff < 0.99 {
+		t.Fatalf("eff(66) = %v", eff)
+	}
+	// Beyond the last point: floor.
+	if eff := cfg.Efficiency(10_000); eff != cfg.EffFloor {
+		t.Fatalf("eff(10000) = %v", eff)
+	}
+}
+
+func TestEnvEventsCounter(t *testing.T) {
+	e := NewEnv(1)
+	for i := 0; i < 5; i++ {
+		e.At(float64(i), func() {})
+	}
+	e.Run(0)
+	if e.Events() != 5 {
+		t.Fatalf("events = %d", e.Events())
+	}
+}

@@ -1,0 +1,272 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClockAdvancesWithEvents(t *testing.T) {
+	e := NewEnv(1)
+	var times []float64
+	e.At(5, func() { times = append(times, e.Now()) })
+	e.At(1, func() { times = append(times, e.Now()) })
+	e.At(3, func() { times = append(times, e.Now()) })
+	end := e.Run(0)
+	if end != 5 {
+		t.Fatalf("end = %v", end)
+	}
+	want := []float64{1, 3, 5}
+	for i, w := range want {
+		if times[i] != w {
+			t.Fatalf("times = %v", times)
+		}
+	}
+}
+
+func TestEventsAtSameTimeFIFO(t *testing.T) {
+	e := NewEnv(1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(1, func() { order = append(order, i) })
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestRunMaxTime(t *testing.T) {
+	e := NewEnv(1)
+	fired := false
+	e.At(10, func() { fired = true })
+	end := e.Run(5)
+	if end != 5 || fired {
+		t.Fatalf("end = %v, fired = %v", end, fired)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEnv(1)
+	var trace []float64
+	e.Go("p", func(p *Proc) {
+		trace = append(trace, p.Now())
+		p.Sleep(2)
+		trace = append(trace, p.Now())
+		p.Sleep(3)
+		trace = append(trace, p.Now())
+	})
+	e.Run(0)
+	want := []float64{0, 2, 5}
+	for i, w := range want {
+		if trace[i] != w {
+			t.Fatalf("trace = %v", trace)
+		}
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEnv(7)
+		var log []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			e.Go(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					log = append(log, name)
+					p.Sleep(1)
+				}
+			})
+		}
+		e.Run(0)
+		return log
+	}
+	first := run()
+	for trial := 0; trial < 5; trial++ {
+		got := run()
+		for i := range first {
+			if got[i] != first[i] {
+				t.Fatalf("nondeterministic interleaving: %v vs %v", first, got)
+			}
+		}
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	e := NewEnv(1)
+	sig := e.NewSignal()
+	e.Go("stuck", func(p *Proc) { sig.Wait(p) })
+	e.Run(0)
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	e := NewEnv(1)
+	sig := e.NewSignal()
+	woke := 0
+	for i := 0; i < 3; i++ {
+		e.Go("w", func(p *Proc) {
+			sig.Wait(p)
+			woke++
+		})
+	}
+	e.Go("broadcaster", func(p *Proc) {
+		p.Sleep(5)
+		sig.Broadcast()
+	})
+	e.Run(0)
+	if woke != 3 {
+		t.Fatalf("woke = %d", woke)
+	}
+}
+
+func TestResourceLimitsConcurrency(t *testing.T) {
+	e := NewEnv(1)
+	res := e.NewResource("cores", 2)
+	inUse, maxUse := 0, 0
+	for i := 0; i < 6; i++ {
+		e.Go("job", func(p *Proc) {
+			res.Acquire(p, 1)
+			inUse++
+			if inUse > maxUse {
+				maxUse = inUse
+			}
+			p.Sleep(10)
+			inUse--
+			res.Release(1)
+		})
+	}
+	end := e.Run(0)
+	if maxUse != 2 {
+		t.Fatalf("max concurrency = %d, want 2", maxUse)
+	}
+	// 6 jobs x 10s at concurrency 2 = 30s.
+	if end != 30 {
+		t.Fatalf("end = %v, want 30", end)
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEnv(1)
+	res := e.NewResource("slot", 1)
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Go("j", func(p *Proc) {
+			res.Acquire(p, 1)
+			order = append(order, i)
+			p.Sleep(1)
+			res.Release(1)
+		})
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestResourceMultiUnit(t *testing.T) {
+	e := NewEnv(1)
+	res := e.NewResource("mem", 4)
+	var done []string
+	e.Go("big", func(p *Proc) {
+		res.Acquire(p, 3)
+		p.Sleep(10)
+		res.Release(3)
+		done = append(done, "big")
+	})
+	e.Go("small", func(p *Proc) {
+		p.Sleep(1) // arrive second
+		res.Acquire(p, 2)
+		p.Sleep(1)
+		res.Release(2)
+		done = append(done, "small")
+	})
+	e.Run(0)
+	// small (2 units) must wait for big (3 of 4 used): finishes at 12.
+	if len(done) != 2 || done[0] != "big" {
+		t.Fatalf("done = %v", done)
+	}
+	if res.InUse() != 0 || res.Queued() != 0 {
+		t.Fatalf("leaked: inUse=%d queued=%d", res.InUse(), res.Queued())
+	}
+}
+
+func TestWithResource(t *testing.T) {
+	e := NewEnv(1)
+	res := e.NewResource("r", 1)
+	ran := false
+	e.Go("p", func(p *Proc) {
+		res.WithResource(p, 1, func() {
+			if res.InUse() != 1 {
+				t.Error("not held inside fn")
+			}
+			ran = true
+		})
+		if res.InUse() != 0 {
+			t.Error("not released")
+		}
+	})
+	e.Run(0)
+	if !ran {
+		t.Fatal("fn not run")
+	}
+}
+
+func TestEfficiencyCurve(t *testing.T) {
+	cfg := WANConfig()
+	if got := cfg.Efficiency(50); got != 1 {
+		t.Fatalf("eff(50) = %v", got)
+	}
+	if got := cfg.Efficiency(65); got != 1 {
+		t.Fatalf("eff(65) = %v", got)
+	}
+	// Calibration targets (see pipe.go): eff(80) ~ 0.93, eff(160) ~ 0.74.
+	if got := cfg.Efficiency(80); math.Abs(got-0.93) > 0.005 {
+		t.Fatalf("eff(80) = %v", got)
+	}
+	if got := cfg.Efficiency(160); math.Abs(got-0.74) > 0.005 {
+		t.Fatalf("eff(160) = %v", got)
+	}
+	// Interpolation between calibration points.
+	if got := cfg.Efficiency(135); got >= 0.92 || got <= 0.74 {
+		t.Fatalf("eff(135) = %v, want between", got)
+	}
+	// Monotone nonincreasing.
+	prev := 2.0
+	for n := 1; n < 400; n += 7 {
+		eff := cfg.Efficiency(n)
+		if eff > prev+1e-12 {
+			t.Fatalf("efficiency increased at n=%d", n)
+		}
+		prev = eff
+	}
+	// Floor respected.
+	if got := cfg.Efficiency(100000); got != cfg.EffFloor {
+		t.Fatalf("floor = %v", got)
+	}
+}
+
+func TestGoodputSaturation(t *testing.T) {
+	cfg := WANConfig()
+	cfg.FlowJitterSigma = 0
+	// Below saturation: proportional to streams (per-stream cap 0.9).
+	if got := cfg.Goodput(2); math.Abs(got-1.8) > 1e-9 {
+		t.Fatalf("Goodput(2) = %v", got)
+	}
+	// At saturation: capacity.
+	if got := cfg.Goodput(50); math.Abs(got-3.5) > 1e-9 {
+		t.Fatalf("Goodput(50) = %v", got)
+	}
+	if got := cfg.Goodput(0); got != 0 {
+		t.Fatalf("Goodput(0) = %v", got)
+	}
+}

@@ -1,0 +1,248 @@
+package simnet
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// quiet returns a WAN-like config with jitter and failures disabled, for
+// exact-arithmetic tests.
+func quiet() PipeConfig {
+	cfg := WANConfig()
+	cfg.FlowJitterSigma = 0
+	cfg.CapacityJitterSigma = 0
+	cfg.FailureHazard = 0
+	return cfg
+}
+
+func TestSingleTransferDuration(t *testing.T) {
+	e := NewEnv(1)
+	pipe := e.NewPipe(quiet())
+	var took float64
+	e.Go("x", func(p *Proc) {
+		start := p.Now()
+		if err := pipe.Transfer(p, 7, 10); err != nil {
+			t.Errorf("Transfer: %v", err)
+		}
+		took = p.Now() - start
+	})
+	e.Run(0)
+	// 10 streams saturate the 3.5 MB/s link; 7 MB -> 2 s.
+	if math.Abs(took-2) > 1e-6 {
+		t.Fatalf("took = %v, want 2", took)
+	}
+	mb, completed, failed := pipe.Stats()
+	if mb != 7 || completed != 1 || failed != 0 {
+		t.Fatalf("stats = %v, %d, %d", mb, completed, failed)
+	}
+}
+
+func TestBandwidthSharedByStreams(t *testing.T) {
+	e := NewEnv(1)
+	cfg := quiet()
+	pipe := e.NewPipe(cfg)
+	ends := map[string]float64{}
+	// Two transfers, 30 and 10 streams: the pipe is saturated at
+	// 3.5 MB/s and shares are proportional to stream counts.
+	e.Go("big", func(p *Proc) {
+		if err := pipe.Transfer(p, 21, 30); err != nil {
+			t.Error(err)
+		}
+		ends["big"] = p.Now()
+	})
+	e.Go("small", func(p *Proc) {
+		if err := pipe.Transfer(p, 7, 10); err != nil {
+			t.Error(err)
+		}
+		ends["small"] = p.Now()
+	})
+	e.Run(0)
+	// Shares: big 30/40 of 3.5 = 2.625 MB/s; small 10/40 = 0.875 MB/s.
+	// Both need exactly 8 s.
+	if math.Abs(ends["big"]-8) > 1e-6 || math.Abs(ends["small"]-8) > 1e-6 {
+		t.Fatalf("ends = %v", ends)
+	}
+}
+
+func TestRateReallocationOnCompletion(t *testing.T) {
+	e := NewEnv(1)
+	pipe := e.NewPipe(quiet())
+	var end2 float64
+	e.Go("first", func(p *Proc) {
+		if err := pipe.Transfer(p, 3.5, 25); err != nil { // 25x0.07=1.75 MB/s solo
+			t.Error(err)
+		}
+	})
+	e.Go("second", func(p *Proc) {
+		if err := pipe.Transfer(p, 3.5, 25); err != nil {
+			t.Error(err)
+		}
+		end2 = p.Now()
+	})
+	e.Run(0)
+	// Both start together: 50 streams -> 3.5 MB/s total, 1.75 each.
+	// Both finish at t=2.0 simultaneously.
+	if math.Abs(end2-2.0) > 1e-6 {
+		t.Fatalf("end2 = %v", end2)
+	}
+}
+
+func TestOverloadSlowsAggregate(t *testing.T) {
+	run := func(streamsPer int, flows int) float64 {
+		e := NewEnv(1)
+		pipe := e.NewPipe(quiet())
+		var end float64
+		for i := 0; i < flows; i++ {
+			e.Go("f", func(p *Proc) {
+				if err := pipe.Transfer(p, 10, streamsPer); err != nil {
+					t.Error(err)
+				}
+				if p.Now() > end {
+					end = p.Now()
+				}
+			})
+		}
+		e.Run(0)
+		return end
+	}
+	// 20 flows x 3 streams = 60 <= knee: full capacity.
+	// 20 flows x 10 streams = 200 streams: overloaded, slower despite
+	// more streams.
+	atKnee := run(3, 20)
+	overloaded := run(10, 20)
+	if overloaded <= atKnee {
+		t.Fatalf("overload did not slow transfers: %v vs %v", atKnee, overloaded)
+	}
+	// The slowdown matches the efficiency model: eff(200).
+	cfg := quiet()
+	wantRatio := 1 / cfg.Efficiency(200)
+	gotRatio := overloaded / atKnee
+	if math.Abs(gotRatio-wantRatio) > 0.01 {
+		t.Fatalf("slowdown ratio = %v, want %v", gotRatio, wantRatio)
+	}
+}
+
+func TestZeroSizeTransferImmediate(t *testing.T) {
+	e := NewEnv(1)
+	pipe := e.NewPipe(quiet())
+	e.Go("x", func(p *Proc) {
+		if err := pipe.Transfer(p, 0, 4); err != nil {
+			t.Error(err)
+		}
+		if p.Now() != 0 {
+			t.Errorf("zero transfer took time: %v", p.Now())
+		}
+	})
+	e.Run(0)
+}
+
+func TestFailuresUnderOverload(t *testing.T) {
+	cfg := quiet()
+	cfg.FailureHazard = 0.05 // very failure-prone for the test
+	failures := 0
+	completions := 0
+	e := NewEnv(42)
+	pipe := e.NewPipe(cfg)
+	for i := 0; i < 30; i++ {
+		e.Go("f", func(p *Proc) {
+			err := pipe.Transfer(p, 20, 10) // 300 streams: deep overload
+			switch {
+			case errors.Is(err, ErrTransferFailed):
+				failures++
+			case err == nil:
+				completions++
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		})
+	}
+	e.Run(0)
+	if failures == 0 {
+		t.Fatal("expected some failures under deep overload")
+	}
+	if failures+completions != 30 {
+		t.Fatalf("accounted flows = %d", failures+completions)
+	}
+	_, c, f := pipe.Stats()
+	if int(c) != completions || int(f) != failures {
+		t.Fatalf("pipe stats (%d,%d) disagree with outcomes (%d,%d)", c, f, completions, failures)
+	}
+}
+
+func TestNoFailuresBelowKnee(t *testing.T) {
+	cfg := quiet()
+	cfg.FailureHazard = 0.1
+	e := NewEnv(42)
+	pipe := e.NewPipe(cfg)
+	for i := 0; i < 10; i++ { // 40 streams total < knee 65
+		e.Go("f", func(p *Proc) {
+			if err := pipe.Transfer(p, 5, 4); err != nil {
+				t.Errorf("failure below knee: %v", err)
+			}
+		})
+	}
+	e.Run(0)
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func(seed int64) (float64, int64) {
+		cfg := WANConfig() // jitter and failures on
+		e := NewEnv(seed)
+		pipe := e.NewPipe(cfg)
+		for i := 0; i < 25; i++ {
+			sz := float64(5 + i%7)
+			e.Go("f", func(p *Proc) {
+				// Ignore failures; retry once.
+				if err := pipe.Transfer(p, sz, 4); err != nil {
+					pipe.Transfer(p, sz, 4)
+				}
+			})
+		}
+		end := e.Run(0)
+		return end, e.Events()
+	}
+	e1, n1 := run(99)
+	e2, n2 := run(99)
+	if e1 != e2 || n1 != n2 {
+		t.Fatalf("same seed diverged: (%v,%d) vs (%v,%d)", e1, n1, e2, n2)
+	}
+	e3, _ := run(100)
+	if e3 == e1 {
+		t.Log("different seeds gave identical end times (possible but unlikely)")
+	}
+}
+
+func TestMaxStreamsSeen(t *testing.T) {
+	e := NewEnv(1)
+	pipe := e.NewPipe(quiet())
+	for i := 0; i < 5; i++ {
+		e.Go("f", func(p *Proc) {
+			pipe.Transfer(p, 1, 8)
+		})
+	}
+	e.Run(0)
+	if got := pipe.MaxStreamsSeen(); got != 40 {
+		t.Fatalf("MaxStreamsSeen = %d, want 40", got)
+	}
+	if pipe.ActiveFlows() != 0 || pipe.ActiveStreams() != 0 {
+		t.Fatal("flows leaked")
+	}
+}
+
+func TestMinimumOneStream(t *testing.T) {
+	e := NewEnv(1)
+	pipe := e.NewPipe(quiet())
+	var took float64
+	e.Go("x", func(p *Proc) {
+		start := p.Now()
+		if err := pipe.Transfer(p, 0.9, 0); err != nil { // streams raised to 1
+			t.Error(err)
+		}
+		took = p.Now() - start
+	})
+	e.Run(0)
+	if math.Abs(took-1.0) > 1e-6 {
+		t.Fatalf("took = %v, want 1.0 (1 stream capped at 0.9 MB/s)", took)
+	}
+}

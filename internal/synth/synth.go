@@ -1,0 +1,242 @@
+// Package synth generates synthetic data-intensive workflows with
+// controllable DAG shapes. The paper evaluates one application (Montage);
+// these generators let the harness explore how the policies behave across
+// workflow structures — in particular the structure-based priorities of
+// Section III(c), which are invisible on Montage's level-symmetric staging
+// but decisive on skewed shapes.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"policyflow/internal/workflow"
+)
+
+// Shape selects the DAG topology.
+type Shape string
+
+const (
+	// Chain is a linear pipeline: j1 -> j2 -> ... -> jN.
+	Chain Shape = "chain"
+	// FanOut is one root feeding N-1 independent children.
+	FanOut Shape = "fan-out"
+	// FanIn is N-1 independent producers feeding one sink.
+	FanIn Shape = "fan-in"
+	// Diamond alternates fan-out and fan-in layers.
+	Diamond Shape = "diamond"
+	// Random is a layered random DAG.
+	Random Shape = "random"
+)
+
+// Shapes lists every supported topology.
+func Shapes() []Shape { return []Shape{Chain, FanOut, FanIn, Diamond, Random} }
+
+// Config parameterizes generation.
+type Config struct {
+	// Name of the workflow; defaults to "synth-<shape>".
+	Name string
+	// Shape selects the topology.
+	Shape Shape
+	// Jobs is the total number of compute jobs (>= 2).
+	Jobs int
+	// InputMB is the external input staged for each job.
+	InputMB float64
+	// RuntimeSeconds is each job's compute time.
+	RuntimeSeconds float64
+	// Levels and Width shape the Random topology (defaults derived from
+	// Jobs); each non-root job gets 1-3 parents from the previous level.
+	Levels int
+	Width  int
+	// Seed drives the Random topology and the Scramble permutation.
+	Seed int64
+	// Scramble randomizes job insertion order. Planners and executors
+	// release ready tasks in insertion order, so without priorities the
+	// staging order is whatever the submission happened to be — the
+	// realistic adversary for the structure-based priority policies.
+	Scramble bool
+	// SourceBase is the URL prefix external inputs are staged from.
+	SourceBase string
+}
+
+func (c *Config) normalize() error {
+	if c.Shape == "" {
+		c.Shape = FanOut
+	}
+	switch c.Shape {
+	case Chain, FanOut, FanIn, Diamond, Random:
+	default:
+		return fmt.Errorf("synth: unknown shape %q", c.Shape)
+	}
+	if c.Name == "" {
+		c.Name = "synth-" + string(c.Shape)
+	}
+	if c.Jobs < 2 {
+		return fmt.Errorf("synth: need at least 2 jobs, got %d", c.Jobs)
+	}
+	if c.InputMB <= 0 {
+		c.InputMB = 10
+	}
+	if c.RuntimeSeconds <= 0 {
+		c.RuntimeSeconds = 10
+	}
+	if c.SourceBase == "" {
+		c.SourceBase = "gsiftp://alamo.futuregrid.tacc.example.org/synth"
+	}
+	if c.Levels < 2 {
+		c.Levels = 4
+	}
+	if c.Width < 1 {
+		c.Width = (c.Jobs + c.Levels - 1) / c.Levels
+	}
+	return nil
+}
+
+// Generate builds the workflow.
+func Generate(cfg Config) (*workflow.Workflow, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	w := workflow.New(cfg.Name)
+	mb := func(x float64) int64 { return int64(x * (1 << 20)) }
+
+	extName := func(i int) string { return fmt.Sprintf("in_%03d.dat", i) }
+	outName := func(i int) string { return fmt.Sprintf("out_%03d.dat", i) }
+	// Topology construction records job specs; jobs are inserted into the
+	// workflow afterwards (optionally in scrambled order).
+	type jobSpec struct {
+		i       int
+		parents []int
+	}
+	var specs []jobSpec
+	addJob := func(i int, parents []int) {
+		specs = append(specs, jobSpec{i: i, parents: append([]int(nil), parents...)})
+	}
+
+	n := cfg.Jobs
+	switch cfg.Shape {
+	case Chain:
+		for i := 0; i < n; i++ {
+			if i == 0 {
+				addJob(i, nil)
+			} else {
+				addJob(i, []int{i - 1})
+			}
+		}
+	case FanOut:
+		addJob(0, nil)
+		for i := 1; i < n; i++ {
+			addJob(i, []int{0})
+		}
+	case FanIn:
+		for i := 0; i < n-1; i++ {
+			addJob(i, nil)
+		}
+		parents := make([]int, n-1)
+		for i := range parents {
+			parents[i] = i
+		}
+		addJob(n-1, parents)
+	case Diamond:
+		// root -> middle fan -> sink, repeated while jobs remain.
+		i := 0
+		var prevSink = -1
+		for i < n {
+			root := i
+			if prevSink >= 0 {
+				addJob(root, []int{prevSink})
+			} else {
+				addJob(root, nil)
+			}
+			i++
+			fan := min(3, n-i-1)
+			var mids []int
+			for f := 0; f < fan && i < n; f++ {
+				addJob(i, []int{root})
+				mids = append(mids, i)
+				i++
+			}
+			if i < n {
+				if len(mids) == 0 {
+					mids = []int{root}
+				}
+				addJob(i, mids)
+				prevSink = i
+				i++
+			}
+		}
+	case Random:
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		levelOf := make([]int, n)
+		var byLevel [][]int
+		for i := 0; i < n; i++ {
+			lvl := i * cfg.Levels / n
+			levelOf[i] = lvl
+			for len(byLevel) <= lvl {
+				byLevel = append(byLevel, nil)
+			}
+			byLevel[lvl] = append(byLevel[lvl], i)
+		}
+		for i := 0; i < n; i++ {
+			lvl := levelOf[i]
+			if lvl == 0 {
+				addJob(i, nil)
+				continue
+			}
+			prev := byLevel[lvl-1]
+			k := 1 + rng.Intn(min(3, len(prev)))
+			seen := map[int]bool{}
+			var parents []int
+			for len(parents) < k {
+				p := prev[rng.Intn(len(prev))]
+				if !seen[p] {
+					seen[p] = true
+					parents = append(parents, p)
+				}
+			}
+			addJob(i, parents)
+		}
+	}
+	// Register every file, then insert the jobs.
+	for _, sp := range specs {
+		w.MustAddFile(&workflow.File{
+			Name:      extName(sp.i),
+			SizeBytes: mb(cfg.InputMB),
+			SourceURL: cfg.SourceBase + "/" + extName(sp.i),
+		})
+		w.MustAddFile(&workflow.File{Name: outName(sp.i), SizeBytes: mb(1)})
+	}
+	order := make([]int, len(specs))
+	for i := range order {
+		order[i] = i
+	}
+	if cfg.Scramble {
+		rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5ca3b1e))
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+	}
+	for _, idx := range order {
+		sp := specs[idx]
+		inputs := []string{extName(sp.i)}
+		for _, p := range sp.parents {
+			inputs = append(inputs, outName(p))
+		}
+		w.MustAddJob(&workflow.Job{
+			ID:             fmt.Sprintf("job_%03d", sp.i),
+			Transformation: "synth",
+			RuntimeSeconds: cfg.RuntimeSeconds,
+			Inputs:         inputs,
+			Outputs:        []string{outName(sp.i)},
+		})
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,115 @@
+package transfer
+
+import (
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"policyflow/internal/simnet"
+)
+
+// LocalFabric is a Fabric that moves real bytes on the local filesystem:
+// each URL's path is mapped beneath a root directory, and transfers are
+// file copies. It lets the full stack — planner, executor, transfer tool,
+// policy service — run against real data without a GridFTP deployment,
+// and backs the integration tests that verify actual file movement.
+//
+// Parallel stream counts are accepted but do not change local copy
+// behaviour. Copies run instantaneously in virtual time; LocalFabric is
+// for functional verification, not performance simulation.
+type LocalFabric struct {
+	root string
+}
+
+// NewLocalFabric stores all files under root (created if absent).
+func NewLocalFabric(root string) (*LocalFabric, error) {
+	if root == "" {
+		return nil, fmt.Errorf("transfer: LocalFabric root is required")
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("transfer: create root: %w", err)
+	}
+	return &LocalFabric{root: root}, nil
+}
+
+// Path maps a URL to its backing file under the fabric root: host and
+// path become directory components.
+func (f *LocalFabric) Path(rawURL string) (string, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return "", fmt.Errorf("transfer: parse URL %q: %w", rawURL, err)
+	}
+	p := strings.TrimPrefix(u.Path, "/")
+	clean := filepath.Clean(filepath.Join(u.Hostname(), filepath.FromSlash(p)))
+	if clean == "." || strings.HasPrefix(clean, "..") {
+		return "", fmt.Errorf("transfer: URL %q escapes the fabric root", rawURL)
+	}
+	return filepath.Join(f.root, clean), nil
+}
+
+// Put creates a source file with the given content, for seeding inputs.
+func (f *LocalFabric) Put(rawURL string, content []byte) error {
+	path, err := f.Path(rawURL)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, content, 0o644)
+}
+
+// Exists reports whether a URL's backing file exists.
+func (f *LocalFabric) Exists(rawURL string) bool {
+	path, err := f.Path(rawURL)
+	if err != nil {
+		return false
+	}
+	_, err = os.Stat(path)
+	return err == nil
+}
+
+// Transfer implements Fabric with a real file copy.
+func (f *LocalFabric) Transfer(p *simnet.Proc, srcURL, dstURL string, sizeBytes int64, streams int) error {
+	srcPath, err := f.Path(srcURL)
+	if err != nil {
+		return err
+	}
+	dstPath, err := f.Path(dstURL)
+	if err != nil {
+		return err
+	}
+	src, err := os.Open(srcPath)
+	if err != nil {
+		return fmt.Errorf("transfer: open source %s: %w", srcURL, err)
+	}
+	defer src.Close()
+	if err := os.MkdirAll(filepath.Dir(dstPath), 0o755); err != nil {
+		return err
+	}
+	dst, err := os.Create(dstPath)
+	if err != nil {
+		return fmt.Errorf("transfer: create destination %s: %w", dstURL, err)
+	}
+	if _, err := io.Copy(dst, src); err != nil {
+		dst.Close()
+		return fmt.Errorf("transfer: copy %s -> %s: %w", srcURL, dstURL, err)
+	}
+	return dst.Close()
+}
+
+// Delete implements Fabric by removing the backing file. Deleting a
+// missing file is not an error (cleanup is idempotent).
+func (f *LocalFabric) Delete(p *simnet.Proc, rawURL string) error {
+	path, err := f.Path(rawURL)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("transfer: delete %s: %w", rawURL, err)
+	}
+	return nil
+}

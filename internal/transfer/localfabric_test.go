@@ -1,0 +1,135 @@
+package transfer
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"policyflow/internal/policy"
+	"policyflow/internal/simnet"
+	"policyflow/internal/workflow"
+)
+
+func TestLocalFabricCopiesRealBytes(t *testing.T) {
+	fab, err := NewLocalFabric(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const srcURL = "gsiftp://src.example.org/data/input.dat"
+	const dstURL = "file://dst.example.org/scratch/input.dat"
+	content := []byte("the quick brown fox")
+	if err := fab.Put(srcURL, content); err != nil {
+		t.Fatal(err)
+	}
+
+	svc, err := policy.New(policy.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptt, err := New(Config{Advisor: svc, Fabric: fab, DefaultStreams: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := simnet.NewEnv(1)
+	env.Go("stage", func(p *simnet.Proc) {
+		err := ptt.ExecuteList(p, "wf1", "c1", []workflow.TransferOp{{
+			FileName: "input.dat", SourceURL: srcURL, DestURL: dstURL,
+			SizeBytes: int64(len(content)),
+		}}, 0)
+		if err != nil {
+			t.Errorf("ExecuteList: %v", err)
+		}
+	})
+	env.Run(0)
+
+	dstPath, err := fab.Path(dstURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(dstPath)
+	if err != nil {
+		t.Fatalf("destination missing: %v", err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("content = %q", got)
+	}
+
+	// Cleanup through the policy path deletes the real file.
+	env2 := simnet.NewEnv(2)
+	env2.Go("clean", func(p *simnet.Proc) {
+		if err := ptt.ExecuteCleanups(p, "wf1", []string{dstURL}); err != nil {
+			t.Errorf("ExecuteCleanups: %v", err)
+		}
+	})
+	env2.Run(0)
+	if fab.Exists(dstURL) {
+		t.Fatal("file survived cleanup")
+	}
+}
+
+func TestLocalFabricMissingSource(t *testing.T) {
+	fab, err := NewLocalFabric(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := simnet.NewEnv(1)
+	var gotErr error
+	env.Go("x", func(p *simnet.Proc) {
+		gotErr = fab.Transfer(p, "http://a.example.org/missing", "file://b.example.org/x", 1, 1)
+	})
+	env.Run(0)
+	if gotErr == nil {
+		t.Fatal("missing source accepted")
+	}
+}
+
+func TestLocalFabricPathSafety(t *testing.T) {
+	fab, err := NewLocalFabric(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		"http://../../../etc/passwd",
+		"http:///../../x",
+	} {
+		if _, err := fab.Path(bad); err == nil {
+			t.Errorf("traversal URL %q accepted", bad)
+		}
+	}
+	// Distinct hosts map to distinct directories.
+	p1, err := fab.Path("http://a.example.org/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := fab.Path("http://b.example.org/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("hosts collide")
+	}
+	if !strings.Contains(p1, "a.example.org") {
+		t.Fatalf("path %q missing host component", p1)
+	}
+}
+
+func TestLocalFabricDeleteIdempotent(t *testing.T) {
+	fab, err := NewLocalFabric(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := simnet.NewEnv(1)
+	env.Go("x", func(p *simnet.Proc) {
+		if err := fab.Delete(p, "file://h.example.org/never-existed"); err != nil {
+			t.Errorf("Delete of missing file: %v", err)
+		}
+	})
+	env.Run(0)
+}
+
+func TestLocalFabricValidation(t *testing.T) {
+	if _, err := NewLocalFabric(""); err == nil {
+		t.Fatal("empty root accepted")
+	}
+}

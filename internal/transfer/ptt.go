@@ -1,0 +1,264 @@
+package transfer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"policyflow/internal/policy"
+	"policyflow/internal/simnet"
+	"policyflow/internal/workflow"
+)
+
+// Config configures a PTT instance.
+type Config struct {
+	// Advisor is the policy service; nil runs without policy (default
+	// Pegasus behaviour: every transfer uses DefaultStreams).
+	Advisor Advisor
+	// Fabric executes the actual data movement; required.
+	Fabric Fabric
+	// DefaultStreams is used for every transfer when no policy service is
+	// configured, and sent as the requested stream count when one is.
+	// (The paper's experiments vary this "default streams per transfer".)
+	DefaultStreams int
+	// SessionSetupSeconds is the cost of opening a transfer session to a
+	// new host pair (GridFTP connection + authentication). Grouping
+	// transfers by host pair amortizes it (Fig. 2's motivation).
+	SessionSetupSeconds float64
+	// TransferSetupSeconds is the per-transfer initiation overhead within
+	// an open session.
+	TransferSetupSeconds float64
+	// PolicyCallSeconds models the round-trip latency of one policy
+	// service call (the paper: the approach "incurs overheads for the
+	// service calls").
+	PolicyCallSeconds float64
+}
+
+func (c *Config) normalize() error {
+	if c.Fabric == nil {
+		return errors.New("transfer: Config.Fabric is required")
+	}
+	if c.DefaultStreams < 1 {
+		c.DefaultStreams = 4
+	}
+	if c.SessionSetupSeconds < 0 || c.TransferSetupSeconds < 0 || c.PolicyCallSeconds < 0 {
+		return errors.New("transfer: negative overhead")
+	}
+	return nil
+}
+
+// Stats aggregates PTT activity counters.
+type Stats struct {
+	// TransfersExecuted counts transfers actually performed.
+	TransfersExecuted int64
+	// TransfersSuppressed counts transfers the policy service removed.
+	TransfersSuppressed int64
+	// TransfersFailed counts failed transfer attempts.
+	TransfersFailed int64
+	// BytesMoved totals the payload of executed transfers.
+	BytesMoved int64
+	// PolicyCalls counts round trips to the policy service.
+	PolicyCalls int64
+	// Sessions counts transfer sessions opened (host-pair groups).
+	Sessions int64
+	// CleanupsExecuted and CleanupsSuppressed count deletion operations.
+	CleanupsExecuted   int64
+	CleanupsSuppressed int64
+}
+
+// PTT is the Pegasus Transfer Tool equivalent. Safe for concurrent use by
+// many simulated processes.
+type PTT struct {
+	cfg   Config
+	mu    sync.Mutex
+	stats Stats
+	seq   int64
+}
+
+// New creates a PTT.
+func New(cfg Config) (*PTT, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	return &PTT{cfg: cfg}, nil
+}
+
+// Stats returns a snapshot of the activity counters.
+func (t *PTT) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+func (t *PTT) bump(f func(*Stats)) {
+	t.mu.Lock()
+	f(&t.stats)
+	t.mu.Unlock()
+}
+
+// ErrTransfersFailed reports that one or more transfers in a list failed;
+// the caller (the workflow executor) retries the staging job.
+var ErrTransfersFailed = errors.New("transfer: one or more transfers failed")
+
+// ExecuteList performs a list of transfer operations on behalf of one
+// staging task. With a policy service configured it submits the list for
+// advice first, executes the modified list in the advised order (grouped
+// by host pair, paying one session setup per group), and reports
+// completions and failures back. Without a policy service it executes the
+// operations in the given order with DefaultStreams each, opening a new
+// session whenever the host pair changes.
+func (t *PTT) ExecuteList(p *simnet.Proc, workflowID, clusterID string, ops []workflow.TransferOp, priority int) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if t.cfg.Advisor == nil {
+		return t.executeWithoutPolicy(p, ops)
+	}
+	return t.executeWithPolicy(p, workflowID, clusterID, ops, priority)
+}
+
+func (t *PTT) executeWithoutPolicy(p *simnet.Proc, ops []workflow.TransferOp) error {
+	var lastPair policy.HostPair
+	first := true
+	var failed int
+	for _, op := range ops {
+		pair := policy.PairOf(op.SourceURL, op.DestURL)
+		if first || pair != lastPair {
+			p.Sleep(t.cfg.SessionSetupSeconds)
+			t.bump(func(s *Stats) { s.Sessions++ })
+			lastPair, first = pair, false
+		}
+		p.Sleep(t.cfg.TransferSetupSeconds)
+		if err := t.cfg.Fabric.Transfer(p, op.SourceURL, op.DestURL, op.SizeBytes, t.cfg.DefaultStreams); err != nil {
+			failed++
+			t.bump(func(s *Stats) { s.TransfersFailed++ })
+			continue
+		}
+		t.bump(func(s *Stats) {
+			s.TransfersExecuted++
+			s.BytesMoved += op.SizeBytes
+		})
+	}
+	if failed > 0 {
+		return fmt.Errorf("%w: %d of %d", ErrTransfersFailed, failed, len(ops))
+	}
+	return nil
+}
+
+func (t *PTT) executeWithPolicy(p *simnet.Proc, workflowID, clusterID string, ops []workflow.TransferOp, priority int) error {
+	specs := make([]policy.TransferSpec, 0, len(ops))
+	for _, op := range ops {
+		t.mu.Lock()
+		t.seq++
+		reqID := fmt.Sprintf("%s-%06d", workflowID, t.seq)
+		t.mu.Unlock()
+		specs = append(specs, policy.TransferSpec{
+			RequestID:        reqID,
+			WorkflowID:       workflowID,
+			ClusterID:        clusterID,
+			SourceURL:        op.SourceURL,
+			DestURL:          op.DestURL,
+			SizeBytes:        op.SizeBytes,
+			RequestedStreams: t.cfg.DefaultStreams,
+			Priority:         priority,
+		})
+	}
+	p.Sleep(t.cfg.PolicyCallSeconds)
+	t.bump(func(s *Stats) { s.PolicyCalls++ })
+	adv, err := t.cfg.Advisor.AdviseTransfers(specs)
+	if err != nil {
+		return fmt.Errorf("transfer: policy advice: %w", err)
+	}
+	t.bump(func(s *Stats) { s.TransfersSuppressed += int64(len(adv.Removed)) })
+
+	var completed, failedIDs []string
+	var timings []policy.TransferTiming
+	var lastGroup string
+	first := true
+	for _, tr := range adv.Transfers {
+		if first || tr.GroupID != lastGroup {
+			p.Sleep(t.cfg.SessionSetupSeconds)
+			t.bump(func(s *Stats) { s.Sessions++ })
+			lastGroup, first = tr.GroupID, false
+		}
+		p.Sleep(t.cfg.TransferSetupSeconds)
+		start := p.Now()
+		if err := t.cfg.Fabric.Transfer(p, tr.SourceURL, tr.DestURL, tr.SizeBytes, tr.Streams); err != nil {
+			failedIDs = append(failedIDs, tr.ID)
+			t.bump(func(s *Stats) { s.TransfersFailed++ })
+			continue
+		}
+		completed = append(completed, tr.ID)
+		timings = append(timings, policy.TransferTiming{TransferID: tr.ID, Seconds: p.Now() - start})
+		t.bump(func(s *Stats) {
+			s.TransfersExecuted++
+			s.BytesMoved += tr.SizeBytes
+		})
+	}
+
+	if len(completed) > 0 || len(failedIDs) > 0 {
+		p.Sleep(t.cfg.PolicyCallSeconds)
+		t.bump(func(s *Stats) { s.PolicyCalls++ })
+		if err := t.cfg.Advisor.ReportTransfers(policy.CompletionReport{
+			TransferIDs: completed,
+			FailedIDs:   failedIDs,
+			Timings:     timings,
+		}); err != nil {
+			return fmt.Errorf("transfer: completion report: %w", err)
+		}
+	}
+	if len(failedIDs) > 0 {
+		return fmt.Errorf("%w: %d of %d", ErrTransfersFailed, len(failedIDs), len(adv.Transfers))
+	}
+	return nil
+}
+
+// ExecuteCleanups deletes the given staged-file URLs on behalf of a
+// cleanup task, consulting the policy service first when configured (the
+// service removes duplicates and files other workflows still use) and
+// reporting successful deletions afterwards.
+func (t *PTT) ExecuteCleanups(p *simnet.Proc, workflowID string, urls []string) error {
+	if len(urls) == 0 {
+		return nil
+	}
+	if t.cfg.Advisor == nil {
+		for _, u := range urls {
+			if err := t.cfg.Fabric.Delete(p, u); err != nil {
+				return fmt.Errorf("transfer: delete %s: %w", u, err)
+			}
+			t.bump(func(s *Stats) { s.CleanupsExecuted++ })
+		}
+		return nil
+	}
+	specs := make([]policy.CleanupSpec, 0, len(urls))
+	for _, u := range urls {
+		t.mu.Lock()
+		t.seq++
+		reqID := fmt.Sprintf("%s-c%06d", workflowID, t.seq)
+		t.mu.Unlock()
+		specs = append(specs, policy.CleanupSpec{RequestID: reqID, WorkflowID: workflowID, FileURL: u})
+	}
+	p.Sleep(t.cfg.PolicyCallSeconds)
+	t.bump(func(s *Stats) { s.PolicyCalls++ })
+	adv, err := t.cfg.Advisor.AdviseCleanups(specs)
+	if err != nil {
+		return fmt.Errorf("transfer: cleanup advice: %w", err)
+	}
+	t.bump(func(s *Stats) { s.CleanupsSuppressed += int64(len(adv.Removed)) })
+	var done []string
+	for _, c := range adv.Cleanups {
+		if err := t.cfg.Fabric.Delete(p, c.FileURL); err != nil {
+			return fmt.Errorf("transfer: delete %s: %w", c.FileURL, err)
+		}
+		done = append(done, c.ID)
+		t.bump(func(s *Stats) { s.CleanupsExecuted++ })
+	}
+	if len(done) > 0 {
+		p.Sleep(t.cfg.PolicyCallSeconds)
+		t.bump(func(s *Stats) { s.PolicyCalls++ })
+		if err := t.cfg.Advisor.ReportCleanups(policy.CleanupReport{CleanupIDs: done}); err != nil {
+			return fmt.Errorf("transfer: cleanup report: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package tuner
+
+import (
+	"sync"
+
+	"policyflow/internal/policy"
+)
+
+// Timing is one completed transfer's measurement, as reported by the
+// transfer tool to the policy service.
+type Timing struct {
+	Pair    policy.HostPair
+	Bytes   int64
+	Seconds float64
+	Streams int
+}
+
+// ThroughputWindow aggregates per-transfer timings into per-host-pair
+// goodput observations over fixed-size windows (counted in transfers).
+// When a pair's window fills, the registered sink receives the window's
+// aggregate goodput in MB/s — the reward signal for a Learner driving
+// that pair's threshold.
+type ThroughputWindow struct {
+	mu     sync.Mutex
+	size   int
+	byPair map[policy.HostPair]*windowAccum
+	sink   func(pair policy.HostPair, goodputMBps float64)
+}
+
+type windowAccum struct {
+	n       int
+	bytes   int64
+	seconds float64
+}
+
+// NewThroughputWindow aggregates `size` transfers per window (min 1) and
+// calls sink on each completed window. sink may be nil (use Current to
+// poll instead).
+func NewThroughputWindow(size int, sink func(pair policy.HostPair, goodputMBps float64)) *ThroughputWindow {
+	if size < 1 {
+		size = 1
+	}
+	return &ThroughputWindow{
+		size:   size,
+		byPair: make(map[policy.HostPair]*windowAccum),
+		sink:   sink,
+	}
+}
+
+// Observe records one completed transfer. Zero or negative durations are
+// ignored (no timing reported).
+func (w *ThroughputWindow) Observe(t Timing) {
+	if t.Seconds <= 0 || t.Bytes <= 0 {
+		return
+	}
+	w.mu.Lock()
+	acc, ok := w.byPair[t.Pair]
+	if !ok {
+		acc = &windowAccum{}
+		w.byPair[t.Pair] = acc
+	}
+	acc.n++
+	acc.bytes += t.Bytes
+	acc.seconds += t.Seconds
+	var emit float64
+	fire := false
+	if acc.n >= w.size {
+		// Aggregate goodput: total payload over summed transfer time.
+		// Summed (not wall-clock) time makes the measure a per-transfer
+		// average, which is what the allocation policy actually shapes.
+		emit = float64(acc.bytes) / (1 << 20) / acc.seconds
+		*acc = windowAccum{}
+		fire = true
+	}
+	sink := w.sink
+	w.mu.Unlock()
+	if fire && sink != nil {
+		sink(t.Pair, emit)
+	}
+}
+
+// Current returns the partial window's mean goodput for a pair and the
+// number of transfers accumulated so far.
+func (w *ThroughputWindow) Current(pair policy.HostPair) (goodputMBps float64, n int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	acc, ok := w.byPair[pair]
+	if !ok || acc.seconds == 0 {
+		return 0, 0
+	}
+	return float64(acc.bytes) / (1 << 20) / acc.seconds, acc.n
+}

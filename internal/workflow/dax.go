@@ -1,0 +1,124 @@
+package workflow
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DAX serialization: an abstract workflow can be written to and read from
+// an XML document modelled on Pegasus' DAX ("directed acyclic graph in
+// XML") format — the representation Pegasus planners consume. The schema
+// here is a compact DAX v3 subset: a file catalog plus jobs with
+// input/output "uses" edges.
+//
+//	<adag name="montage-1deg">
+//	  <file name="image_001.fits" sizeBytes="2097152"
+//	        source="http://archive/image_001.fits"/>
+//	  <job id="mProjectPP_001" transformation="mProjectPP" runtime="20">
+//	    <uses file="image_001.fits" link="input"/>
+//	    <uses file="proj_001.fits" link="output"/>
+//	  </job>
+//	</adag>
+
+// daxDoc is the root element.
+type daxDoc struct {
+	XMLName xml.Name  `xml:"adag"`
+	Name    string    `xml:"name,attr"`
+	Files   []daxFile `xml:"file"`
+	Jobs    []daxJob  `xml:"job"`
+}
+
+type daxFile struct {
+	Name      string `xml:"name,attr"`
+	SizeBytes int64  `xml:"sizeBytes,attr,omitempty"`
+	Source    string `xml:"source,attr,omitempty"`
+	Output    bool   `xml:"output,attr,omitempty"`
+}
+
+type daxJob struct {
+	ID             string   `xml:"id,attr"`
+	Transformation string   `xml:"transformation,attr,omitempty"`
+	Runtime        float64  `xml:"runtime,attr,omitempty"`
+	Uses           []daxUse `xml:"uses"`
+}
+
+type daxUse struct {
+	File string `xml:"file,attr"`
+	Link string `xml:"link,attr"` // "input" or "output"
+}
+
+// WriteDAX serializes the workflow as a DAX document.
+func (w *Workflow) WriteDAX(out io.Writer) error {
+	doc := daxDoc{Name: w.Name}
+	files := w.Files() // sorted by name
+	for _, f := range files {
+		doc.Files = append(doc.Files, daxFile{
+			Name: f.Name, SizeBytes: f.SizeBytes, Source: f.SourceURL, Output: f.Output,
+		})
+	}
+	for _, j := range w.jobs {
+		dj := daxJob{ID: j.ID, Transformation: j.Transformation, Runtime: j.RuntimeSeconds}
+		ins := append([]string(nil), j.Inputs...)
+		outs := append([]string(nil), j.Outputs...)
+		sort.Strings(ins)
+		sort.Strings(outs)
+		for _, in := range ins {
+			dj.Uses = append(dj.Uses, daxUse{File: in, Link: "input"})
+		}
+		for _, o := range outs {
+			dj.Uses = append(dj.Uses, daxUse{File: o, Link: "output"})
+		}
+		doc.Jobs = append(doc.Jobs, dj)
+	}
+	if _, err := io.WriteString(out, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(out)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("workflow: encode DAX: %w", err)
+	}
+	_, err := io.WriteString(out, "\n")
+	return err
+}
+
+// ReadDAX parses a DAX document into a workflow and validates it.
+func ReadDAX(in io.Reader) (*Workflow, error) {
+	var doc daxDoc
+	if err := xml.NewDecoder(in).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("workflow: decode DAX: %w", err)
+	}
+	if doc.Name == "" {
+		return nil, fmt.Errorf("workflow: DAX without a name attribute")
+	}
+	w := New(doc.Name)
+	for _, f := range doc.Files {
+		if err := w.AddFile(&File{
+			Name: f.Name, SizeBytes: f.SizeBytes, SourceURL: f.Source, Output: f.Output,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, dj := range doc.Jobs {
+		j := &Job{ID: dj.ID, Transformation: dj.Transformation, RuntimeSeconds: dj.Runtime}
+		for _, u := range dj.Uses {
+			switch u.Link {
+			case "input":
+				j.Inputs = append(j.Inputs, u.File)
+			case "output":
+				j.Outputs = append(j.Outputs, u.File)
+			default:
+				return nil, fmt.Errorf("workflow: DAX job %s: unknown link %q", dj.ID, u.Link)
+			}
+		}
+		if err := w.AddJob(j); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

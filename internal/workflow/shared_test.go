@@ -1,0 +1,122 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSharedScratchURLs(t *testing.T) {
+	w := smallWF(t)
+	cfg := planCfg()
+	cfg.SharedScratch = true
+	p, err := w.Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, _ := p.Task("stage_in_A")
+	if want := "file://obelix.example.org/scratch/shared/in1"; si.Transfers[0].DestURL != want {
+		t.Fatalf("dest = %s, want %s", si.Transfers[0].DestURL, want)
+	}
+	// Two workflows planning the same abstract workflow share dest URLs.
+	cfg2 := cfg
+	cfg2.WorkflowID = "wf2"
+	w2 := smallWF(t)
+	p2, err := w2.Plan(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si2, _ := p2.Task("stage_in_A")
+	if si.Transfers[0].DestURL != si2.Transfers[0].DestURL {
+		t.Fatal("shared scratch produced different dest URLs")
+	}
+	// Without SharedScratch they differ.
+	cfg3 := planCfg()
+	cfg3.WorkflowID = "wf3"
+	w3 := smallWF(t)
+	p3, err := w3.Plan(cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si3, _ := p3.Task("stage_in_A")
+	if si.Transfers[0].DestURL == si3.Transfers[0].DestURL {
+		t.Fatal("per-run scratch collided with shared scratch")
+	}
+	if !strings.Contains(si3.Transfers[0].DestURL, "/wf3/") {
+		t.Fatalf("per-run dest = %s", si3.Transfers[0].DestURL)
+	}
+}
+
+// TestClusteringMultiLevel: stage-ins on different workflow levels cluster
+// separately.
+func TestClusteringMultiLevel(t *testing.T) {
+	w := New("two-levels")
+	// Level 0: jobs a1, a2 with external inputs; level 1: jobs b1, b2
+	// consuming level-0 outputs plus their own external inputs.
+	for _, id := range []string{"a1", "a2"} {
+		w.MustAddFile(&File{Name: "in_" + id, SizeBytes: 1, SourceURL: "http://x.example.org/" + id})
+		w.MustAddFile(&File{Name: "mid_" + id, SizeBytes: 1})
+		w.MustAddJob(&Job{ID: id, RuntimeSeconds: 1, Inputs: []string{"in_" + id}, Outputs: []string{"mid_" + id}})
+	}
+	for i, id := range []string{"b1", "b2"} {
+		src := []string{"mid_a1", "mid_a2"}[i]
+		w.MustAddFile(&File{Name: "in_" + id, SizeBytes: 1, SourceURL: "http://x.example.org/" + id})
+		w.MustAddFile(&File{Name: "out_" + id, SizeBytes: 1})
+		w.MustAddJob(&Job{ID: id, RuntimeSeconds: 1, Inputs: []string{src, "in_" + id}, Outputs: []string{"out_" + id}})
+	}
+	cfg := planCfg()
+	cfg.Cleanup = false
+	cfg.ClusterFactor = 2
+	p, err := w.Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sis := p.TasksOf(TaskStageIn)
+	// 2 levels x up to 2 clusters, each level has 2 stage-ins -> 4 tasks
+	// (factor 2 splits each level's 2 stage-ins into 2 singleton
+	// clusters).
+	if len(sis) != 4 {
+		t.Fatalf("clustered stage-ins = %d, want 4", len(sis))
+	}
+	levels := map[string]bool{}
+	for _, si := range sis {
+		if !strings.HasPrefix(si.ID, "stage_in_l") {
+			t.Fatalf("unexpected cluster ID %s", si.ID)
+		}
+		levels[strings.Split(si.ID, "_")[2]] = true
+	}
+	if len(levels) != 2 {
+		t.Fatalf("levels = %v, want stage-ins from 2 levels", levels)
+	}
+	if !p.Graph.IsAcyclic() {
+		t.Fatal("cyclic")
+	}
+	// A level-1 clustered stage-in must not depend on level-0 compute
+	// tasks (stage-ins are roots), but its children must be level-1 jobs.
+	for _, si := range sis {
+		if len(p.Graph.Parents(si.ID)) != 0 {
+			t.Fatalf("stage-in %s has parents %v", si.ID, p.Graph.Parents(si.ID))
+		}
+	}
+}
+
+func TestPlanTaskLookups(t *testing.T) {
+	w := smallWF(t)
+	p, err := w.Plan(planCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Task("nonexistent"); ok {
+		t.Fatal("found phantom task")
+	}
+	if got := p.Count(TaskType(99)); got != 0 {
+		t.Fatalf("count of bogus type = %d", got)
+	}
+	if TaskType(99).String() == "" {
+		t.Fatal("empty string for unknown task type")
+	}
+	for _, tt := range []TaskType{TaskCompute, TaskStageIn, TaskStageOut, TaskCleanup} {
+		if tt.String() == "" || strings.HasPrefix(tt.String(), "TaskType") {
+			t.Fatalf("bad name for %d", tt)
+		}
+	}
+}
