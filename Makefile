@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: ci build test race vet fmt
+
+# The full gate: what a PR must pass.
+ci: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	gofmt -l -w cmd internal *.go

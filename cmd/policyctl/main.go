@@ -19,8 +19,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
+	"strings"
 
 	"policyflow/internal/policy"
 	"policyflow/internal/policyhttp"
@@ -75,6 +77,8 @@ func main() {
 			usage()
 		}
 		err = cleanup(client, args[1], args[2:])
+	case "metrics":
+		err = metrics(client, os.Stdout)
 	case "dump":
 		err = dump(client)
 	case "restore":
@@ -100,6 +104,7 @@ commands:
   advise <specs.json>                    submit a transfer list for advice
   complete <transfer-id>...              report completed transfers
   cleanup <workflow-id> <file-url>...    request file deletions
+  metrics                                fetch and pretty-print /v1/metrics
   dump                                   print the Policy Memory snapshot
   restore <dump.json>                    replace Policy Memory from a dump`)
 	os.Exit(2)
@@ -123,6 +128,39 @@ func cleanup(c *policyhttp.Client, workflowID string, urls []string) error {
 		return err
 	}
 	fmt.Println(string(out))
+	return nil
+}
+
+// metrics fetches /v1/metrics and pretty-prints it: one header line per
+// metric family (name, type and help drawn from the # comments), samples
+// indented beneath it, histogram bucket series elided to their _sum and
+// _count lines to keep the terminal readable.
+func metrics(c *policyhttp.Client, w io.Writer) error {
+	text, err := c.Metrics()
+	if err != nil {
+		return err
+	}
+	var help, typ string
+	for _, line := range strings.Split(text, "\n") {
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "# HELP "):
+			help = strings.TrimPrefix(line, "# HELP ")
+		case strings.HasPrefix(line, "# TYPE "):
+			typ = strings.TrimPrefix(line, "# TYPE ")
+			if name, kind, ok := strings.Cut(typ, " "); ok {
+				fmt.Fprintf(w, "%s (%s)", name, kind)
+				if _, h, ok := strings.Cut(help, " "); ok {
+					fmt.Fprintf(w, " — %s", h)
+				}
+				fmt.Fprintln(w)
+			}
+		case strings.Contains(line, "_bucket{"):
+			// Bucket-by-bucket detail stays on the raw endpoint.
+		default:
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+	}
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"policyflow/internal/policy"
@@ -105,6 +106,39 @@ func TestDumpRestoreCommands(t *testing.T) {
 	}
 	if err := restore(c2, filepath.Join(t.TempDir(), "nope.json")); err == nil {
 		t.Error("missing dump accepted")
+	}
+}
+
+func TestMetricsCommand(t *testing.T) {
+	c, _ := testClient(t)
+	adv, err := c.AdviseTransfers([]policy.TransferSpec{{
+		RequestID: "r1", WorkflowID: "wf1",
+		SourceURL: "gsiftp://s.example.org/f", DestURL: "file://d.example.org/f",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv.Transfers) != 1 {
+		t.Fatalf("advice = %+v", adv)
+	}
+	var out strings.Builder
+	if err := metrics(c, &out); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	text := out.String()
+	for _, frag := range []string{
+		"policy_transfers_advised_total (counter)",
+		"Transfers returned for execution.",
+		"policy_transfers_advised_total 1",
+		"http_request_seconds (histogram)",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("pretty-printed metrics missing %q:\n%s", frag, text)
+		}
+	}
+	// Bucket series are elided from the pretty form.
+	if strings.Contains(text, "_bucket{") {
+		t.Errorf("pretty-printed metrics leaked bucket series:\n%s", text)
 	}
 }
 

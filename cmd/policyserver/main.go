@@ -17,11 +17,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"policyflow/internal/obs"
 	"policyflow/internal/policy"
 	"policyflow/internal/policyhttp"
 )
@@ -36,6 +38,8 @@ func main() {
 		standbyOf      = flag.String("standby-of", "", "run as a warm standby of the primary at this base URL")
 		syncInterval   = flag.Duration("sync-interval", 10*time.Second, "standby sync period")
 		quiet          = flag.Bool("quiet", false, "disable request logging")
+		debug          = flag.Bool("debug", false, "mount net/http/pprof profiling handlers and /debug/vars")
+		traceOut       = flag.String("trace-out", "", "stream the JSONL transfer-lifecycle event log to this file")
 	)
 	flag.Parse()
 
@@ -54,7 +58,43 @@ func main() {
 	if !*quiet {
 		logger = log.New(os.Stderr, "policyserver ", log.LstdFlags)
 	}
-	handler := policyhttp.NewServer(svc, logger)
+	var tracer *obs.JSONLTracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "policyserver: open trace log: %v\n", err)
+			os.Exit(1)
+		}
+		tracer = obs.NewJSONLTracer(f)
+		defer func() {
+			if err := tracer.Close(); err != nil {
+				log.Printf("close trace log: %v", err)
+			}
+		}()
+		log.Printf("tracing transfer lifecycle events to %s", *traceOut)
+	}
+
+	reg := obs.NewRegistry()
+	// A typed-nil *JSONLTracer must not reach the interface parameter.
+	var tr obs.Tracer
+	if tracer != nil {
+		tr = tracer
+	}
+	var handler http.Handler = policyhttp.NewServerWith(svc, logger, reg, tr)
+	if *debug {
+		// Profiling and raw-variable endpoints share the listener but stay
+		// off the /v1 API surface unless explicitly enabled.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/vars", obs.VarsHandler(reg))
+		handler = mux
+		log.Printf("debug endpoints enabled: /debug/pprof/ and /debug/vars")
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,

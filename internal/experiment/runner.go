@@ -5,6 +5,7 @@ import (
 
 	"policyflow/internal/dag"
 	"policyflow/internal/executor"
+	"policyflow/internal/obs"
 	"policyflow/internal/policy"
 	"policyflow/internal/simnet"
 	"policyflow/internal/transfer"
@@ -35,6 +36,13 @@ type WorkflowRun struct {
 	Slots int
 	// Seed drives all randomness.
 	Seed int64
+	// Obs, when set, collects policy, transfer and executor metrics for
+	// the run in one registry.
+	Obs *obs.Registry
+	// Tracer, when set, receives the per-transfer lifecycle event stream
+	// — the run's provenance record, from which figures can be
+	// regenerated without access to in-memory state.
+	Tracer obs.Tracer
 }
 
 // RunWorkflow plans and executes the run, returning its metrics.
@@ -80,6 +88,9 @@ func RunWorkflow(r WorkflowRun) (Metrics, error) {
 		if err != nil {
 			return Metrics{}, err
 		}
+		if r.Obs != nil || r.Tracer != nil {
+			svc.Instrument(r.Obs, r.Tracer)
+		}
 		advisor = svc
 	}
 
@@ -96,12 +107,15 @@ func RunWorkflow(r WorkflowRun) (Metrics, error) {
 		SessionSetupSeconds:  2.0,
 		TransferSetupSeconds: 0.5,
 		PolicyCallSeconds:    callLatency,
+		Obs:                  r.Obs,
+		Tracer:               r.Tracer,
 	})
 	if err != nil {
 		return Metrics{}, err
 	}
 
 	ecfg := executor.DefaultConfig()
+	ecfg.Obs = r.Obs
 	if r.Cores > 0 {
 		ecfg.ComputeCores = r.Cores
 	}

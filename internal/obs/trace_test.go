@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// closeBuffer records whether Close was called through the tracer.
+type closeBuffer struct {
+	bytes.Buffer
+	closed bool
+}
+
+func (b *closeBuffer) Close() error {
+	b.closed = true
+	return nil
+}
+
+func TestTracerRoundTrip(t *testing.T) {
+	var buf closeBuffer
+	tr := NewJSONLTracer(&buf)
+	tr.now = func() time.Time { return time.Unix(0, 42) }
+	in := []Event{
+		{Type: EventSubmitted, TransferID: "t-00000001", WorkflowID: "wf1",
+			SourceHost: "src.example.org", DestHost: "dst.example.org", SizeBytes: 1 << 20},
+		{Type: EventAdvised, TransferID: "t-00000001", GroupID: "g-0001", Streams: 4, Priority: 3},
+		{Type: EventStarted, TransferID: "t-00000001", SimSeconds: 1.5},
+		{Type: EventCompleted, TransferID: "t-00000001", Seconds: 2.25},
+		{Type: EventSuppressed, TransferID: "t-00000002", Reason: "already-staged"},
+		{Type: EventCleaned, TransferID: "c-00000001", FileURL: "file://dst.example.org/f"},
+	}
+	for _, e := range in {
+		tr.Emit(e)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !buf.closed {
+		t.Error("Close did not close the underlying writer")
+	}
+	// Every event is on its own line (flush-on-close drained the buffer).
+	if got := strings.Count(buf.String(), "\n"); got != len(in) {
+		t.Fatalf("lines = %d, want %d:\n%s", got, len(in), buf.String())
+	}
+
+	out, err := ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d events, want %d", len(out), len(in))
+	}
+	for i, e := range out {
+		if e.Seq != int64(i+1) {
+			t.Errorf("event %d: seq = %d, want %d", i, e.Seq, i+1)
+		}
+		if e.TimeUnixNano != 42 {
+			t.Errorf("event %d: time = %d, want 42", i, e.TimeUnixNano)
+		}
+		want := in[i]
+		if e.Type != want.Type || e.TransferID != want.TransferID ||
+			e.Reason != want.Reason || e.Streams != want.Streams ||
+			e.Seconds != want.Seconds || e.SizeBytes != want.SizeBytes ||
+			e.FileURL != want.FileURL || e.SimSeconds != want.SimSeconds {
+			t.Errorf("event %d round-trip mismatch:\n got %+v\nwant %+v", i, e, want)
+		}
+	}
+}
+
+func TestReadEventsRejectsGarbage(t *testing.T) {
+	_, err := ReadEvents(strings.NewReader("{\"type\":\"advised\"}\nnot json\n"))
+	if err == nil {
+		t.Fatal("garbage line accepted")
+	}
+}
+
+// failWriter errors after n successful writes.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestTracerStickyError(t *testing.T) {
+	tr := NewJSONLTracer(&failWriter{n: 0})
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Type: EventAdvised})
+	}
+	// The buffered writer only hits the underlying writer on flush.
+	if err := tr.Close(); err == nil {
+		t.Fatal("Close did not report the write error")
+	}
+}
+
+// TestTracerConcurrentOrdering checks under -race that concurrent Emits
+// are serialized: sequence numbers are unique, dense, and the JSONL lines
+// appear in sequence order.
+func TestTracerConcurrentOrdering(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONLTracer(&buf)
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tr.Emit(Event{Type: EventAdvised, TransferID: fmt.Sprintf("t-%d-%d", w, i)})
+			}
+		}()
+	}
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != workers*perWorker {
+		t.Fatalf("events = %d, want %d", len(events), workers*perWorker)
+	}
+	for i, e := range events {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("line %d carries seq %d: emission order not preserved", i, e.Seq)
+		}
+	}
+}
+
+func TestCollector(t *testing.T) {
+	var c Collector
+	c.Emit(Event{Type: EventSubmitted})
+	c.Emit(Event{Type: EventAdvised})
+	evs := c.Events()
+	if len(evs) != 2 || c.Len() != 2 {
+		t.Fatalf("collector holds %d events, want 2", len(evs))
+	}
+	if evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("collector seqs = %d,%d", evs[0].Seq, evs[1].Seq)
+	}
+	// Events returns a copy; mutating it must not affect the collector.
+	evs[0].Type = "mutated"
+	if c.Events()[0].Type != EventSubmitted {
+		t.Error("Events returned a live slice")
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"policyflow/internal/obs"
 	"policyflow/internal/rules"
 )
 
@@ -101,10 +103,100 @@ type Service struct {
 	// advised counts transfers ever advised, for observability.
 	advised    int
 	suppressed int
+	// suppressedByReason splits the suppressed count by DupReason, so a
+	// late Instrument call can backfill the labeled counter series.
+	suppressedByReason map[string]int
 
 	// observer, when set, receives performance measurements for
 	// completed transfers that carried timings.
 	observer TransferObserver
+
+	// metrics and tracer are nil until Instrument attaches them.
+	metrics *svcMetrics
+	tracer  obs.Tracer
+}
+
+// svcMetrics holds the service's registry series. All fields are created
+// together by Instrument.
+type svcMetrics struct {
+	requests   *obs.CounterVec   // policy_requests_total{op,outcome}
+	latency    *obs.HistogramVec // policy_request_seconds{op}
+	firings    *obs.Counter      // policy_rule_firings_total
+	advised    *obs.Counter      // policy_transfers_advised_total
+	suppressed *obs.Counter      // policy_transfers_suppressed_total
+	suppReason *obs.CounterVec   // policy_suppressions_total{reason}
+	cleanAdv   *obs.Counter      // policy_cleanups_advised_total
+	cleanSupp  *obs.CounterVec   // policy_cleanup_suppressions_total{reason}
+	factsGauge *obs.Gauge        // policy_memory_facts
+}
+
+// Instrument attaches a metrics registry and an event tracer (either may
+// be nil) to the service. Counter families are registered immediately and
+// backfilled with the service's cumulative history, so instrumenting an
+// already-running service does not under-report. Calling Instrument again
+// replaces the previous attachment.
+func (s *Service) Instrument(reg *obs.Registry, tracer obs.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = tracer
+	if reg == nil {
+		s.metrics = nil
+		return
+	}
+	m := &svcMetrics{
+		requests: reg.Counter("policy_requests_total",
+			"Policy service operations by outcome.", "op", "outcome"),
+		latency: reg.Histogram("policy_request_seconds",
+			"Policy operation latency (rule evaluation included).", nil, "op"),
+		firings: reg.Counter("policy_rule_firings_total",
+			"Policy rule activations fired.").With(),
+		advised: reg.Counter("policy_transfers_advised_total",
+			"Transfers returned for execution.").With(),
+		suppressed: reg.Counter("policy_transfers_suppressed_total",
+			"Transfers removed as duplicates.").With(),
+		suppReason: reg.Counter("policy_suppressions_total",
+			"Transfer suppressions by reason.", "reason"),
+		cleanAdv: reg.Counter("policy_cleanups_advised_total",
+			"Cleanups approved for execution.").With(),
+		cleanSupp: reg.Counter("policy_cleanup_suppressions_total",
+			"Cleanup suppressions by reason.", "reason"),
+		factsGauge: reg.Gauge("policy_memory_facts",
+			"Facts currently held in Policy Memory.").With(),
+	}
+	m.advised.Add(float64(s.advised))
+	m.suppressed.Add(float64(s.suppressed))
+	m.firings.Add(float64(s.session.Firings()))
+	for reason, n := range s.suppressedByReason {
+		m.suppReason.With(reason).Add(float64(n))
+	}
+	s.metrics = m
+}
+
+// observeOp records one service operation's latency and outcome; a no-op
+// when the service is not instrumented.
+func (s *Service) observeOp(op string, start time.Time, firingsBefore int64, err error) {
+	m := s.metrics
+	if m == nil {
+		return
+	}
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	m.requests.With(op, outcome).Inc()
+	m.latency.With(op).Observe(time.Since(start).Seconds())
+	if d := s.session.Firings() - firingsBefore; d > 0 {
+		m.firings.Add(float64(d))
+	}
+	m.factsGauge.Set(float64(s.session.FactCount()))
+}
+
+// emit forwards a lifecycle event to the tracer, if any. Callers hold s.mu;
+// the tracer serializes internally and never calls back into the service.
+func (s *Service) emit(e obs.Event) {
+	if s.tracer != nil {
+		s.tracer.Emit(e)
+	}
 }
 
 // TransferObserver receives per-transfer performance measurements — the
@@ -117,7 +209,8 @@ func New(cfg Config) (*Service, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	s := &Service{cfg: cfg, session: rules.NewSession()}
+	s := &Service{cfg: cfg, session: rules.NewSession(),
+		suppressedByReason: make(map[string]int)}
 	// FIFO fairness: within a batch, the first submitted transfer is
 	// allocated first.
 	s.session.SetOldestFirst(true)
@@ -168,13 +261,18 @@ func (s *Service) AdviseTransfers(specs []TransferSpec) (*TransferAdvice, error)
 	if len(specs) == 0 {
 		return nil, ErrEmptyRequest
 	}
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	firingsBefore := s.session.Firings()
+	var opErr error
+	defer func() { s.observeOp("advise_transfers", start, firingsBefore, opErr) }()
 
 	batch := make([]*Transfer, 0, len(specs))
 	for i, spec := range specs {
 		if spec.SourceURL == "" || spec.DestURL == "" {
-			return nil, fmt.Errorf("policy: request %d: source and destination URLs are required", i)
+			opErr = fmt.Errorf("policy: request %d: source and destination URLs are required", i)
+			return nil, opErr
 		}
 		s.nextTransfer++
 		t := &Transfer{
@@ -193,9 +291,20 @@ func (s *Service) AdviseTransfers(specs []TransferSpec) (*TransferAdvice, error)
 		}
 		batch = append(batch, t)
 		s.session.Insert(t)
+		s.emit(obs.Event{
+			Type:       obs.EventSubmitted,
+			TransferID: t.ID,
+			RequestID:  t.RequestID,
+			WorkflowID: t.WorkflowID,
+			SourceHost: t.Pair.Src,
+			DestHost:   t.Pair.Dst,
+			SizeBytes:  t.SizeBytes,
+			Priority:   t.Priority,
+		})
 	}
 	if _, err := s.session.FireAll(s.cfg.FireBudget); err != nil {
-		return nil, fmt.Errorf("policy: rule evaluation: %w", err)
+		opErr = fmt.Errorf("policy: rule evaluation: %w", err)
+		return nil, opErr
 	}
 
 	adv := &TransferAdvice{}
@@ -209,6 +318,21 @@ func (s *Service) AdviseTransfers(specs []TransferSpec) (*TransferAdvice, error)
 				Reason:    t.DupReason,
 			})
 			s.suppressed++
+			s.suppressedByReason[t.DupReason]++
+			if s.metrics != nil {
+				s.metrics.suppressed.Inc()
+				s.metrics.suppReason.With(t.DupReason).Inc()
+			}
+			s.emit(obs.Event{
+				Type:       obs.EventSuppressed,
+				TransferID: t.ID,
+				RequestID:  t.RequestID,
+				WorkflowID: t.WorkflowID,
+				SourceHost: t.Pair.Src,
+				DestHost:   t.Pair.Dst,
+				SizeBytes:  t.SizeBytes,
+				Reason:     t.DupReason,
+			})
 			// Detailed duplicate state leaves Policy Memory; the resource
 			// association (made by the rules) survives.
 			s.session.Retract(t)
@@ -216,6 +340,21 @@ func (s *Service) AdviseTransfers(specs []TransferSpec) (*TransferAdvice, error)
 			t.State = TransferInProgress
 			s.session.Update(t)
 			s.advised++
+			if s.metrics != nil {
+				s.metrics.advised.Inc()
+			}
+			s.emit(obs.Event{
+				Type:       obs.EventAdvised,
+				TransferID: t.ID,
+				RequestID:  t.RequestID,
+				WorkflowID: t.WorkflowID,
+				GroupID:    t.GroupID,
+				SourceHost: t.Pair.Src,
+				DestHost:   t.Pair.Dst,
+				SizeBytes:  t.SizeBytes,
+				Streams:    t.AllocatedStreams,
+				Priority:   t.Priority,
+			})
 			adv.Transfers = append(adv.Transfers, AdvisedTransfer{
 				ID:               t.ID,
 				RequestID:        t.RequestID,
@@ -233,7 +372,8 @@ func (s *Service) AdviseTransfers(specs []TransferSpec) (*TransferAdvice, error)
 				RequestedStreams: t.RequestedStreams,
 			})
 		default:
-			return nil, fmt.Errorf("policy: transfer %s left in unexpected state %v", t.ID, t.State)
+			opErr = fmt.Errorf("policy: transfer %s left in unexpected state %v", t.ID, t.State)
+			return nil, opErr
 		}
 	}
 	sortAdvice(adv.Transfers)
@@ -290,7 +430,9 @@ func (s *Service) ReportTransfers(report CompletionReport) error {
 	}
 	var pending []observation
 
+	start := time.Now()
 	s.mu.Lock()
+	firingsBefore := s.session.Firings()
 	if s.observer != nil {
 		// Look the transfers up before the rules retract them; the
 		// observer itself runs after the lock is released so it may call
@@ -302,6 +444,16 @@ func (s *Service) ReportTransfers(report CompletionReport) error {
 			}
 		}
 	}
+	if s.tracer != nil {
+		// Completion and failure events also need the transfer facts
+		// before retraction, to carry host pair and stream context.
+		seconds := make(map[string]float64, len(report.Timings))
+		for _, tm := range report.Timings {
+			seconds[tm.TransferID] = tm.Seconds
+		}
+		s.emitResults(obs.EventCompleted, report.TransferIDs, seconds)
+		s.emitResults(obs.EventFailed, report.FailedIDs, seconds)
+	}
 	for _, id := range report.TransferIDs {
 		s.session.Insert(&TransferResult{TransferID: id})
 	}
@@ -309,18 +461,37 @@ func (s *Service) ReportTransfers(report CompletionReport) error {
 		s.session.Insert(&TransferResult{TransferID: id, Failed: true})
 	}
 	_, err := s.session.FireAll(s.cfg.FireBudget)
-	obs := s.observer
+	observer := s.observer
+	s.observeOp("report_transfers", start, firingsBefore, err)
 	s.mu.Unlock()
 
 	if err != nil {
 		return fmt.Errorf("policy: rule evaluation: %w", err)
 	}
-	if obs != nil {
+	if observer != nil {
 		for _, o := range pending {
-			obs(o.pair, o.streams, o.size, o.seconds)
+			observer(o.pair, o.streams, o.size, o.seconds)
 		}
 	}
 	return nil
+}
+
+// emitResults emits one lifecycle event per reported transfer ID,
+// enriched from the still-present Transfer fact. Callers hold s.mu.
+func (s *Service) emitResults(eventType string, ids []string, seconds map[string]float64) {
+	for _, id := range ids {
+		e := obs.Event{Type: eventType, TransferID: id, Seconds: seconds[id]}
+		if t, ok := rules.First(s.session, func(t *Transfer) bool { return t.ID == id }); ok {
+			e.RequestID = t.RequestID
+			e.WorkflowID = t.WorkflowID
+			e.GroupID = t.GroupID
+			e.SourceHost = t.Pair.Src
+			e.DestHost = t.Pair.Dst
+			e.SizeBytes = t.SizeBytes
+			e.Streams = t.AllocatedStreams
+		}
+		s.emit(e)
+	}
 }
 
 // AdviseCleanups evaluates a list of file-deletion requests: duplicates and
@@ -330,13 +501,18 @@ func (s *Service) AdviseCleanups(specs []CleanupSpec) (*CleanupAdvice, error) {
 	if len(specs) == 0 {
 		return nil, ErrEmptyRequest
 	}
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	firingsBefore := s.session.Firings()
+	var opErr error
+	defer func() { s.observeOp("advise_cleanups", start, firingsBefore, opErr) }()
 
 	batch := make([]*Cleanup, 0, len(specs))
 	for i, spec := range specs {
 		if spec.FileURL == "" {
-			return nil, fmt.Errorf("policy: cleanup request %d: file URL is required", i)
+			opErr = fmt.Errorf("policy: cleanup request %d: file URL is required", i)
+			return nil, opErr
 		}
 		s.nextCleanup++
 		c := &Cleanup{
@@ -350,7 +526,8 @@ func (s *Service) AdviseCleanups(specs []CleanupSpec) (*CleanupAdvice, error) {
 		s.session.Insert(c)
 	}
 	if _, err := s.session.FireAll(s.cfg.FireBudget); err != nil {
-		return nil, fmt.Errorf("policy: rule evaluation: %w", err)
+		opErr = fmt.Errorf("policy: rule evaluation: %w", err)
+		return nil, opErr
 	}
 
 	adv := &CleanupAdvice{}
@@ -362,10 +539,31 @@ func (s *Service) AdviseCleanups(specs []CleanupSpec) (*CleanupAdvice, error) {
 				FileURL:   c.FileURL,
 				Reason:    c.Reason,
 			})
+			if s.metrics != nil {
+				s.metrics.cleanSupp.With(c.Reason).Inc()
+			}
+			s.emit(obs.Event{
+				Type:       obs.EventCleanupSuppressed,
+				TransferID: c.ID,
+				RequestID:  c.RequestID,
+				WorkflowID: c.WorkflowID,
+				FileURL:    c.FileURL,
+				Reason:     c.Reason,
+			})
 			s.session.Retract(c)
 		case CleanupAdvised:
 			c.State = CleanupInProgress
 			s.session.Update(c)
+			if s.metrics != nil {
+				s.metrics.cleanAdv.Inc()
+			}
+			s.emit(obs.Event{
+				Type:       obs.EventCleanupAdvised,
+				TransferID: c.ID,
+				RequestID:  c.RequestID,
+				WorkflowID: c.WorkflowID,
+				FileURL:    c.FileURL,
+			})
 			adv.Cleanups = append(adv.Cleanups, AdvisedCleanup{
 				ID:         c.ID,
 				RequestID:  c.RequestID,
@@ -373,7 +571,8 @@ func (s *Service) AdviseCleanups(specs []CleanupSpec) (*CleanupAdvice, error) {
 				FileURL:    c.FileURL,
 			})
 		default:
-			return nil, fmt.Errorf("policy: cleanup %s left in unexpected state %v", c.ID, c.State)
+			opErr = fmt.Errorf("policy: cleanup %s left in unexpected state %v", c.ID, c.State)
+			return nil, opErr
 		}
 	}
 	return adv, nil
@@ -382,13 +581,28 @@ func (s *Service) AdviseCleanups(specs []CleanupSpec) (*CleanupAdvice, error) {
 // ReportCleanups records completed cleanup operations; their state and the
 // deleted files' resources are removed from Policy Memory.
 func (s *Service) ReportCleanups(report CleanupReport) error {
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	firingsBefore := s.session.Firings()
+	var opErr error
+	defer func() { s.observeOp("report_cleanups", start, firingsBefore, opErr) }()
 	for _, id := range report.CleanupIDs {
+		if s.tracer != nil {
+			e := obs.Event{Type: obs.EventCleaned, TransferID: id}
+			cid := id
+			if c, ok := rules.First(s.session, func(c *Cleanup) bool { return c.ID == cid }); ok {
+				e.RequestID = c.RequestID
+				e.WorkflowID = c.WorkflowID
+				e.FileURL = c.FileURL
+			}
+			s.emit(e)
+		}
 		s.session.Insert(&CleanupResult{CleanupID: id})
 	}
 	if _, err := s.session.FireAll(s.cfg.FireBudget); err != nil {
-		return fmt.Errorf("policy: rule evaluation: %w", err)
+		opErr = fmt.Errorf("policy: rule evaluation: %w", err)
+		return opErr
 	}
 	return nil
 }

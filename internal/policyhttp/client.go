@@ -174,6 +174,23 @@ func (c *Client) Healthz() error {
 	return c.do(http.MethodGet, "/v1/healthz", nil, nil)
 }
 
+// Metrics fetches the raw Prometheus text-format scrape from /v1/metrics.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.http.Get(c.base + "/v1/metrics")
+	if err != nil {
+		return "", fmt.Errorf("policyhttp: GET /v1/metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return "", c.decodeError(resp)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return "", fmt.Errorf("policyhttp: read metrics: %w", err)
+	}
+	return string(data), nil
+}
+
 // Dump fetches a full Policy Memory snapshot.
 func (c *Client) Dump() (*policy.StateDump, error) {
 	var dump policy.StateDump

@@ -1,14 +1,21 @@
 package policyhttp
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 
+	"policyflow/internal/obs"
 	"policyflow/internal/policy"
+	"policyflow/internal/simnet"
+	"policyflow/internal/transfer"
+	"policyflow/internal/workflow"
 )
 
 func TestConfigEndpoint(t *testing.T) {
@@ -52,6 +59,236 @@ func TestMetricsEndpoint(t *testing.T) {
 	} {
 		if !strings.Contains(text, frag) {
 			t.Errorf("metrics missing %q:\n%s", frag, text)
+		}
+	}
+}
+
+// validatePrometheusFormat parses a text-format scrape and fails the test
+// unless it satisfies the Prometheus exposition format: every sample line
+// must belong to a family announced by preceding # HELP and # TYPE
+// comments, histogram families must expose only _bucket/_sum/_count
+// series, and every sample value must parse as a float.
+func validatePrometheusFormat(t *testing.T, text string) map[string]string {
+	t.Helper()
+	types := map[string]string{}
+	help := map[string]bool{}
+	for i, line := range strings.Split(text, "\n") {
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "# HELP "):
+			name, h, ok := strings.Cut(strings.TrimPrefix(line, "# HELP "), " ")
+			if !ok || h == "" {
+				t.Errorf("line %d: HELP without text: %q", i+1, line)
+			}
+			help[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			name, kind, ok := strings.Cut(strings.TrimPrefix(line, "# TYPE "), " ")
+			if !ok {
+				t.Fatalf("line %d: malformed TYPE: %q", i+1, line)
+			}
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
+				t.Errorf("line %d: unknown metric kind %q", i+1, kind)
+			}
+			if !help[name] {
+				t.Errorf("line %d: TYPE for %s precedes its HELP", i+1, name)
+			}
+			if _, dup := types[name]; dup {
+				t.Errorf("line %d: duplicate TYPE for %s", i+1, name)
+			}
+			types[name] = kind
+		case strings.HasPrefix(line, "#"):
+			t.Errorf("line %d: unrecognized comment: %q", i+1, line)
+		default:
+			name := line
+			if j := strings.IndexAny(line, "{ "); j >= 0 {
+				name = line[:j]
+			}
+			fam := name
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if base := strings.TrimSuffix(name, suf); base != name && types[base] == "histogram" {
+					fam = base
+				}
+			}
+			kind, ok := types[fam]
+			if !ok {
+				t.Errorf("line %d: sample %s has no preceding HELP/TYPE", i+1, name)
+				continue
+			}
+			if kind == "histogram" && fam == name {
+				t.Errorf("line %d: bare series %s under histogram family", i+1, name)
+			}
+			val := line[strings.LastIndex(line, " ")+1:]
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				t.Errorf("line %d: sample value %q: %v", i+1, val, err)
+			}
+		}
+	}
+	return types
+}
+
+// TestMetricsPrometheusFormat drives HTTP traffic and a PTT sharing the
+// server's registry, then checks the /v1/metrics scrape is format-valid
+// and carries both per-endpoint request latency histograms and
+// per-host-pair transfer series.
+func TestMetricsPrometheusFormat(t *testing.T) {
+	cfg := policy.DefaultConfig()
+	cfg.DefaultThreshold = 50
+	cfg.DefaultStreams = 4
+	svc, err := policy.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(NewServerWith(svc, nil, reg, nil))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	adv, err := c.AdviseTransfers([]policy.TransferSpec{testSpec(1, "wf1"), testSpec(2, "wf1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.Get(ts.URL + "/nope"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// A Policy-based Transfer Tool sharing the registry contributes the
+	// per-host-pair transfer histograms to the same scrape.
+	env := simnet.NewEnv(1)
+	fab := transfer.NewSimFabric(env, func(policy.HostPair) simnet.PipeConfig {
+		pc := simnet.WANConfig()
+		pc.FlowJitterSigma = 0
+		pc.CapacityJitterSigma = 0
+		pc.FailureHazard = 0
+		return pc
+	})
+	ptt, err := transfer.New(transfer.Config{
+		Advisor: svc, Fabric: fab, DefaultStreams: 4, Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Go("task", func(p *simnet.Proc) {
+		ops := []workflow.TransferOp{
+			{
+				FileName:  "p1",
+				SourceURL: "gsiftp://src.example.org/data/p1",
+				DestURL:   "file://dst.example.org/scratch/p1",
+				SizeBytes: 4 << 20,
+			},
+			{
+				FileName:  "p2",
+				SourceURL: "gsiftp://src.example.org/data/p2",
+				DestURL:   "file://dst.example.org/scratch/p2",
+				SizeBytes: 4 << 20,
+			},
+		}
+		if err := ptt.ExecuteList(p, "wf1", "g1", ops, 0); err != nil {
+			t.Errorf("ExecuteList: %v", err)
+		}
+	})
+	env.Run(0)
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+
+	types := validatePrometheusFormat(t, text)
+	for fam, kind := range map[string]string{
+		"http_requests_total":        "counter",
+		"http_request_seconds":       "histogram",
+		"policy_request_seconds":     "histogram",
+		"policy_transfers_in_flight": "gauge",
+		"transfer_size_bytes":        "histogram",
+		"transfer_duration_seconds":  "histogram",
+	} {
+		if types[fam] != kind {
+			t.Errorf("family %s: type %q, want %q", fam, types[fam], kind)
+		}
+	}
+	for _, frag := range []string{
+		// Per-endpoint request accounting, exact counts: the PTT talks to
+		// the service in-process, so only our own calls are counted.
+		`http_requests_total{endpoint="POST /v1/transfers",code="200"} 1`,
+		`http_requests_total{endpoint="POST /v1/transfers/completed",code="204"} 1`,
+		`http_requests_total{endpoint="unmatched",code="404"} 1`,
+		`http_request_seconds_bucket{endpoint="POST /v1/transfers",le="+Inf"} 1`,
+		`http_request_seconds_count{endpoint="POST /v1/transfers"} 1`,
+		// Per-host-pair transfer series from the shared-registry PTT.
+		`transfer_size_bytes_count{src="src.example.org",dst="dst.example.org"} 2`,
+		`transfer_executed_total{src="src.example.org",dst="dst.example.org"} 2`,
+		`policy_streams_allocated{src="src.example.org",dst="dst.example.org"}`,
+		// Per-op policy service latency histograms.
+		`policy_request_seconds_count{op="advise_transfers"}`,
+		`policy_request_seconds_count{op="report_transfers"}`,
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("scrape missing %q", frag)
+		}
+	}
+	if t.Failed() {
+		t.Logf("scrape:\n%s", text)
+	}
+}
+
+// TestServerTraceEvents attaches a JSONL tracer to the HTTP server and
+// verifies the lifecycle events a client's calls produce decode back in
+// order.
+func TestServerTraceEvents(t *testing.T) {
+	cfg := policy.DefaultConfig()
+	svc, err := policy.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tracer := obs.NewJSONLTracer(&buf)
+	ts := httptest.NewServer(NewServerWith(svc, nil, obs.NewRegistry(), tracer))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	adv, err := c.AdviseTransfers([]policy.TransferSpec{testSpec(1, "wf1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := adv.Transfers[0].ID
+	if err := c.ReportTransfers(policy.CompletionReport{TransferIDs: []string{id}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, e := range events {
+		if e.TransferID == id {
+			got = append(got, e.Type)
+		}
+	}
+	want := []string{obs.EventSubmitted, obs.EventAdvised, obs.EventCompleted}
+	if len(got) != len(want) {
+		t.Fatalf("event types = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event types = %v, want %v", got, want)
+		}
+	}
+	for _, e := range events {
+		if e.Type == obs.EventAdvised && e.TransferID == id {
+			if e.WorkflowID != "wf1" || e.SourceHost == "" || e.DestHost == "" || e.Streams == 0 {
+				t.Errorf("advised event missing context: %+v", e)
+			}
 		}
 	}
 }

@@ -24,8 +24,11 @@ import (
 	"log"
 	"mime"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
+	"policyflow/internal/obs"
 	"policyflow/internal/policy"
 )
 
@@ -94,11 +97,46 @@ type Server struct {
 	svc *policy.Service
 	mux *http.ServeMux
 	log *log.Logger
+
+	reg      *obs.Registry
+	httpReqs *obs.CounterVec   // http_requests_total{endpoint,code}
+	httpLat  *obs.HistogramVec // http_request_seconds{endpoint}
+
+	// state gauges, refreshed from the service snapshot at scrape time.
+	inFlight    *obs.Gauge
+	stagedFiles *obs.Gauge
+	tracked     *obs.Gauge
+	pendClean   *obs.Gauge
+	streamsVec  *obs.GaugeVec
 }
 
-// NewServer wraps svc. logger may be nil to disable request logging.
+// NewServer wraps svc with a fresh metrics registry and no tracer. logger
+// may be nil to disable request logging.
 func NewServer(svc *policy.Service, logger *log.Logger) *Server {
-	s := &Server{svc: svc, mux: http.NewServeMux(), log: logger}
+	return NewServerWith(svc, logger, obs.NewRegistry(), nil)
+}
+
+// NewServerWith wraps svc using the caller's registry and tracer (tracer
+// may be nil). The service is instrumented with both, so every policy
+// decision lands in reg and, when a tracer is given, in the event log; the
+// registry is what GET /v1/metrics renders.
+func NewServerWith(svc *policy.Service, logger *log.Logger, reg *obs.Registry, tracer obs.Tracer) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux(), log: logger, reg: reg}
+	svc.Instrument(reg, tracer)
+	s.httpReqs = reg.Counter("http_requests_total",
+		"HTTP requests served, by route pattern and status code.", "endpoint", "code")
+	s.httpLat = reg.Histogram("http_request_seconds",
+		"HTTP request latency by route pattern.", nil, "endpoint")
+	s.inFlight = reg.Gauge("policy_transfers_in_flight",
+		"In-progress transfers.").With()
+	s.stagedFiles = reg.Gauge("policy_staged_files",
+		"Staged files tracked in Policy Memory.").With()
+	s.tracked = reg.Gauge("policy_tracked_files",
+		"File resources tracked in Policy Memory (staged or pending).").With()
+	s.pendClean = reg.Gauge("policy_pending_cleanups",
+		"Cleanup operations in progress.").With()
+	s.streamsVec = reg.Gauge("policy_streams_allocated",
+		"Parallel streams currently allocated per host pair.", "src", "dst")
 	s.mux.HandleFunc("POST /v1/transfers", s.handleTransfers)
 	s.mux.HandleFunc("POST /v1/transfers/completed", s.handleTransfersCompleted)
 	s.mux.HandleFunc("POST /v1/cleanups", s.handleCleanups)
@@ -138,35 +176,56 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics exposes cumulative counters in the Prometheus text
+// Registry returns the server's metrics registry, for callers that mount
+// additional endpoints over it (cmd/policyserver's /debug/vars).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// handleMetrics exposes the full metrics registry in the Prometheus text
 // exposition format (no external dependency needed for the text form).
+// State-derived gauges are refreshed from the service snapshot at scrape
+// time, so the scrape is always consistent with /v1/state.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	advised, suppressed := s.svc.Stats()
 	snap := s.svc.Snapshot()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprintf(w, "# HELP policy_transfers_advised_total Transfers returned for execution.\n")
-	fmt.Fprintf(w, "# TYPE policy_transfers_advised_total counter\n")
-	fmt.Fprintf(w, "policy_transfers_advised_total %d\n", advised)
-	fmt.Fprintf(w, "# HELP policy_transfers_suppressed_total Transfers removed as duplicates.\n")
-	fmt.Fprintf(w, "# TYPE policy_transfers_suppressed_total counter\n")
-	fmt.Fprintf(w, "policy_transfers_suppressed_total %d\n", suppressed)
-	fmt.Fprintf(w, "# HELP policy_transfers_in_flight In-progress transfers.\n")
-	fmt.Fprintf(w, "# TYPE policy_transfers_in_flight gauge\n")
-	fmt.Fprintf(w, "policy_transfers_in_flight %d\n", snap.InFlight)
-	fmt.Fprintf(w, "# HELP policy_staged_files Staged files tracked in Policy Memory.\n")
-	fmt.Fprintf(w, "# TYPE policy_staged_files gauge\n")
-	fmt.Fprintf(w, "policy_staged_files %d\n", snap.StagedResources)
+	s.inFlight.Set(float64(snap.InFlight))
+	s.stagedFiles.Set(float64(snap.StagedResources))
+	s.tracked.Set(float64(snap.TrackedFiles))
+	s.pendClean.Set(float64(snap.PendingCleanups))
 	for _, p := range snap.Pairs {
-		fmt.Fprintf(w, "policy_streams_allocated{src=%q,dst=%q} %d\n", p.SourceHost, p.DestHost, p.Allocated)
+		s.streamsVec.With(p.SourceHost, p.DestHost).Set(float64(p.Allocated))
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil && s.log != nil {
+		s.log.Printf("write metrics: %v", err)
 	}
 }
 
-// ServeHTTP implements http.Handler.
+// statusWriter captures the response status for request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler. Every request is measured into the
+// per-endpoint request counter and latency histogram, labeled by the
+// matched route pattern so path parameters do not explode the series set.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.log != nil {
 		s.log.Printf("%s %s", r.Method, r.URL.Path)
 	}
-	s.mux.ServeHTTP(w, r)
+	_, pattern := s.mux.Handler(r)
+	if pattern == "" {
+		pattern = "unmatched"
+	}
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	s.httpReqs.With(pattern, strconv.Itoa(sw.code)).Inc()
+	s.httpLat.With(pattern).Observe(time.Since(start).Seconds())
 }
 
 // format identifies a wire encoding.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"policyflow/internal/obs"
 	"policyflow/internal/policy"
 	"policyflow/internal/simnet"
 	"policyflow/internal/workflow"
@@ -32,6 +33,12 @@ type Config struct {
 	// service call (the paper: the approach "incurs overheads for the
 	// service calls").
 	PolicyCallSeconds float64
+	// Obs, when set, receives per-host-pair transfer metrics (bytes and
+	// duration histograms, executed/failed counters).
+	Obs *obs.Registry
+	// Tracer, when set, receives a started event (stamped with the
+	// simulation clock) for every transfer the PTT begins executing.
+	Tracer obs.Tracer
 }
 
 func (c *Config) normalize() error {
@@ -73,6 +80,19 @@ type PTT struct {
 	mu    sync.Mutex
 	stats Stats
 	seq   int64
+
+	metrics *pttMetrics // nil without Config.Obs
+}
+
+// pttMetrics holds the PTT's registry series, all labeled by host pair.
+type pttMetrics struct {
+	bytesHist   *obs.HistogramVec // transfer_size_bytes{src,dst}
+	durHist     *obs.HistogramVec // transfer_duration_seconds{src,dst}
+	executed    *obs.CounterVec   // transfer_executed_total{src,dst}
+	failed      *obs.CounterVec   // transfer_failed_total{src,dst}
+	bytesMoved  *obs.CounterVec   // transfer_bytes_total{src,dst}
+	sessions    *obs.Counter      // transfer_sessions_total
+	policyCalls *obs.Counter      // transfer_policy_calls_total
 }
 
 // New creates a PTT.
@@ -80,7 +100,45 @@ func New(cfg Config) (*PTT, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	return &PTT{cfg: cfg}, nil
+	t := &PTT{cfg: cfg}
+	if reg := cfg.Obs; reg != nil {
+		t.metrics = &pttMetrics{
+			bytesHist: reg.Histogram("transfer_size_bytes",
+				"Executed transfer payload sizes per host pair.",
+				obs.ExpBuckets(1<<10, 4, 12), "src", "dst"),
+			durHist: reg.Histogram("transfer_duration_seconds",
+				"Executed transfer durations (simulated seconds) per host pair.",
+				obs.ExpBuckets(0.01, 4, 12), "src", "dst"),
+			executed: reg.Counter("transfer_executed_total",
+				"Transfers executed per host pair.", "src", "dst"),
+			failed: reg.Counter("transfer_failed_total",
+				"Transfer attempts failed per host pair.", "src", "dst"),
+			bytesMoved: reg.Counter("transfer_bytes_total",
+				"Bytes moved per host pair.", "src", "dst"),
+			sessions: reg.Counter("transfer_sessions_total",
+				"Transfer sessions opened (host-pair groups).").With(),
+			policyCalls: reg.Counter("transfer_policy_calls_total",
+				"Round trips to the policy service.").With(),
+		}
+	}
+	return t, nil
+}
+
+// observeTransfer records one executed or failed transfer against the
+// per-host-pair series; a no-op when Config.Obs is unset.
+func (t *PTT) observeTransfer(pair policy.HostPair, sizeBytes int64, seconds float64, failed bool) {
+	m := t.metrics
+	if m == nil {
+		return
+	}
+	if failed {
+		m.failed.With(pair.Src, pair.Dst).Inc()
+		return
+	}
+	m.executed.With(pair.Src, pair.Dst).Inc()
+	m.bytesMoved.With(pair.Src, pair.Dst).Add(float64(sizeBytes))
+	m.bytesHist.With(pair.Src, pair.Dst).Observe(float64(sizeBytes))
+	m.durHist.With(pair.Src, pair.Dst).Observe(seconds)
 }
 
 // Stats returns a snapshot of the activity counters.
@@ -126,18 +184,24 @@ func (t *PTT) executeWithoutPolicy(p *simnet.Proc, ops []workflow.TransferOp) er
 		if first || pair != lastPair {
 			p.Sleep(t.cfg.SessionSetupSeconds)
 			t.bump(func(s *Stats) { s.Sessions++ })
+			if t.metrics != nil {
+				t.metrics.sessions.Inc()
+			}
 			lastPair, first = pair, false
 		}
 		p.Sleep(t.cfg.TransferSetupSeconds)
+		start := p.Now()
 		if err := t.cfg.Fabric.Transfer(p, op.SourceURL, op.DestURL, op.SizeBytes, t.cfg.DefaultStreams); err != nil {
 			failed++
 			t.bump(func(s *Stats) { s.TransfersFailed++ })
+			t.observeTransfer(pair, op.SizeBytes, 0, true)
 			continue
 		}
 		t.bump(func(s *Stats) {
 			s.TransfersExecuted++
 			s.BytesMoved += op.SizeBytes
 		})
+		t.observeTransfer(pair, op.SizeBytes, p.Now()-start, false)
 	}
 	if failed > 0 {
 		return fmt.Errorf("%w: %d of %d", ErrTransfersFailed, failed, len(ops))
@@ -165,6 +229,9 @@ func (t *PTT) executeWithPolicy(p *simnet.Proc, workflowID, clusterID string, op
 	}
 	p.Sleep(t.cfg.PolicyCallSeconds)
 	t.bump(func(s *Stats) { s.PolicyCalls++ })
+	if t.metrics != nil {
+		t.metrics.policyCalls.Inc()
+	}
 	adv, err := t.cfg.Advisor.AdviseTransfers(specs)
 	if err != nil {
 		return fmt.Errorf("transfer: policy advice: %w", err)
@@ -179,13 +246,33 @@ func (t *PTT) executeWithPolicy(p *simnet.Proc, workflowID, clusterID string, op
 		if first || tr.GroupID != lastGroup {
 			p.Sleep(t.cfg.SessionSetupSeconds)
 			t.bump(func(s *Stats) { s.Sessions++ })
+			if t.metrics != nil {
+				t.metrics.sessions.Inc()
+			}
 			lastGroup, first = tr.GroupID, false
 		}
 		p.Sleep(t.cfg.TransferSetupSeconds)
 		start := p.Now()
+		if t.cfg.Tracer != nil {
+			t.cfg.Tracer.Emit(obs.Event{
+				Type:       obs.EventStarted,
+				TransferID: tr.ID,
+				RequestID:  tr.RequestID,
+				WorkflowID: tr.WorkflowID,
+				GroupID:    tr.GroupID,
+				SourceHost: tr.SourceHost,
+				DestHost:   tr.DestHost,
+				SizeBytes:  tr.SizeBytes,
+				Streams:    tr.Streams,
+				Priority:   tr.Priority,
+				SimSeconds: start,
+			})
+		}
+		pair := policy.HostPair{Src: tr.SourceHost, Dst: tr.DestHost}
 		if err := t.cfg.Fabric.Transfer(p, tr.SourceURL, tr.DestURL, tr.SizeBytes, tr.Streams); err != nil {
 			failedIDs = append(failedIDs, tr.ID)
 			t.bump(func(s *Stats) { s.TransfersFailed++ })
+			t.observeTransfer(pair, tr.SizeBytes, 0, true)
 			continue
 		}
 		completed = append(completed, tr.ID)
@@ -194,11 +281,15 @@ func (t *PTT) executeWithPolicy(p *simnet.Proc, workflowID, clusterID string, op
 			s.TransfersExecuted++
 			s.BytesMoved += tr.SizeBytes
 		})
+		t.observeTransfer(pair, tr.SizeBytes, p.Now()-start, false)
 	}
 
 	if len(completed) > 0 || len(failedIDs) > 0 {
 		p.Sleep(t.cfg.PolicyCallSeconds)
 		t.bump(func(s *Stats) { s.PolicyCalls++ })
+		if t.metrics != nil {
+			t.metrics.policyCalls.Inc()
+		}
 		if err := t.cfg.Advisor.ReportTransfers(policy.CompletionReport{
 			TransferIDs: completed,
 			FailedIDs:   failedIDs,
@@ -240,6 +331,9 @@ func (t *PTT) ExecuteCleanups(p *simnet.Proc, workflowID string, urls []string) 
 	}
 	p.Sleep(t.cfg.PolicyCallSeconds)
 	t.bump(func(s *Stats) { s.PolicyCalls++ })
+	if t.metrics != nil {
+		t.metrics.policyCalls.Inc()
+	}
 	adv, err := t.cfg.Advisor.AdviseCleanups(specs)
 	if err != nil {
 		return fmt.Errorf("transfer: cleanup advice: %w", err)
@@ -256,6 +350,9 @@ func (t *PTT) ExecuteCleanups(p *simnet.Proc, workflowID string, urls []string) 
 	if len(done) > 0 {
 		p.Sleep(t.cfg.PolicyCallSeconds)
 		t.bump(func(s *Stats) { s.PolicyCalls++ })
+		if t.metrics != nil {
+			t.metrics.policyCalls.Inc()
+		}
 		if err := t.cfg.Advisor.ReportCleanups(policy.CleanupReport{CleanupIDs: done}); err != nil {
 			return fmt.Errorf("transfer: cleanup report: %w", err)
 		}
