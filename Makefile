@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci build test race vet fmt
+.PHONY: ci build test race vet fmt fmt-check bench-smoke
 
 # The full gate: what a PR must pass.
-ci: vet build race
+ci: fmt-check vet build race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -18,4 +18,17 @@ race:
 	$(GO) test -race ./...
 
 fmt:
-	gofmt -l -w cmd internal *.go
+	gofmt -l -w cmd internal examples *.go
+
+# fmt-check fails (listing the offenders) if any tracked Go file is not
+# gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l cmd internal examples *.go)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# bench-smoke compiles and runs every WAL benchmark exactly once, so the
+# durability benchmarks cannot rot without failing CI.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkWAL' -benchtime=1x ./internal/durable/

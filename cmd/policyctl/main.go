@@ -86,6 +86,8 @@ func main() {
 			usage()
 		}
 		err = restore(client, args[1])
+	case "snapshot":
+		err = snapshot(client)
 	default:
 		usage()
 	}
@@ -106,7 +108,8 @@ commands:
   cleanup <workflow-id> <file-url>...    request file deletions
   metrics                                fetch and pretty-print /v1/metrics
   dump                                   print the Policy Memory snapshot
-  restore <dump.json>                    replace Policy Memory from a dump`)
+  restore <dump.json>                    replace Policy Memory from a dump
+  snapshot                               force a durable snapshot + WAL compaction`)
 	os.Exit(2)
 }
 
@@ -170,6 +173,21 @@ func dump(c *policyhttp.Client) error {
 		return err
 	}
 	out, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+// snapshot asks a durably-configured service to write a snapshot now and
+// compact its WAL; it prints the snapshot's log position, size and cost.
+func snapshot(c *policyhttp.Client) error {
+	info, err := c.SnapshotNow()
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(info, "", "  ")
 	if err != nil {
 		return err
 	}

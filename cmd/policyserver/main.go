@@ -8,6 +8,12 @@
 // The service then accepts transfer and cleanup lists on /v1/transfers and
 // /v1/cleanups (JSON or XML), completion reports on the corresponding
 // /completed endpoints, and exposes its state on /v1/state.
+//
+// With -data-dir the service keeps Policy Memory durable: every mutation
+// is written ahead to a checksummed WAL (fsynced before acknowledgement
+// unless -fsync=false), snapshots are taken every -snapshot-every and on
+// graceful shutdown, and on boot the service recovers from the latest
+// snapshot plus the WAL tail — surviving crashes mid-write.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"policyflow/internal/durable"
 	"policyflow/internal/obs"
 	"policyflow/internal/policy"
 	"policyflow/internal/policyhttp"
@@ -40,6 +47,9 @@ func main() {
 		quiet          = flag.Bool("quiet", false, "disable request logging")
 		debug          = flag.Bool("debug", false, "mount net/http/pprof profiling handlers and /debug/vars")
 		traceOut       = flag.String("trace-out", "", "stream the JSONL transfer-lifecycle event log to this file")
+		dataDir        = flag.String("data-dir", "", "persist Policy Memory to this directory (WAL + snapshots); empty runs in memory")
+		snapshotEvery  = flag.Duration("snapshot-every", 5*time.Minute, "periodic snapshot interval when -data-dir is set (0 disables the ticker)")
+		fsync          = flag.Bool("fsync", true, "fsync the WAL before acknowledging each mutation (-data-dir only)")
 	)
 	flag.Parse()
 
@@ -75,12 +85,34 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+
+	// Recover Policy Memory from the data directory (latest snapshot plus
+	// WAL tail) before the listener opens, then keep logging mutations.
+	var ps *durable.PolicyStore
+	if *dataDir != "" {
+		var stats durable.RecoveryStats
+		ps, stats, err = durable.OpenPolicyStore(*dataDir, svc, durable.Options{
+			Fsync:   *fsync,
+			Metrics: obs.NewWALMetrics(reg),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "policyserver: open data dir %s: %v\n", *dataDir, err)
+			os.Exit(1)
+		}
+		log.Printf("recovered policy memory from %s (snapshot seq %d, %d WAL records replayed, log at seq %d, fsync=%v)",
+			*dataDir, stats.SnapshotSeq, stats.Replayed, stats.LastSeq, *fsync)
+	}
+
 	// A typed-nil *JSONLTracer must not reach the interface parameter.
 	var tr obs.Tracer
 	if tracer != nil {
 		tr = tracer
 	}
-	var handler http.Handler = policyhttp.NewServerWith(svc, logger, reg, tr)
+	api := policyhttp.NewServerWith(svc, logger, reg, tr)
+	if ps != nil {
+		api.SetDurable(ps)
+	}
+	var handler http.Handler = api
 	if *debug {
 		// Profiling and raw-variable endpoints share the listener but stay
 		// off the /v1 API surface unless explicitly enabled.
@@ -118,8 +150,28 @@ func main() {
 		log.Printf("warm standby of %s (sync every %s)", *standbyOf, *syncInterval)
 	}
 
+	if ps != nil && *snapshotEvery > 0 {
+		go func() {
+			t := time.NewTicker(*snapshotEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if info, err := ps.SnapshotNow(); err != nil {
+						log.Printf("periodic snapshot: %v", err)
+					} else {
+						log.Printf("snapshot at seq %d (%d bytes, %.3fs)", info.Seq, info.Bytes, info.DurationSeconds)
+					}
+				}
+			}
+		}()
+	}
+
 	go func() {
 		<-ctx.Done()
+		log.Printf("shutdown signal received, draining requests")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
@@ -129,6 +181,19 @@ func main() {
 		*addr, cfg.Algorithm, cfg.DefaultThreshold, cfg.DefaultStreams)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("policyserver: %v", err)
+	}
+	// Requests are drained; seal the data directory with a final snapshot
+	// so the next boot restores without replaying the whole tail. The
+	// tracer (if any) is flushed and closed by its deferred Close above.
+	if ps != nil {
+		if info, err := ps.SnapshotNow(); err != nil {
+			log.Printf("final snapshot: %v", err)
+		} else {
+			log.Printf("final snapshot at seq %d (%d bytes)", info.Seq, info.Bytes)
+		}
+		if err := ps.Close(); err != nil {
+			log.Printf("close durable store: %v", err)
+		}
 	}
 	log.Printf("policy service stopped")
 }

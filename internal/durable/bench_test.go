@@ -1,0 +1,181 @@
+package durable
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"policyflow/internal/obs"
+	"policyflow/internal/policy"
+)
+
+// benchAdvise drives a full advise → report → cleanup-advise →
+// cleanup-report cycle per iteration so each op lands one WAL record and
+// Policy Memory stays bounded.
+func benchAdvise(b *testing.B, svc *policy.Service) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := fmt.Sprintf("gsiftp://src.example.org/f%d", i)
+		dst := fmt.Sprintf("file://dst.example.org/scratch/f%d", i)
+		adv, err := svc.AdviseTransfers([]policy.TransferSpec{{
+			RequestID:  fmt.Sprintf("r%d", i),
+			WorkflowID: "bench",
+			SourceURL:  src,
+			DestURL:    dst,
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := svc.ReportTransfers(policy.CompletionReport{
+			TransferIDs: []string{adv.Transfers[0].ID},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		cadv, err := svc.AdviseCleanups([]policy.CleanupSpec{{
+			RequestID: fmt.Sprintf("c%d", i), WorkflowID: "bench", FileURL: dst,
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cadv.Cleanups) == 1 {
+			if err := svc.ReportCleanups(policy.CleanupReport{
+				CleanupIDs: []string{cadv.Cleanups[0].ID},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func newBenchService(b *testing.B) *policy.Service {
+	b.Helper()
+	svc, err := policy.New(policy.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return svc
+}
+
+// BenchmarkWALAdviseBaseline measures the cycle with no mutation log
+// attached — the pure in-memory cost every durable variant adds to.
+func BenchmarkWALAdviseBaseline(b *testing.B) {
+	benchAdvise(b, newBenchService(b))
+}
+
+// BenchmarkWALAdviseNoFsync logs every mutation but leaves durability to
+// the OS page cache (crash-consistent, not power-fail durable).
+func BenchmarkWALAdviseNoFsync(b *testing.B) {
+	svc := newBenchService(b)
+	ps, _, err := OpenPolicyStore(b.TempDir(), svc, Options{Fsync: false})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ps.Close()
+	benchAdvise(b, svc)
+}
+
+// BenchmarkWALAdviseFsync waits for fsync before acknowledging each
+// mutation — the group-commit path under a serial (worst-case) load.
+func BenchmarkWALAdviseFsync(b *testing.B) {
+	svc := newBenchService(b)
+	ps, _, err := OpenPolicyStore(b.TempDir(), svc, Options{Fsync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ps.Close()
+	benchAdvise(b, svc)
+}
+
+// BenchmarkWALRecovery measures boot-time recovery (open + full WAL
+// replay through the rule engine) as a function of log length — the
+// number EXPERIMENTS.md reports, and the cost -snapshot-every bounds.
+func BenchmarkWALRecovery(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("records=%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			svc := newBenchService(b)
+			ps, _, err := OpenPolicyStore(dir, svc, Options{Fsync: false})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < n/2; i++ {
+				adv, err := svc.AdviseTransfers([]policy.TransferSpec{{
+					RequestID:  fmt.Sprintf("r%d", i),
+					WorkflowID: "bench",
+					SourceURL:  fmt.Sprintf("gsiftp://src.example.org/f%d", i),
+					DestURL:    fmt.Sprintf("file://dst.example.org/scratch/f%d", i),
+				}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := svc.ReportTransfers(policy.CompletionReport{
+					TransferIDs: []string{adv.Transfers[0].ID},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := ps.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				svc2 := newBenchService(b)
+				ps2, stats, err := OpenPolicyStore(dir, svc2, Options{Fsync: false})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Replayed != n {
+					b.Fatalf("replayed %d, want %d", stats.Replayed, n)
+				}
+				ps2.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkWALAdviseFsyncParallel shows group commit amortising fsyncs
+// across concurrent clients: the reported fsyncs/append ratio drops well
+// below 1 because one leader's fsync covers every record buffered behind
+// it.
+func BenchmarkWALAdviseFsyncParallel(b *testing.B) {
+	svc := newBenchService(b)
+	m := obs.NewWALMetrics(obs.NewRegistry())
+	ps, _, err := OpenPolicyStore(b.TempDir(), svc, Options{Fsync: true, Metrics: m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ps.Close()
+	b.ReportAllocs()
+	// Eight client goroutines per processor: group commit needs real
+	// concurrency to batch, and the grid deployments this models run many
+	// simultaneous transfer tools against one service.
+	b.SetParallelism(8)
+	b.ResetTimer()
+	var n int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := atomic.AddInt64(&n, 1)
+			adv, err := svc.AdviseTransfers([]policy.TransferSpec{{
+				RequestID:  fmt.Sprintf("r%d", i),
+				WorkflowID: "bench",
+				SourceURL:  fmt.Sprintf("gsiftp://src.example.org/p%d", i),
+				DestURL:    fmt.Sprintf("file://dst.example.org/scratch/p%d", i),
+			}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Report failure so Policy Memory stays bounded and the
+			// measurement isolates WAL cost rather than fact-base growth.
+			if err := svc.ReportTransfers(policy.CompletionReport{
+				FailedIDs: []string{adv.Transfers[0].ID},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if appends := m.Appends.Value(); appends > 0 {
+		b.ReportMetric(m.Fsyncs.Value()/appends, "fsyncs/append")
+	}
+}

@@ -1,0 +1,116 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Snapshots are JSON envelopes written atomically (temp file, fsync,
+// rename) and self-validating: the envelope carries a CRC-32 of the state
+// payload, so a damaged snapshot is skipped in favor of an older one.
+type snapshotEnvelope struct {
+	Seq   uint64          `json:"seq"`
+	CRC   uint32          `json:"crc"`
+	State json.RawMessage `json:"state"`
+}
+
+func snapshotPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%020d.json", seq))
+}
+
+// writeSnapshotFile atomically persists state as the snapshot at seq.
+func writeSnapshotFile(dir string, seq uint64, state []byte) error {
+	data, err := json.Marshal(&snapshotEnvelope{
+		Seq: seq, CRC: crc32.ChecksumIEEE(state), State: state,
+	})
+	if err != nil {
+		return fmt.Errorf("durable: encode snapshot %d: %w", seq, err)
+	}
+	path := snapshotPath(dir, seq)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// listSnapshots returns the snapshot sequence numbers present in dir,
+// ascending. Leftover .tmp files from interrupted writes are ignored.
+func listSnapshots(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		var seq uint64
+		if n, err := fmt.Sscanf(e.Name(), "snap-%d.json", &seq); n != 1 || err != nil {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// loadLatestSnapshot returns the newest snapshot in dir whose checksum
+// validates, or (0, nil, nil) when none exists. Invalid snapshots are
+// skipped, falling back to older ones.
+func loadLatestSnapshot(dir string) (uint64, []byte, error) {
+	seqs, err := listSnapshots(dir)
+	if err != nil {
+		return 0, nil, err
+	}
+	for i := len(seqs) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(snapshotPath(dir, seqs[i]))
+		if err != nil {
+			continue
+		}
+		var env snapshotEnvelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			continue
+		}
+		if env.Seq != seqs[i] || crc32.ChecksumIEEE(env.State) != env.CRC {
+			continue
+		}
+		return env.Seq, env.State, nil
+	}
+	return 0, nil, nil
+}
+
+// pruneSnapshots removes all but the newest keep snapshots.
+func pruneSnapshots(dir string, keep int) {
+	seqs, err := listSnapshots(dir)
+	if err != nil || len(seqs) <= keep {
+		return
+	}
+	for _, seq := range seqs[:len(seqs)-keep] {
+		os.Remove(snapshotPath(dir, seq))
+	}
+}

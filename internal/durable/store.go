@@ -1,0 +1,171 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"policyflow/internal/obs"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Fsync makes Sync wait for fsync(2) before reporting a record
+	// durable (group-committed across concurrent callers). When false,
+	// records are flushed to the OS only — they survive a process crash
+	// but not a machine crash.
+	Fsync bool
+	// KeepSnapshots is how many snapshot generations to retain; 0 selects
+	// the default of 2 (the latest plus one fallback).
+	KeepSnapshots int
+	// Metrics, when non-nil, receives the WAL and snapshot series.
+	Metrics *obs.WALMetrics
+}
+
+// RecoveryStats describes what Open found in the data directory.
+type RecoveryStats struct {
+	// SnapshotSeq is the sequence number of the snapshot restored, 0 when
+	// the store started from the log alone.
+	SnapshotSeq uint64
+	// Replayed is the number of WAL records applied after the snapshot.
+	Replayed int
+	// LastSeq is the log position after recovery.
+	LastSeq uint64
+}
+
+// Store combines the segmented WAL with snapshot files in one data
+// directory. It is safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+	wal  *wal
+
+	mu      sync.Mutex // serializes snapshot/compaction
+	snapSeq uint64
+}
+
+// Archive is a transportable recovery bundle: the latest snapshot payload
+// plus the WAL records after it. Shipping an archive instead of a live
+// state dump lets a peer resync without pausing the donor's Policy Memory.
+type Archive struct {
+	// SnapshotSeq is the log position the snapshot covers (0 = none).
+	SnapshotSeq uint64 `json:"snapshotSeq"`
+	// Snapshot is the raw snapshot payload (a policy.StateDump in JSON),
+	// absent when the donor has not snapshotted yet.
+	Snapshot json.RawMessage `json:"snapshot,omitempty"`
+	// Tail is the mutation records after the snapshot, in order.
+	Tail []Record `json:"tail,omitempty"`
+}
+
+// Open opens (creating if needed) the store in dir and recovers: restore
+// receives the latest valid snapshot payload (when one exists), then apply
+// receives every WAL record after it, in order. A torn final record — the
+// signature of a mid-write crash — is truncated silently; damage anywhere
+// else is ErrCorrupt.
+func Open(dir string, opts Options, restore func(state []byte) error, apply func(Record) error) (*Store, RecoveryStats, error) {
+	var stats RecoveryStats
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, stats, err
+	}
+	if opts.KeepSnapshots <= 0 {
+		opts.KeepSnapshots = 2
+	}
+	snapSeq, state, err := loadLatestSnapshot(dir)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.SnapshotSeq = snapSeq
+	if state != nil && restore != nil {
+		if err := restore(state); err != nil {
+			return nil, stats, fmt.Errorf("durable: restore snapshot %d: %w", snapSeq, err)
+		}
+	}
+	w, err := openWAL(dir, walOptions{
+		Fsync:      opts.Fsync,
+		ReplayFrom: snapSeq,
+		Metrics:    opts.Metrics,
+	}, func(rec Record) error {
+		stats.Replayed++
+		if opts.Metrics != nil {
+			opts.Metrics.RecoveredRecords.Inc()
+		}
+		if apply != nil {
+			return apply(rec)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.LastSeq = w.LastSeq()
+	return &Store{dir: dir, opts: opts, wal: w, snapSeq: snapSeq}, stats, nil
+}
+
+// Append logs one mutation command (JSON-encoding its payload) and
+// returns its sequence number. The record is durable only once Sync(seq)
+// returns.
+func (st *Store) Append(op string, payload any) (uint64, error) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return 0, fmt.Errorf("durable: encode %s payload: %w", op, err)
+	}
+	return st.wal.Append(op, data)
+}
+
+// Sync blocks until the record at seq is durable (group-committed).
+func (st *Store) Sync(seq uint64) error { return st.wal.Sync(seq) }
+
+// LastSeq returns the sequence number of the last appended record.
+func (st *Store) LastSeq() uint64 { return st.wal.LastSeq() }
+
+// SnapshotSeq returns the log position covered by the latest snapshot.
+func (st *Store) SnapshotSeq() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.snapSeq
+}
+
+// WriteSnapshot persists state as the snapshot at seq, then compacts: the
+// WAL rotates to a fresh segment, segments fully covered by the snapshot
+// are deleted, and snapshot generations beyond KeepSnapshots are pruned.
+// Writing a snapshot at or before the current one is a no-op.
+func (st *Store) WriteSnapshot(seq uint64, state []byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if seq <= st.snapSeq {
+		return nil
+	}
+	if err := writeSnapshotFile(st.dir, seq, state); err != nil {
+		return err
+	}
+	if err := st.wal.Rotate(seq); err != nil {
+		return err
+	}
+	pruneSnapshots(st.dir, st.opts.KeepSnapshots)
+	st.snapSeq = seq
+	if st.opts.Metrics != nil {
+		st.opts.Metrics.Snapshots.Inc()
+	}
+	return nil
+}
+
+// ArchiveTail bundles the latest snapshot with the WAL records after it.
+// The lock keeps the pair consistent against a concurrent WriteSnapshot.
+func (st *Store) ArchiveTail() (*Archive, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	snapSeq, state, err := loadLatestSnapshot(st.dir)
+	if err != nil {
+		return nil, err
+	}
+	tail, err := st.wal.ReadAfter(snapSeq)
+	if err != nil {
+		return nil, err
+	}
+	return &Archive{SnapshotSeq: snapSeq, Snapshot: state, Tail: tail}, nil
+}
+
+// Close flushes (and fsyncs, when configured) outstanding records and
+// closes the log. Further appends fail.
+func (st *Store) Close() error { return st.wal.Close() }

@@ -1,0 +1,132 @@
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Logged operation names. The policy service is deterministic, so a log of
+// the mutation *requests* — replayed in order against a service built with
+// the same configuration — reproduces Policy Memory exactly, including
+// assigned transfer, group and cleanup IDs. These constants name the
+// operations in WAL records and archive tails.
+const (
+	OpAdviseTransfers = "advise_transfers"
+	OpReportTransfers = "report_transfers"
+	OpAdviseCleanups  = "advise_cleanups"
+	OpReportCleanups  = "report_cleanups"
+	OpSetThreshold    = "set_threshold"
+	OpImportState     = "import_state"
+)
+
+// ThresholdOp is the logged payload of a SetThreshold call.
+type ThresholdOp struct {
+	SourceHost string `json:"sourceHost"`
+	DestHost   string `json:"destHost"`
+	Max        int    `json:"max"`
+}
+
+// MutationLog receives every Policy Memory mutation command, in
+// application order, before it is applied (write-ahead semantics). Append
+// is called with the service lock held — implementations must not call
+// back into the service — and assigns a sequence number; Sync is called
+// after the lock is released and blocks until the record is durable, so
+// implementations can group-commit concurrent operations under one fsync.
+// A nil MutationLog (the default) keeps the service purely in-memory.
+type MutationLog interface {
+	Append(op string, payload any) (seq uint64, err error)
+	Sync(seq uint64) error
+}
+
+// SetMutationLog attaches l as the service's write-ahead mutation log
+// (nil detaches). Attach before serving traffic: operations accepted
+// while no log is attached are not persisted.
+func (s *Service) SetMutationLog(l MutationLog) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mlog = l
+}
+
+// appendLog records one mutation command. Callers hold s.mu, so log order
+// equals application order. A failed append fails the operation before any
+// state changes are acknowledged.
+func (s *Service) appendLog(op string, payload any) (uint64, error) {
+	if s.mlog == nil {
+		return 0, nil
+	}
+	seq, err := s.mlog.Append(op, payload)
+	if err != nil {
+		return 0, fmt.Errorf("policy: mutation log: %w", err)
+	}
+	return seq, nil
+}
+
+// syncLog waits for the record at seq to become durable. Callers must not
+// hold s.mu — this is where concurrent operations overlap their fsyncs.
+func (s *Service) syncLog(seq uint64) error {
+	if seq == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	l := s.mlog
+	s.mu.Unlock()
+	if l == nil {
+		return nil
+	}
+	if err := l.Sync(seq); err != nil {
+		return fmt.Errorf("policy: mutation log sync: %w", err)
+	}
+	return nil
+}
+
+// ApplyLogged replays one logged mutation during recovery. Payloads are
+// decoded and dispatched to the corresponding service method; application
+// errors are discarded because replay is deterministic — an operation that
+// failed validation when first submitted fails identically here, leaving
+// the same (partial) state it left then. Decode failures and unknown
+// operations are reported: they mean the log itself is damaged. Callers
+// must replay into a service whose mutation log is not yet attached, or
+// every record would be re-logged.
+func (s *Service) ApplyLogged(op string, payload []byte) error {
+	switch op {
+	case OpAdviseTransfers:
+		var specs []TransferSpec
+		if err := json.Unmarshal(payload, &specs); err != nil {
+			return fmt.Errorf("policy: replay %s: %w", op, err)
+		}
+		s.AdviseTransfers(specs)
+	case OpReportTransfers:
+		var report CompletionReport
+		if err := json.Unmarshal(payload, &report); err != nil {
+			return fmt.Errorf("policy: replay %s: %w", op, err)
+		}
+		s.ReportTransfers(report)
+	case OpAdviseCleanups:
+		var specs []CleanupSpec
+		if err := json.Unmarshal(payload, &specs); err != nil {
+			return fmt.Errorf("policy: replay %s: %w", op, err)
+		}
+		s.AdviseCleanups(specs)
+	case OpReportCleanups:
+		var report CleanupReport
+		if err := json.Unmarshal(payload, &report); err != nil {
+			return fmt.Errorf("policy: replay %s: %w", op, err)
+		}
+		s.ReportCleanups(report)
+	case OpSetThreshold:
+		var t ThresholdOp
+		if err := json.Unmarshal(payload, &t); err != nil {
+			return fmt.Errorf("policy: replay %s: %w", op, err)
+		}
+		s.SetThreshold(t.SourceHost, t.DestHost, t.Max)
+	case OpImportState:
+		var d StateDump
+		if err := json.Unmarshal(payload, &d); err != nil {
+			return fmt.Errorf("policy: replay %s: %w", op, err)
+		}
+		s.ImportState(&d)
+	default:
+		return fmt.Errorf("policy: replay: unknown logged op %q", op)
+	}
+	return nil
+}

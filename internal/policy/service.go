@@ -114,6 +114,10 @@ type Service struct {
 	// metrics and tracer are nil until Instrument attaches them.
 	metrics *svcMetrics
 	tracer  obs.Tracer
+
+	// mlog, when set, receives every mutation command before it is
+	// applied (write-ahead). Nil keeps the service purely in-memory.
+	mlog MutationLog
 }
 
 // svcMetrics holds the service's registry series. All fields are created
@@ -257,16 +261,28 @@ var ErrEmptyRequest = errors.New("policy: empty request")
 // and stream counts assigned, ordered by priority and group. Transfers in
 // the returned list are recorded as in progress until reported via
 // ReportTransfers.
-func (s *Service) AdviseTransfers(specs []TransferSpec) (*TransferAdvice, error) {
+func (s *Service) AdviseTransfers(specs []TransferSpec) (adv *TransferAdvice, err error) {
 	if len(specs) == 0 {
 		return nil, ErrEmptyRequest
 	}
 	start := time.Now()
+	var logSeq uint64
+	// Declared before the unlock defer so it runs after the lock is
+	// released: waiting for the WAL's group-commit fsync outside the lock
+	// is what lets concurrent advise calls amortize one fsync.
+	defer func() {
+		if serr := s.syncLog(logSeq); serr != nil && err == nil {
+			adv, err = nil, serr
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	firingsBefore := s.session.Firings()
 	var opErr error
 	defer func() { s.observeOp("advise_transfers", start, firingsBefore, opErr) }()
+	if logSeq, opErr = s.appendLog(OpAdviseTransfers, specs); opErr != nil {
+		return nil, opErr
+	}
 
 	batch := make([]*Transfer, 0, len(specs))
 	for i, spec := range specs {
@@ -307,7 +323,7 @@ func (s *Service) AdviseTransfers(specs []TransferSpec) (*TransferAdvice, error)
 		return nil, opErr
 	}
 
-	adv := &TransferAdvice{}
+	adv = &TransferAdvice{}
 	for _, t := range batch {
 		switch t.State {
 		case TransferDuplicate:
@@ -433,6 +449,12 @@ func (s *Service) ReportTransfers(report CompletionReport) error {
 	start := time.Now()
 	s.mu.Lock()
 	firingsBefore := s.session.Firings()
+	logSeq, logErr := s.appendLog(OpReportTransfers, report)
+	if logErr != nil {
+		s.observeOp("report_transfers", start, firingsBefore, logErr)
+		s.mu.Unlock()
+		return logErr
+	}
 	if s.observer != nil {
 		// Look the transfers up before the rules retract them; the
 		// observer itself runs after the lock is released so it may call
@@ -468,6 +490,9 @@ func (s *Service) ReportTransfers(report CompletionReport) error {
 	if err != nil {
 		return fmt.Errorf("policy: rule evaluation: %w", err)
 	}
+	if serr := s.syncLog(logSeq); serr != nil {
+		return serr
+	}
 	if observer != nil {
 		for _, o := range pending {
 			observer(o.pair, o.streams, o.size, o.seconds)
@@ -497,16 +522,25 @@ func (s *Service) emitResults(eventType string, ids []string, seconds map[string
 // AdviseCleanups evaluates a list of file-deletion requests: duplicates and
 // deletions of files still in use by other workflows are removed. Approved
 // cleanups are recorded as in progress until reported via ReportCleanups.
-func (s *Service) AdviseCleanups(specs []CleanupSpec) (*CleanupAdvice, error) {
+func (s *Service) AdviseCleanups(specs []CleanupSpec) (adv *CleanupAdvice, err error) {
 	if len(specs) == 0 {
 		return nil, ErrEmptyRequest
 	}
 	start := time.Now()
+	var logSeq uint64
+	defer func() {
+		if serr := s.syncLog(logSeq); serr != nil && err == nil {
+			adv, err = nil, serr
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	firingsBefore := s.session.Firings()
 	var opErr error
 	defer func() { s.observeOp("advise_cleanups", start, firingsBefore, opErr) }()
+	if logSeq, opErr = s.appendLog(OpAdviseCleanups, specs); opErr != nil {
+		return nil, opErr
+	}
 
 	batch := make([]*Cleanup, 0, len(specs))
 	for i, spec := range specs {
@@ -530,7 +564,7 @@ func (s *Service) AdviseCleanups(specs []CleanupSpec) (*CleanupAdvice, error) {
 		return nil, opErr
 	}
 
-	adv := &CleanupAdvice{}
+	adv = &CleanupAdvice{}
 	for _, c := range batch {
 		switch c.State {
 		case CleanupRemoved:
@@ -580,13 +614,22 @@ func (s *Service) AdviseCleanups(specs []CleanupSpec) (*CleanupAdvice, error) {
 
 // ReportCleanups records completed cleanup operations; their state and the
 // deleted files' resources are removed from Policy Memory.
-func (s *Service) ReportCleanups(report CleanupReport) error {
+func (s *Service) ReportCleanups(report CleanupReport) (err error) {
 	start := time.Now()
+	var logSeq uint64
+	defer func() {
+		if serr := s.syncLog(logSeq); serr != nil && err == nil {
+			err = serr
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	firingsBefore := s.session.Firings()
 	var opErr error
 	defer func() { s.observeOp("report_cleanups", start, firingsBefore, opErr) }()
+	if logSeq, opErr = s.appendLog(OpReportCleanups, report); opErr != nil {
+		return opErr
+	}
 	for _, id := range report.CleanupIDs {
 		if s.tracer != nil {
 			e := obs.Event{Type: obs.EventCleaned, TransferID: id}
@@ -609,12 +652,23 @@ func (s *Service) ReportCleanups(report CleanupReport) error {
 
 // SetThreshold sets the maximum number of parallel streams between a host
 // pair, overriding the default for that pair from now on.
-func (s *Service) SetThreshold(srcHost, dstHost string, max int) error {
+func (s *Service) SetThreshold(srcHost, dstHost string, max int) (err error) {
 	if max < 1 {
 		return fmt.Errorf("policy: threshold must be >= 1, got %d", max)
 	}
+	var logSeq uint64
+	defer func() {
+		if serr := s.syncLog(logSeq); serr != nil && err == nil {
+			err = serr
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if logSeq, err = s.appendLog(OpSetThreshold, ThresholdOp{
+		SourceHost: srcHost, DestHost: dstHost, Max: max,
+	}); err != nil {
+		return err
+	}
 	pair := HostPair{Src: srcHost, Dst: dstHost}
 	if th, ok := rules.First(s.session, func(th *Threshold) bool { return th.Pair == pair }); ok {
 		th.Max = max

@@ -114,6 +114,25 @@ type ClusterLedgDump struct {
 func (s *Service) ExportState() *StateDump {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.exportStateLocked()
+}
+
+// ExportStateAt snapshots Policy Memory together with a caller-derived
+// sequence marker, reading both under the service lock so the pair is
+// consistent against concurrent mutations. The durability layer uses it
+// to pair a snapshot with its exact write-ahead-log position.
+func (s *Service) ExportStateAt(seqOf func() uint64) (*StateDump, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var seq uint64
+	if seqOf != nil {
+		seq = seqOf()
+	}
+	return s.exportStateLocked(), seq
+}
+
+// exportStateLocked builds the dump; callers hold s.mu.
+func (s *Service) exportStateLocked() *StateDump {
 	d := &StateDump{
 		NextTransfer: s.nextTransfer,
 		NextGroup:    s.nextGroup,
@@ -169,12 +188,21 @@ func (s *Service) ExportState() *StateDump {
 // service keeps its rule base and configuration; imported facts resume
 // exactly where the exporting service stopped (duplicate suppression,
 // in-use protection and ledger accounting all continue to apply).
-func (s *Service) ImportState(d *StateDump) error {
+func (s *Service) ImportState(d *StateDump) (err error) {
 	if d == nil {
 		return fmt.Errorf("policy: nil state dump")
 	}
+	var logSeq uint64
+	defer func() {
+		if serr := s.syncLog(logSeq); serr != nil && err == nil {
+			err = serr
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if logSeq, err = s.appendLog(OpImportState, d); err != nil {
+		return err
+	}
 	s.session.Reset()
 	s.nextTransfer = d.NextTransfer
 	s.nextGroup = d.NextGroup

@@ -1,0 +1,179 @@
+package policyhttp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+
+	"policyflow/internal/durable"
+	"policyflow/internal/policy"
+)
+
+// DurableStore is the slice of *durable.PolicyStore the HTTP layer needs:
+// on-demand snapshots and the snapshot+tail archive a replica resync
+// ships instead of a full live dump.
+type DurableStore interface {
+	SnapshotNow() (durable.SnapshotInfo, error)
+	Archive() (*durable.Archive, error)
+}
+
+// SetDurable attaches a durable store, enabling POST /v1/state/snapshot
+// and GET /v1/state/archive (both answer 501 Not Implemented otherwise).
+// Call it before serving requests.
+func (s *Server) SetDurable(ds DurableStore) { s.durable = ds }
+
+// errNotDurable is the 501 body for servers running purely in memory.
+var errNotDurable = errors.New("service is running without a durable store")
+
+// handleSnapshot forces a snapshot of Policy Memory and compacts the WAL
+// behind it, returning the snapshot's log position, size and duration.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	resf := responseFormat(r, formatJSON)
+	if s.durable == nil {
+		s.writeError(w, resf, http.StatusNotImplemented, errNotDurable)
+		return
+	}
+	info, err := s.durable.SnapshotNow()
+	if err != nil {
+		s.writeError(w, resf, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeResponse(w, resf, http.StatusOK, &info)
+}
+
+// handleArchive serves the latest snapshot plus the WAL tail after it.
+// The archive embeds raw JSON state and log records, so unlike the rest
+// of the interface it is JSON-only.
+func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
+	if s.durable == nil {
+		s.writeError(w, formatJSON, http.StatusNotImplemented, errNotDurable)
+		return
+	}
+	arch, err := s.durable.Archive()
+	if err != nil {
+		s.writeError(w, formatJSON, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeResponse(w, formatJSON, http.StatusOK, arch)
+}
+
+// SnapshotNow asks the remote service to snapshot its Policy Memory now.
+func (c *Client) SnapshotNow() (*durable.SnapshotInfo, error) {
+	var info durable.SnapshotInfo
+	if err := c.do(http.MethodPost, "/v1/state/snapshot", nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Archive fetches the remote snapshot+tail bundle. The endpoint is
+// JSON-only, so this bypasses the client's XML preference.
+func (c *Client) Archive() (*durable.Archive, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+"/v1/state/archive", nil)
+	if err != nil {
+		return nil, fmt.Errorf("policyhttp: build request: %w", err)
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("policyhttp: GET /v1/state/archive: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return nil, c.decodeError(resp)
+	}
+	var arch durable.Archive
+	if err := json.NewDecoder(resp.Body).Decode(&arch); err != nil {
+		return nil, fmt.Errorf("policyhttp: decode archive: %w", err)
+	}
+	return &arch, nil
+}
+
+// replayArchive reconstructs a replica's Policy Memory from an archive:
+// the snapshot is restored wholesale, then each tail record is replayed
+// through the replica's public endpoints in log order. The service being
+// deterministic, the replica converges on the donor's exact state.
+// Application-level replay errors are ignored — the donor logged the
+// operation even if it was rejected, and a rejection replays as a
+// rejection.
+func replayArchive(target *Client, arch *durable.Archive) error {
+	dump := &policy.StateDump{}
+	if arch.Snapshot != nil {
+		if err := json.Unmarshal(arch.Snapshot, dump); err != nil {
+			return fmt.Errorf("policyhttp: decode archive snapshot: %w", err)
+		}
+	}
+	if err := target.Restore(dump); err != nil {
+		return err
+	}
+	for _, rec := range arch.Tail {
+		if err := replayRecord(target, rec); err != nil {
+			return fmt.Errorf("policyhttp: replay record %d (%s): %w", rec.Seq, rec.Op, err)
+		}
+	}
+	return nil
+}
+
+// replayRecord applies one logged mutation to target. Decode failures are
+// errors; application errors are deterministic rejections and ignored.
+func replayRecord(target *Client, rec durable.Record) error {
+	switch rec.Op {
+	case policy.OpAdviseTransfers:
+		var specs []policy.TransferSpec
+		if err := json.Unmarshal(rec.Data, &specs); err != nil {
+			return err
+		}
+		_, err := target.AdviseTransfers(specs)
+		return ignoreApplication(err)
+	case policy.OpReportTransfers:
+		var report policy.CompletionReport
+		if err := json.Unmarshal(rec.Data, &report); err != nil {
+			return err
+		}
+		return ignoreApplication(target.ReportTransfers(report))
+	case policy.OpAdviseCleanups:
+		var specs []policy.CleanupSpec
+		if err := json.Unmarshal(rec.Data, &specs); err != nil {
+			return err
+		}
+		_, err := target.AdviseCleanups(specs)
+		return ignoreApplication(err)
+	case policy.OpReportCleanups:
+		var report policy.CleanupReport
+		if err := json.Unmarshal(rec.Data, &report); err != nil {
+			return err
+		}
+		return ignoreApplication(target.ReportCleanups(report))
+	case policy.OpSetThreshold:
+		var op policy.ThresholdOp
+		if err := json.Unmarshal(rec.Data, &op); err != nil {
+			return err
+		}
+		return ignoreApplication(target.SetThreshold(op.SourceHost, op.DestHost, op.Max))
+	case policy.OpImportState:
+		var dump policy.StateDump
+		if err := json.Unmarshal(rec.Data, &dump); err != nil {
+			return err
+		}
+		return target.Restore(&dump)
+	default:
+		return fmt.Errorf("unknown op %q", rec.Op)
+	}
+}
+
+// ignoreApplication drops server-side rejections (the request landed and
+// was refused — a deterministic outcome the donor's log also recorded)
+// but keeps transport failures, which mean the replay never reached the
+// replica.
+func ignoreApplication(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package policyhttp
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"policyflow/internal/durable"
+	"policyflow/internal/policy"
+)
+
+// durableReplica starts one policy service persisting to dir, with the
+// snapshot/archive endpoints enabled. The returned store is NOT closed
+// automatically — crash tests abandon it deliberately.
+func durableReplica(t *testing.T, dir string) (*httptest.Server, *policy.Service, *Client, *durable.PolicyStore) {
+	t.Helper()
+	svc, err := policy.New(policy.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, _, err := durable.OpenPolicyStore(dir, svc, durable.Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(svc, nil)
+	srv.SetDurable(ps)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, svc, NewClient(ts.URL), ps
+}
+
+// tearWAL appends a partial record frame to the newest WAL segment in
+// dir, as a crash mid-append would leave behind.
+func tearWAL(t *testing.T, dir string) {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("wal segments = %v, %v", segs, err)
+	}
+	sort.Strings(segs)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{150, 0, 0, 0, 0xaa, 0xbb, 0xcc, 0xdd, 't', 'o', 'r', 'n'})
+	f.Close()
+}
+
+// TestDurableCrashRecoveryAndResync is the end-to-end reliability
+// scenario: two durable replicas diverge when the primary is killed
+// mid-run (leaving a torn WAL record); the primary restarts from its data
+// directory, recovers its pre-crash memory, and Resync ships the
+// secondary's snapshot + WAL tail to bring it back into convergence —
+// after which a file staged by the first workflow is still suppressed as
+// a duplicate for a second workflow.
+func TestDurableCrashRecoveryAndResync(t *testing.T) {
+	dir0, dir1 := t.TempDir(), t.TempDir()
+	ts0, _, c0, _ := durableReplica(t, dir0)
+	_, svc1, c1, _ := durableReplica(t, dir1)
+	rc, err := NewReplicatedClient(c0, c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	adv, err := rc.AdviseTransfers([]policy.TransferSpec{testSpec(1, "wf1"), testSpec(2, "wf1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The primary dies without any shutdown path: its process state is
+	// discarded (server closed, store abandoned) and its WAL gains a torn
+	// final record.
+	ts0.Close()
+	tearWAL(t, dir0)
+
+	// Workflow traffic continues against the surviving replica.
+	adv2, err := rc.AdviseTransfers([]policy.TransferSpec{testSpec(3, "wf1")})
+	if err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+	if err := rc.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv2.Transfers[0].ID}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart the primary from its data directory. Recovery replays the
+	// two pre-crash records (the failover ops never reached this replica)
+	// and ignores the torn tail.
+	svc0b, err := policy.New(policy.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps0b, stats, err := durable.OpenPolicyStore(dir0, svc0b, durable.Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps0b.Close()
+	if stats.Replayed != 2 {
+		t.Fatalf("recovery replayed %d records, want 2 (pre-crash advise+report)", stats.Replayed)
+	}
+	srv0b := NewServer(svc0b, nil)
+	srv0b.SetDurable(ps0b)
+	ts0b := httptest.NewServer(srv0b)
+	t.Cleanup(ts0b.Close)
+	c0b := NewClient(ts0b.URL)
+
+	// Snapshot the donor so the resync exercises the snapshot+tail path
+	// rather than an all-tail archive.
+	if _, err := c1.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	arch, err := c1.Archive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arch.SnapshotSeq == 0 || arch.Snapshot == nil {
+		t.Fatalf("donor archive has no snapshot: %+v", arch)
+	}
+
+	// Resync the restarted primary from the survivor and verify the two
+	// Policy Memories are byte-identical.
+	rc2, err := NewReplicatedClient(c0b, c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc2.Resync(0); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(svc1.ExportState())
+	got, _ := json.Marshal(svc0b.ExportState())
+	if string(want) != string(got) {
+		t.Fatalf("replicas diverged after resync:\n survivor: %s\n restarted: %s", want, got)
+	}
+
+	// Duplicate suppression survives the crash + resync: the file staged
+	// by workflow 1 before the crash is removed from workflow 2's list on
+	// the restarted primary.
+	adv3, err := c0b.AdviseTransfers([]policy.TransferSpec{testSpec(1, "wf2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv3.Removed) != 1 || adv3.Removed[0].Reason != "already-staged" {
+		t.Fatalf("post-recovery advice = %+v", adv3)
+	}
+}
+
+// TestSnapshotAndArchiveRequireDurable pins the 501 contract for servers
+// running without a data directory.
+func TestSnapshotAndArchiveRequireDurable(t *testing.T) {
+	_, _, clients := replicaSet(t, 1)
+	if _, err := clients[0].SnapshotNow(); err == nil {
+		t.Error("SnapshotNow succeeded without a durable store")
+	}
+	if _, err := clients[0].Archive(); err == nil {
+		t.Error("Archive succeeded without a durable store")
+	}
+}
+
+// TestResyncPrefersArchive verifies a durable donor serves the archive
+// path end to end, including replay of records logged after the snapshot.
+func TestResyncPrefersArchive(t *testing.T) {
+	dir0 := t.TempDir()
+	_, svc0, c0, ps0 := durableReplica(t, dir0)
+	defer ps0.Close()
+	_, svc1, c1 := replicaPair(t)
+
+	adv, err := c0.AdviseTransfers([]policy.TransferSpec{testSpec(1, "wf1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c0.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot mutations ride in the archive tail.
+	if err := c0.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+		t.Fatal(err)
+	}
+
+	rc, err := NewReplicatedClient(c1, c0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Resync(0); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(svc0.ExportState())
+	got, _ := json.Marshal(svc1.ExportState())
+	if string(want) != string(got) {
+		t.Fatalf("archive resync diverged:\n donor: %s\n target: %s", want, got)
+	}
+}
+
+// replicaPair returns one memory-only replica (server, service, client).
+func replicaPair(t *testing.T) (*httptest.Server, *policy.Service, *Client) {
+	t.Helper()
+	servers, services, clients := replicaSet(t, 1)
+	return servers[0], services[0], clients[0]
+}

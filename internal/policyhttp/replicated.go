@@ -128,34 +128,44 @@ func (rc *ReplicatedClient) State() (*policy.Snapshot, error) {
 	return apply(rc, func(c *Client) (*policy.Snapshot, error) { return c.State() })
 }
 
-// Resync restores replica i from a healthy peer's state dump and marks it
-// up again.
+// Resync restores replica i from a healthy peer and marks it up again.
+// Durable peers ship their snapshot + WAL tail archive, so the donor
+// serves a compact, already-persisted bundle instead of exporting its
+// full live Policy Memory; peers without a durable store (the archive
+// endpoint answers 501) fall back to the live state dump.
 func (rc *ReplicatedClient) Resync(i int) error {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	if i < 0 || i >= len(rc.replicas) {
 		return fmt.Errorf("policyhttp: replica index %d out of range", i)
 	}
-	var dump *policy.StateDump
-	var err error
+	target := rc.replicas[i]
+	var lastErr error
 	for j, c := range rc.replicas {
 		if j == i || rc.down[j] {
 			continue
 		}
-		if dump, err = c.Dump(); err == nil {
-			break
+		if arch, err := c.Archive(); err == nil {
+			if err := replayArchive(target, arch); err != nil {
+				return fmt.Errorf("policyhttp: restore replica %d: %w", i, err)
+			}
+			rc.down[i] = false
+			return nil
 		}
-		rc.down[j] = true
-	}
-	if dump == nil {
+		dump, err := c.Dump()
 		if err != nil {
-			return fmt.Errorf("%w: last error: %v", ErrNoReplicas, err)
+			rc.down[j] = true
+			lastErr = err
+			continue
 		}
-		return ErrNoReplicas
+		if err := target.Restore(dump); err != nil {
+			return fmt.Errorf("policyhttp: restore replica %d: %w", i, err)
+		}
+		rc.down[i] = false
+		return nil
 	}
-	if err := rc.replicas[i].Restore(dump); err != nil {
-		return fmt.Errorf("policyhttp: restore replica %d: %w", i, err)
+	if lastErr != nil {
+		return fmt.Errorf("%w: last error: %v", ErrNoReplicas, lastErr)
 	}
-	rc.down[i] = false
-	return nil
+	return ErrNoReplicas
 }

@@ -13,6 +13,9 @@
 //	GET  /v1/state                observe stream ledgers and resources
 //	PUT  /v1/thresholds           set a host-pair stream threshold
 //	GET  /v1/healthz              liveness probe
+//
+// Servers attached to a durable store (SetDurable) additionally serve
+// POST /v1/state/snapshot and GET /v1/state/archive.
 package policyhttp
 
 import (
@@ -98,6 +101,10 @@ type Server struct {
 	mux *http.ServeMux
 	log *log.Logger
 
+	// durable, when set via SetDurable, backs the snapshot and archive
+	// endpoints.
+	durable DurableStore
+
 	reg      *obs.Registry
 	httpReqs *obs.CounterVec   // http_requests_total{endpoint,code}
 	httpLat  *obs.HistogramVec // http_request_seconds{endpoint}
@@ -144,6 +151,8 @@ func NewServerWith(svc *policy.Service, logger *log.Logger, reg *obs.Registry, t
 	s.mux.HandleFunc("GET /v1/state", s.handleState)
 	s.mux.HandleFunc("GET /v1/state/dump", s.handleDump)
 	s.mux.HandleFunc("POST /v1/state/restore", s.handleRestore)
+	s.mux.HandleFunc("POST /v1/state/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /v1/state/archive", s.handleArchive)
 	s.mux.HandleFunc("PUT /v1/thresholds", s.handleThreshold)
 	s.mux.HandleFunc("GET /v1/config", s.handleConfig)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
