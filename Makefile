@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci build test race vet fmt fmt-check bench-smoke
+.PHONY: ci build test race vet fmt fmt-check bench-smoke cover fuzz-smoke
 
 # The full gate: what a PR must pass.
-ci: fmt-check vet build race bench-smoke
+ci: fmt-check vet build race bench-smoke cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -32,3 +32,22 @@ fmt-check:
 # durability benchmarks cannot rot without failing CI.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkWAL' -benchtime=1x ./internal/durable/
+
+# cover enforces a statement-coverage floor on the correctness-critical
+# packages: the policy engine and the durable store.
+COVER_FLOOR := 70
+cover:
+	@for pkg in ./internal/policy ./internal/durable; do \
+		pct=$$($(GO) test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "no coverage reported for $$pkg"; exit 1; fi; \
+		echo "$$pkg coverage: $$pct% (floor $(COVER_FLOOR)%)"; \
+		if ! awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN{exit !(p>=f)}'; then \
+			echo "FAIL: $$pkg coverage $$pct% is below the $(COVER_FLOOR)% floor"; exit 1; \
+		fi; \
+	done
+
+# fuzz-smoke runs each fuzz target for 10s of random inputs. Go runs one
+# fuzz target per invocation, so each gets its own line.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzWALRecord$$' -fuzztime=10s ./internal/durable/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime=10s ./internal/policyhttp/

@@ -22,10 +22,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -50,6 +52,8 @@ func main() {
 		dataDir        = flag.String("data-dir", "", "persist Policy Memory to this directory (WAL + snapshots); empty runs in memory")
 		snapshotEvery  = flag.Duration("snapshot-every", 5*time.Minute, "periodic snapshot interval when -data-dir is set (0 disables the ticker)")
 		fsync          = flag.Bool("fsync", true, "fsync the WAL before acknowledging each mutation (-data-dir only)")
+		faultWALRate   = flag.Float64("fault-inject-wal", 0, "TEST ONLY: probability [0,1] of failing a WAL append with an injected disk error")
+		faultSeed      = flag.Int64("fault-seed", 1, "TEST ONLY: seed for the -fault-inject-wal generator")
 	)
 	flag.Parse()
 
@@ -90,11 +94,29 @@ func main() {
 	// WAL tail) before the listener opens, then keep logging mutations.
 	var ps *durable.PolicyStore
 	if *dataDir != "" {
-		var stats durable.RecoveryStats
-		ps, stats, err = durable.OpenPolicyStore(*dataDir, svc, durable.Options{
+		opts := durable.Options{
 			Fsync:   *fsync,
 			Metrics: obs.NewWALMetrics(reg),
-		})
+		}
+		if *faultWALRate > 0 {
+			// Deterministic fault hook for resilience testing: a seeded
+			// coin flip fails WAL appends, so clients must retry and the
+			// service must stay consistent. Never enable in production.
+			rate := *faultWALRate
+			rng := rand.New(rand.NewSource(*faultSeed))
+			var faultMu sync.Mutex
+			opts.WriteFault = func(op string) error {
+				faultMu.Lock()
+				defer faultMu.Unlock()
+				if rng.Float64() < rate {
+					return fmt.Errorf("injected WAL fault (op %s)", op)
+				}
+				return nil
+			}
+			log.Printf("WARNING: WAL fault injection enabled (rate=%.3f seed=%d) — test builds only", rate, *faultSeed)
+		}
+		var stats durable.RecoveryStats
+		ps, stats, err = durable.OpenPolicyStore(*dataDir, svc, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "policyserver: open data dir %s: %v\n", *dataDir, err)
 			os.Exit(1)

@@ -21,6 +21,11 @@ type Options struct {
 	KeepSnapshots int
 	// Metrics, when non-nil, receives the WAL and snapshot series.
 	Metrics *obs.WALMetrics
+	// WriteFault is a fault-injection hook for tests and harnesses: when
+	// non-nil it is consulted before every append, and a non-nil error
+	// fails the append as a disk-write error would — before any state
+	// change is acknowledged. Leave nil in production.
+	WriteFault func(op string) error
 }
 
 // RecoveryStats describes what Open found in the data directory.
@@ -106,6 +111,11 @@ func Open(dir string, opts Options, restore func(state []byte) error, apply func
 // returns its sequence number. The record is durable only once Sync(seq)
 // returns.
 func (st *Store) Append(op string, payload any) (uint64, error) {
+	if st.opts.WriteFault != nil {
+		if err := st.opts.WriteFault(op); err != nil {
+			return 0, fmt.Errorf("durable: append %s: %w", op, err)
+		}
+	}
 	data, err := json.Marshal(payload)
 	if err != nil {
 		return 0, fmt.Errorf("durable: encode %s payload: %w", op, err)

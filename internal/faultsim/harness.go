@@ -1,0 +1,504 @@
+package faultsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"time"
+
+	"policyflow/internal/durable"
+	"policyflow/internal/obs"
+	"policyflow/internal/policy"
+	"policyflow/internal/policyhttp"
+)
+
+// numReplicas is the size of the simulated replica group.
+const numReplicas = 2
+
+// simReplica is one simulated policy server: a service with a durable
+// store on its own data directory, exposed through the full HTTP stack.
+type simReplica struct {
+	host   string
+	dir    string
+	svc    *policy.Service
+	ps     *durable.PolicyStore
+	reg    *obs.Registry
+	server *policyhttp.Server
+}
+
+// Harness wires the full stack — policy service, durable store, HTTP
+// server, retrying client, replicated client — into a deterministic
+// simulation. Every operation runs against the replica group through the
+// fault-injecting Router AND against a fault-free in-memory oracle; after
+// each step the oracle's state is checked against the order-free model and
+// every healthy replica is checked byte-for-byte against the oracle.
+type Harness struct {
+	cfg policy.Config
+	sc  ScheduleConfig
+
+	router   *Router
+	replicas [numReplicas]*simReplica
+	clients  [numReplicas]*policyhttp.Client
+	rc       *policyhttp.ReplicatedClient
+
+	oracle *policy.Service
+	model  *Model
+
+	// ClientReg holds the shared client retry metrics (requests, retries,
+	// faults, exhausted, idempotent replays) for all simulated clients.
+	ClientReg     *obs.Registry
+	ClientMetrics *obs.ClientMetrics
+
+	walMu     sync.Mutex
+	walFaults [numReplicas]int
+
+	// localFaults counts fault events injected outside the Router (crash,
+	// torn WAL tail, disk-write failure), by kind.
+	localFaults map[string]int
+
+	seed int64
+	step int
+}
+
+// NewHarness builds a harness with replica data directories under baseDir.
+func NewHarness(baseDir string, sched Schedule) (*Harness, error) {
+	sc := sched.Config
+	cfg := policy.Config{
+		Algorithm:        sc.Algorithm,
+		DefaultStreams:   sc.DefaultStreams,
+		MinStreams:       1,
+		DefaultThreshold: sc.Threshold,
+		ClusterFactor:    sc.ClusterFactor,
+	}
+	oracle, err := policy.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("faultsim: build oracle: %w", err)
+	}
+	h := &Harness{
+		cfg:         cfg,
+		sc:          sc,
+		router:      NewRouter(),
+		oracle:      oracle,
+		model:       NewModel(cfg),
+		ClientReg:   obs.NewRegistry(),
+		localFaults: make(map[string]int),
+		seed:        sched.Seed,
+	}
+	h.ClientMetrics = obs.NewClientMetrics(h.ClientReg)
+	for i := 0; i < numReplicas; i++ {
+		host := fmt.Sprintf("replica%d", i)
+		dir := filepath.Join(baseDir, host)
+		h.replicas[i] = &simReplica{host: host, dir: dir}
+		if err := h.openReplica(i); err != nil {
+			return nil, err
+		}
+		h.clients[i] = policyhttp.NewClient("http://"+host,
+			policyhttp.WithTransport(h.router),
+			policyhttp.WithBackoffSleep(func(time.Duration) {}),
+			policyhttp.WithJitterSeed(sched.Seed*31+int64(i)),
+			policyhttp.WithMetrics(h.ClientMetrics),
+		)
+	}
+	h.rc, err = policyhttp.NewReplicatedClient(h.clients[:]...)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// faultFor returns the WriteFault hook for replica i: it fails the next
+// h.walFaults[i] appends with an injected disk error. The hook survives
+// crash-restarts because the countdown lives on the harness.
+func (h *Harness) faultFor(i int) func(op string) error {
+	return func(op string) error {
+		h.walMu.Lock()
+		defer h.walMu.Unlock()
+		if h.walFaults[i] > 0 {
+			h.walFaults[i]--
+			return fmt.Errorf("injected disk-write failure (op %s)", op)
+		}
+		return nil
+	}
+}
+
+// openReplica (re)builds replica i's full stack on its data directory,
+// recovering Policy Memory from snapshot + WAL, and routes its host at the
+// new server.
+func (h *Harness) openReplica(i int) error {
+	r := h.replicas[i]
+	svc, err := policy.New(h.cfg)
+	if err != nil {
+		return fmt.Errorf("faultsim: build replica %d: %w", i, err)
+	}
+	ps, _, err := durable.OpenPolicyStore(r.dir, svc, durable.Options{
+		Fsync:      false, // the harness crashes between ops, never mid-write
+		WriteFault: h.faultFor(i),
+	})
+	if err != nil {
+		return fmt.Errorf("faultsim: open replica %d store: %w", i, err)
+	}
+	reg := obs.NewRegistry()
+	server := policyhttp.NewServerWith(svc, nil, reg, nil)
+	server.SetDurable(ps)
+	r.svc, r.ps, r.reg, r.server = svc, ps, reg, server
+	h.router.Register(r.host, server)
+	return nil
+}
+
+// Close releases the replicas' durable stores.
+func (h *Harness) Close() {
+	for _, r := range h.replicas {
+		if r != nil && r.ps != nil {
+			r.ps.Close()
+		}
+	}
+}
+
+// ServerRegistry exposes replica i's metrics registry (tests assert the
+// idempotent-replay counter there).
+func (h *Harness) ServerRegistry(i int) *obs.Registry { return h.replicas[i].reg }
+
+// FaultCounts merges the Router's injected-fault counters with the
+// harness-level ones (crashes, torn tails, disk faults), by kind.
+func (h *Harness) FaultCounts() map[string]int {
+	out := make(map[string]int)
+	h.router.mu.Lock()
+	for k, n := range h.router.Injected {
+		out[string(k)] += n
+	}
+	h.router.mu.Unlock()
+	for k, n := range h.localFaults {
+		out[k] += n
+	}
+	return out
+}
+
+// Step executes one operation: queue its HTTP faults, run it against the
+// replica group and the oracle, then verify the model and replica
+// consistency. A non-nil error is an invariant violation (or an internal
+// harness failure) and fails the schedule.
+func (h *Harness) Step(op Op) error {
+	h.step++
+	for _, f := range op.Faults {
+		if f.Replica < 0 || f.Replica >= numReplicas {
+			return fmt.Errorf("faultsim: step %d: fault replica %d out of range", h.step, f.Replica)
+		}
+		h.router.Queue(h.replicas[f.Replica].host, f.Kind)
+	}
+	var err error
+	switch op.Kind {
+	case OpAdvise:
+		err = h.stepAdvise(op)
+	case OpReport:
+		err = h.stepReport(op)
+	case OpCleanup:
+		err = h.stepCleanup(op)
+	case OpCleanupReport:
+		err = h.stepCleanupReport(op)
+	case OpSetThreshold:
+		err = h.stepSetThreshold(op)
+	case OpCrash, OpTornCrash:
+		err = h.stepCrash(op.Replica, op.Kind == OpTornCrash)
+	case OpDiskFault:
+		h.walMu.Lock()
+		h.walFaults[op.Replica] += op.Count
+		h.walMu.Unlock()
+		h.localFaults[OpDiskFault] += op.Count
+	case OpResync:
+		err = h.stepResync()
+	case OpSnapshot:
+		err = h.stepSnapshot(op.Replica)
+	default:
+		err = fmt.Errorf("faultsim: unknown op kind %q", op.Kind)
+	}
+	h.router.Drain()
+	if err != nil {
+		return fmt.Errorf("step %d (%s): %w", h.step, op.Kind, err)
+	}
+	if err := h.checkReplicas(); err != nil {
+		return fmt.Errorf("step %d (%s): %w", h.step, op.Kind, err)
+	}
+	return nil
+}
+
+// clientOutcome routes the three legitimate outcomes of a replicated call:
+// success (apply to oracle + model), deterministic rejection (oracle must
+// reject identically, nothing changes), or total replica loss (repair).
+// Anything else is a violation.
+func (h *Harness) clientOutcome(err error, onSuccess, onRejection func() error) error {
+	switch {
+	case err == nil:
+		return onSuccess()
+	case policyhttp.IsRejection(err):
+		return onRejection()
+	case errors.Is(err, policyhttp.ErrNoReplicas):
+		return h.repair()
+	default:
+		return fmt.Errorf("unexpected client error: %w", err)
+	}
+}
+
+func (h *Harness) stepAdvise(op Op) error {
+	adv, err := h.rc.AdviseTransfers(op.Specs)
+	return h.clientOutcome(err,
+		func() error {
+			if op.Invalid {
+				return fmt.Errorf("invalid transfer batch was accepted")
+			}
+			oadv, oerr := h.oracle.AdviseTransfers(op.Specs)
+			if oerr != nil {
+				return fmt.Errorf("replicas accepted batch the oracle rejects: %v", oerr)
+			}
+			if !reflect.DeepEqual(adv, oadv) {
+				return fmt.Errorf("advice diverges from oracle:\n  got  %+v\n  want %+v", adv, oadv)
+			}
+			return h.model.ApplyAdvice(op.Specs, adv)
+		},
+		func() error {
+			if _, oerr := h.oracle.AdviseTransfers(op.Specs); oerr == nil {
+				return fmt.Errorf("replicas rejected batch the oracle accepts: %v", err)
+			}
+			return nil
+		})
+}
+
+func (h *Harness) stepReport(op Op) error {
+	err := h.rc.ReportTransfers(*op.Report)
+	return h.clientOutcome(err,
+		func() error {
+			if oerr := h.oracle.ReportTransfers(*op.Report); oerr != nil {
+				return fmt.Errorf("replicas accepted report the oracle rejects: %v", oerr)
+			}
+			h.model.ApplyReport(*op.Report)
+			return nil
+		},
+		func() error {
+			if oerr := h.oracle.ReportTransfers(*op.Report); oerr == nil {
+				return fmt.Errorf("replicas rejected report the oracle accepts: %v", err)
+			}
+			return nil
+		})
+}
+
+func (h *Harness) stepCleanup(op Op) error {
+	adv, err := h.rc.AdviseCleanups(op.Cleanups)
+	return h.clientOutcome(err,
+		func() error {
+			if op.Invalid {
+				return fmt.Errorf("invalid cleanup batch was accepted")
+			}
+			oadv, oerr := h.oracle.AdviseCleanups(op.Cleanups)
+			if oerr != nil {
+				return fmt.Errorf("replicas accepted cleanups the oracle rejects: %v", oerr)
+			}
+			if !reflect.DeepEqual(adv, oadv) {
+				return fmt.Errorf("cleanup advice diverges from oracle:\n  got  %+v\n  want %+v", adv, oadv)
+			}
+			return h.model.ApplyCleanupAdvice(op.Cleanups, adv)
+		},
+		func() error {
+			if _, oerr := h.oracle.AdviseCleanups(op.Cleanups); oerr == nil {
+				return fmt.Errorf("replicas rejected cleanups the oracle accepts: %v", err)
+			}
+			return nil
+		})
+}
+
+func (h *Harness) stepCleanupReport(op Op) error {
+	err := h.rc.ReportCleanups(*op.CleanupReport)
+	return h.clientOutcome(err,
+		func() error {
+			if oerr := h.oracle.ReportCleanups(*op.CleanupReport); oerr != nil {
+				return fmt.Errorf("replicas accepted cleanup report the oracle rejects: %v", oerr)
+			}
+			h.model.ApplyCleanupReport(*op.CleanupReport)
+			return nil
+		},
+		func() error {
+			if oerr := h.oracle.ReportCleanups(*op.CleanupReport); oerr == nil {
+				return fmt.Errorf("replicas rejected cleanup report the oracle accepts: %v", err)
+			}
+			return nil
+		})
+}
+
+func (h *Harness) stepSetThreshold(op Op) error {
+	err := h.rc.SetThreshold(op.SrcHost, op.DstHost, op.Max)
+	return h.clientOutcome(err,
+		func() error {
+			if oerr := h.oracle.SetThreshold(op.SrcHost, op.DstHost, op.Max); oerr != nil {
+				return fmt.Errorf("replicas accepted threshold the oracle rejects: %v", oerr)
+			}
+			h.model.ApplySetThreshold(op.SrcHost, op.DstHost, op.Max)
+			return nil
+		},
+		func() error {
+			if oerr := h.oracle.SetThreshold(op.SrcHost, op.DstHost, op.Max); oerr == nil {
+				return fmt.Errorf("replicas rejected threshold the oracle accepts: %v", err)
+			}
+			return nil
+		})
+}
+
+// stepCrash kills replica i (optionally tearing the WAL tail, simulating a
+// crash mid-write) and recovers it from disk. Recovery must reproduce the
+// exact pre-crash Policy Memory.
+func (h *Harness) stepCrash(i int, torn bool) error {
+	r := h.replicas[i]
+	pre := r.svc.ExportState()
+	if err := r.ps.Close(); err != nil {
+		return fmt.Errorf("close replica %d store: %w", i, err)
+	}
+	kind := OpCrash
+	if torn {
+		if err := tearTail(r.dir); err != nil {
+			return fmt.Errorf("tear WAL tail of replica %d: %w", i, err)
+		}
+		kind = OpTornCrash
+	}
+	h.localFaults[kind]++
+	if err := h.openReplica(i); err != nil {
+		return err
+	}
+	post := r.svc.ExportState()
+	if !reflect.DeepEqual(pre, post) {
+		return fmt.Errorf("replica %d state after crash recovery differs from pre-crash state:\n  pre  %+v\n  post %+v", i, pre, post)
+	}
+	return nil
+}
+
+// tearTail simulates a crash mid-append: the last WAL segment gains a
+// record header promising more bytes than follow. Recovery must detect the
+// torn record and truncate it.
+func tearTail(dir string) error {
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(names) == 0 {
+		return err
+	}
+	sort.Strings(names)
+	f, err := os.OpenFile(names[len(names)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	// Header claims a 4096-byte body; only 3 junk bytes follow.
+	torn := []byte{0x00, 0x10, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03}
+	_, err = f.Write(torn)
+	return err
+}
+
+// stepResync brings every downed replica back from a healthy donor.
+func (h *Harness) stepResync() error {
+	healthy := make(map[int]bool)
+	for _, i := range h.rc.Healthy() {
+		healthy[i] = true
+	}
+	for i := 0; i < numReplicas; i++ {
+		if healthy[i] {
+			continue
+		}
+		err := h.rc.Resync(i)
+		if errors.Is(err, policyhttp.ErrNoReplicas) {
+			return h.repair()
+		}
+		// Any other resync failure is legitimate — e.g. an armed disk
+		// fault on the target refuses the restore's WAL append. The
+		// replica just stays down.
+	}
+	return nil
+}
+
+func (h *Harness) stepSnapshot(i int) error {
+	if _, err := h.replicas[i].ps.SnapshotNow(); err != nil {
+		return fmt.Errorf("snapshot replica %d: %w", i, err)
+	}
+	return nil
+}
+
+// repair is the harness's last-resort recovery when every replica is down
+// (e.g. disk faults armed on all of them at once): disarm the fault hooks
+// and restore each replica from the fault-free oracle. The triggering
+// operation is treated as never applied — the oracle and model do not see
+// it — which is exactly the contract: a call that returns ErrNoReplicas
+// must leave no effect the resync path won't erase.
+func (h *Harness) repair() error {
+	h.walMu.Lock()
+	for i := range h.walFaults {
+		h.walFaults[i] = 0
+	}
+	h.walMu.Unlock()
+	h.router.Drain()
+	dump := h.oracle.ExportState()
+	for i, c := range h.clients {
+		if err := c.Restore(dump); err != nil {
+			return fmt.Errorf("repair: restore replica %d: %w", i, err)
+		}
+	}
+	rc, err := policyhttp.NewReplicatedClient(h.clients[:]...)
+	if err != nil {
+		return err
+	}
+	h.rc = rc
+	return nil
+}
+
+// checkReplicas verifies the oracle against the order-free model and every
+// healthy replica against the oracle, dump for dump.
+func (h *Harness) checkReplicas() error {
+	oracleDump := h.oracle.ExportState()
+	if err := h.model.CheckDump(oracleDump); err != nil {
+		return err
+	}
+	for _, i := range h.rc.Healthy() {
+		dump, err := h.clients[i].Dump()
+		if err != nil {
+			return fmt.Errorf("dump replica %d: %w", i, err)
+		}
+		if !reflect.DeepEqual(dump, oracleDump) {
+			return fmt.Errorf("replica %d diverged from oracle:\n  replica %+v\n  oracle  %+v", i, dump, oracleDump)
+		}
+	}
+	return nil
+}
+
+// RunSchedule generates and executes one randomized schedule, returning
+// the executed trace (for shrinking and replay), the fault counts, and the
+// first invariant violation, if any.
+func RunSchedule(baseDir string, sched Schedule) ([]Op, map[string]int, error) {
+	h, err := NewHarness(baseDir, sched)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer h.Close()
+	g := &gen{rng: rand.New(rand.NewSource(sched.Seed)), h: h}
+	var trace []Op
+	for i := 0; i < sched.Config.OpCount; i++ {
+		op := g.next(sched.Config)
+		trace = append(trace, op)
+		if err := h.Step(op); err != nil {
+			return trace, h.FaultCounts(), err
+		}
+	}
+	return trace, h.FaultCounts(), nil
+}
+
+// ReplayTrace executes a fixed trace under a schedule's configuration —
+// the replay half of shrink-and-replay debugging.
+func ReplayTrace(baseDir string, sched Schedule, trace []Op) error {
+	h, err := NewHarness(baseDir, sched)
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	for _, op := range trace {
+		if err := h.Step(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+package faultsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"policyflow/internal/policy"
+)
+
+// Op kinds. Every schedule is a flat list of Ops, serializable to JSON so
+// a failing trace can be printed, shrunk and replayed byte-for-byte.
+const (
+	OpAdvise        = "advise"
+	OpReport        = "report"
+	OpCleanup       = "cleanup"
+	OpCleanupReport = "cleanupReport"
+	OpSetThreshold  = "setThreshold"
+	OpCrash         = "crash"     // close a replica's store, reopen, compare state
+	OpTornCrash     = "tornCrash" // crash + append a torn record to the WAL tail first
+	OpDiskFault     = "diskFault" // arm N injected WAL append failures on a replica
+	OpResync        = "resync"    // resync every downed replica from a healthy peer
+	OpSnapshot      = "snapshot"  // force a snapshot on a replica
+)
+
+// Op is one step of a schedule.
+type Op struct {
+	Kind   string      `json:"kind"`
+	Faults []FaultSpec `json:"faults,omitempty"` // HTTP faults queued before the step
+
+	Specs         []policy.TransferSpec    `json:"specs,omitempty"`
+	Report        *policy.CompletionReport `json:"report,omitempty"`
+	Cleanups      []policy.CleanupSpec     `json:"cleanups,omitempty"`
+	CleanupReport *policy.CleanupReport    `json:"cleanupReport,omitempty"`
+
+	SrcHost string `json:"srcHost,omitempty"` // setThreshold
+	DstHost string `json:"dstHost,omitempty"`
+	Max     int    `json:"max,omitempty"`
+
+	Replica int  `json:"replica,omitempty"` // crash/tornCrash/diskFault/snapshot
+	Count   int  `json:"count,omitempty"`   // diskFault: failures to arm
+	Invalid bool `json:"invalid,omitempty"` // advise/cleanup: deliberately malformed
+}
+
+// ScheduleConfig fixes the service configuration a schedule runs under.
+type ScheduleConfig struct {
+	Algorithm      policy.Algorithm `json:"algorithm"`
+	Threshold      int              `json:"threshold"`
+	DefaultStreams int              `json:"defaultStreams"`
+	ClusterFactor  int              `json:"clusterFactor"`
+	OpCount        int              `json:"opCount"`
+	FaultProb      float64          `json:"faultProb"`
+}
+
+// Schedule identifies one randomized run: regenerate it from the seed.
+type Schedule struct {
+	Seed   int64          `json:"seed"`
+	Config ScheduleConfig `json:"config"`
+}
+
+// RandomSchedule derives a schedule configuration from a seed. The same
+// seed always yields the same configuration and, through the generator,
+// the same operation sequence.
+func RandomSchedule(seed int64) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	algos := []policy.Algorithm{policy.AlgoGreedy, policy.AlgoGreedy, policy.AlgoBalanced, policy.AlgoBalanced, policy.AlgoNone}
+	return Schedule{
+		Seed: seed,
+		Config: ScheduleConfig{
+			Algorithm:      algos[rng.Intn(len(algos))],
+			Threshold:      2 + rng.Intn(8),   // 2..9
+			DefaultStreams: 1 + rng.Intn(4),   // 1..4
+			ClusterFactor:  1 + rng.Intn(3),   // 1..3
+			OpCount:        12 + rng.Intn(17), // 12..28
+			FaultProb:      0.25 + rng.Float64()*0.25,
+		},
+	}
+}
+
+// gen draws operations for a running harness. Every random choice goes
+// through the single rng in a fixed order, so a (seed, config) pair fully
+// determines the trace; nothing iterates a Go map.
+type gen struct {
+	rng    *rand.Rand
+	h      *Harness
+	reqSeq int
+}
+
+var (
+	genHosts    = []string{"hostA", "hostB", "hostC"}
+	genWfs      = []string{"wf-a", "wf-b", "wf-c"}
+	genClusters = []string{"", "cl-1", "cl-2"}
+)
+
+func (g *gen) requestID() string {
+	g.reqSeq++
+	return fmt.Sprintf("r-%06d", g.reqSeq)
+}
+
+func (g *gen) fileURL(host string, n int) string {
+	return fmt.Sprintf("gsiftp://%s/data/f-%02d", host, n)
+}
+
+// transferSpec draws one spec. Files live on a small set of hosts so
+// schedules collide on dest URLs and host pairs often enough to exercise
+// the duplicate-suppression and threshold rules.
+func (g *gen) transferSpec() policy.TransferSpec {
+	src := genHosts[g.rng.Intn(len(genHosts))]
+	dst := genHosts[g.rng.Intn(len(genHosts))]
+	for dst == src {
+		dst = genHosts[g.rng.Intn(len(genHosts))]
+	}
+	n := g.rng.Intn(12)
+	return policy.TransferSpec{
+		RequestID:        g.requestID(),
+		WorkflowID:       genWfs[g.rng.Intn(len(genWfs))],
+		ClusterID:        genClusters[g.rng.Intn(len(genClusters))],
+		SourceURL:        g.fileURL(src, n),
+		DestURL:          g.fileURL(dst, n),
+		RequestedStreams: g.rng.Intn(5), // 0 → service default
+	}
+}
+
+// faults draws the HTTP faults to queue before a client op. The breaking
+// FaultDuplicateNoKey kind is never drawn here — it exists only for the
+// detector self-test.
+var scheduleFaultKinds = []FaultKind{FaultLoseRequest, FaultDropResponse, Fault503, FaultDuplicate}
+
+func (g *gen) faults(prob float64) []FaultSpec {
+	if g.rng.Float64() >= prob {
+		return nil
+	}
+	n := 1 + g.rng.Intn(2)
+	fs := make([]FaultSpec, 0, n)
+	for i := 0; i < n; i++ {
+		fs = append(fs, FaultSpec{
+			Replica: g.rng.Intn(numReplicas),
+			Kind:    scheduleFaultKinds[g.rng.Intn(len(scheduleFaultKinds))],
+		})
+	}
+	return fs
+}
+
+// next draws the next operation given the harness's current model state.
+func (g *gen) next(sc ScheduleConfig) Op {
+	roll := g.rng.Float64()
+	switch {
+	case roll < 0.30:
+		return g.genAdvise(sc)
+	case roll < 0.50:
+		return g.genReport(sc)
+	case roll < 0.62:
+		return g.genCleanup(sc)
+	case roll < 0.72:
+		return g.genCleanupReport(sc)
+	case roll < 0.79:
+		return Op{
+			Kind:    OpSetThreshold,
+			Faults:  g.faults(sc.FaultProb),
+			SrcHost: genHosts[g.rng.Intn(len(genHosts))],
+			DstHost: genHosts[g.rng.Intn(len(genHosts))],
+			Max:     1 + g.rng.Intn(8), // statusFor maps max<1 to 500, so stay valid
+		}
+	case roll < 0.86:
+		torn := g.rng.Intn(3) == 0
+		kind := OpCrash
+		if torn {
+			kind = OpTornCrash
+		}
+		return Op{Kind: kind, Replica: g.rng.Intn(numReplicas)}
+	case roll < 0.91:
+		return Op{Kind: OpDiskFault, Replica: g.rng.Intn(numReplicas), Count: 1}
+	case roll < 0.96:
+		return Op{Kind: OpResync}
+	default:
+		return Op{Kind: OpSnapshot, Replica: g.rng.Intn(numReplicas)}
+	}
+}
+
+func (g *gen) genAdvise(sc ScheduleConfig) Op {
+	if g.rng.Float64() < 0.10 {
+		// Deliberately malformed batch: the service must reject it with a
+		// 4xx on every replica and change no state anywhere.
+		if g.rng.Intn(2) == 0 {
+			return Op{Kind: OpAdvise, Invalid: true, Faults: g.faults(sc.FaultProb)}
+		}
+		spec := g.transferSpec()
+		spec.DestURL = ""
+		return Op{Kind: OpAdvise, Invalid: true, Specs: []policy.TransferSpec{spec}, Faults: g.faults(sc.FaultProb)}
+	}
+	n := 1 + g.rng.Intn(3)
+	specs := make([]policy.TransferSpec, 0, n)
+	for i := 0; i < n; i++ {
+		specs = append(specs, g.transferSpec())
+	}
+	return Op{Kind: OpAdvise, Specs: specs, Faults: g.faults(sc.FaultProb)}
+}
+
+func (g *gen) genReport(sc ScheduleConfig) Op {
+	ids := g.h.model.InFlightIDs()
+	if len(ids) == 0 {
+		return g.genAdvise(sc)
+	}
+	perm := g.rng.Perm(len(ids))
+	n := 1 + g.rng.Intn(len(ids))
+	rep := &policy.CompletionReport{}
+	for i := 0; i < n; i++ {
+		id := ids[perm[i]]
+		if g.rng.Float64() < 0.3 {
+			rep.FailedIDs = append(rep.FailedIDs, id)
+		} else {
+			rep.TransferIDs = append(rep.TransferIDs, id)
+		}
+	}
+	if g.rng.Float64() < 0.15 {
+		rep.TransferIDs = append(rep.TransferIDs, fmt.Sprintf("t-%08d", 900000+g.rng.Intn(1000)))
+	}
+	return Op{Kind: OpReport, Report: rep, Faults: g.faults(sc.FaultProb)}
+}
+
+func (g *gen) genCleanup(sc ScheduleConfig) Op {
+	if g.rng.Float64() < 0.08 {
+		spec := policy.CleanupSpec{RequestID: g.requestID(), WorkflowID: genWfs[g.rng.Intn(len(genWfs))]}
+		return Op{Kind: OpCleanup, Invalid: true, Cleanups: []policy.CleanupSpec{spec}, Faults: g.faults(sc.FaultProb)}
+	}
+	urls := g.h.model.TrackedURLs()
+	n := 1 + g.rng.Intn(2)
+	specs := make([]policy.CleanupSpec, 0, n)
+	for i := 0; i < n; i++ {
+		var url string
+		if len(urls) > 0 && g.rng.Float64() < 0.8 {
+			url = urls[g.rng.Intn(len(urls))]
+		} else {
+			host := genHosts[g.rng.Intn(len(genHosts))]
+			url = g.fileURL(host, g.rng.Intn(12))
+		}
+		specs = append(specs, policy.CleanupSpec{
+			RequestID:  g.requestID(),
+			WorkflowID: genWfs[g.rng.Intn(len(genWfs))],
+			FileURL:    url,
+		})
+	}
+	return Op{Kind: OpCleanup, Cleanups: specs, Faults: g.faults(sc.FaultProb)}
+}
+
+func (g *gen) genCleanupReport(sc ScheduleConfig) Op {
+	ids := g.h.model.CleanupIDs()
+	if len(ids) == 0 {
+		return g.genCleanup(sc)
+	}
+	perm := g.rng.Perm(len(ids))
+	n := 1 + g.rng.Intn(len(ids))
+	rep := &policy.CleanupReport{}
+	for i := 0; i < n; i++ {
+		rep.CleanupIDs = append(rep.CleanupIDs, ids[perm[i]])
+	}
+	if g.rng.Float64() < 0.15 {
+		rep.CleanupIDs = append(rep.CleanupIDs, fmt.Sprintf("c-%08d", 900000+g.rng.Intn(1000)))
+	}
+	return Op{Kind: OpCleanupReport, CleanupReport: rep, Faults: g.faults(sc.FaultProb)}
+}

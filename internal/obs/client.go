@@ -1,0 +1,36 @@
+package obs
+
+// ClientMetrics groups the registry series of the policy HTTP client's
+// retry machinery. A nil *ClientMetrics disables instrumentation, so
+// un-instrumented clients pay nothing.
+type ClientMetrics struct {
+	// Requests counts logical client calls by endpoint path.
+	Requests *CounterVec // client_requests_total{endpoint}
+	// Retries counts retry attempts (the first attempt is not a retry).
+	Retries *CounterVec // client_retries_total{endpoint}
+	// Faults counts attempt failures by kind: "transport" (connection
+	// error, timeout, dropped response) or "http_5xx" (retryable status).
+	Faults *CounterVec // client_faults_total{endpoint,kind}
+	// Exhausted counts calls that failed after the last attempt.
+	Exhausted *CounterVec // client_retries_exhausted_total{endpoint}
+	// IdempotentReplays counts server-acknowledged idempotent replays
+	// observed by the client (the server answered from its response cache).
+	IdempotentReplays *CounterVec // client_idempotent_replays_total{endpoint}
+}
+
+// NewClientMetrics registers the client retry metric families in reg and
+// returns their handles.
+func NewClientMetrics(reg *Registry) *ClientMetrics {
+	return &ClientMetrics{
+		Requests: reg.Counter("client_requests_total",
+			"Logical policy-client calls by endpoint.", "endpoint"),
+		Retries: reg.Counter("client_retries_total",
+			"Policy-client retry attempts by endpoint.", "endpoint"),
+		Faults: reg.Counter("client_faults_total",
+			"Policy-client attempt failures by endpoint and kind.", "endpoint", "kind"),
+		Exhausted: reg.Counter("client_retries_exhausted_total",
+			"Policy-client calls that failed after exhausting retries.", "endpoint"),
+		IdempotentReplays: reg.Counter("client_idempotent_replays_total",
+			"Responses served from the server's idempotency cache.", "endpoint"),
+	}
+}

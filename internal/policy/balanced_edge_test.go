@@ -1,0 +1,246 @@
+package policy
+
+import (
+	"fmt"
+	"testing"
+)
+
+// newBalanced builds a balanced-allocation service for the edge tests.
+func newBalanced(t *testing.T, threshold, defaultStreams, clusterFactor int) *Service {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Algorithm = AlgoBalanced
+	cfg.DefaultThreshold = threshold
+	cfg.DefaultStreams = defaultStreams
+	cfg.ClusterFactor = clusterFactor
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+// clusterSpec is spec() pinned to a cluster, so transfers land on distinct
+// balanced shares.
+func clusterSpec(i int, wf, cluster string) TransferSpec {
+	s := spec(i, wf)
+	s.ClusterID = cluster
+	return s
+}
+
+// TestBalancedEdgeCases drives the balanced allocator through the
+// boundaries of Table III: the minimum legal threshold, shares smaller
+// than one stream, more transfers than the share holds, a threshold that
+// does not divide evenly, and a single cluster (where balanced must match
+// greedy exactly).
+func TestBalancedEdgeCases(t *testing.T) {
+	cases := []struct {
+		name           string
+		threshold      int
+		defaultStreams int
+		clusterFactor  int
+		submit         []TransferSpec
+		wantStreams    []int // per transfer, in submission order
+		wantShare      int   // the derived per-cluster threshold
+	}{
+		{
+			// threshold/clusterFactor = 1/4 rounds to 0; the share must be
+			// floored to 1 so clusters are never starved outright.
+			name:           "threshold 1 share floors to one stream",
+			threshold:      1,
+			defaultStreams: 3,
+			clusterFactor:  4,
+			submit: []TransferSpec{
+				clusterSpec(1, "wf1", "cl-a"),
+				clusterSpec(2, "wf1", "cl-b"),
+			},
+			wantStreams: []int{1, 1},
+			wantShare:   1,
+		},
+		{
+			// Four transfers into a share of 4: the first takes the whole
+			// share, the rest fall back to the single-stream floor.
+			name:           "more transfers than share streams",
+			threshold:      4,
+			defaultStreams: 4,
+			clusterFactor:  1,
+			submit: []TransferSpec{
+				clusterSpec(1, "wf1", "cl-a"),
+				clusterSpec(2, "wf1", "cl-a"),
+				clusterSpec(3, "wf1", "cl-a"),
+				clusterSpec(4, "wf1", "cl-a"),
+			},
+			wantStreams: []int{4, 1, 1, 1},
+			wantShare:   4,
+		},
+		{
+			// 10/3 = 3 (integer division): the remainder stream is simply
+			// not distributed — each cluster gets an equal share of 3.
+			name:           "uneven threshold splits to equal shares",
+			threshold:      10,
+			defaultStreams: 3,
+			clusterFactor:  3,
+			submit: []TransferSpec{
+				clusterSpec(1, "wf1", "cl-a"),
+				clusterSpec(2, "wf1", "cl-b"),
+				clusterSpec(3, "wf1", "cl-c"),
+			},
+			wantStreams: []int{3, 3, 3},
+			wantShare:   3,
+		},
+		{
+			// A share of 5 with requests of 4: the second transfer on the
+			// cluster is trimmed to the single remaining stream.
+			name:           "partial grant at cluster share boundary",
+			threshold:      5,
+			defaultStreams: 4,
+			clusterFactor:  1,
+			submit: []TransferSpec{
+				clusterSpec(1, "wf1", "cl-a"),
+				clusterSpec(2, "wf1", "cl-a"),
+			},
+			wantStreams: []int{4, 1},
+			wantShare:   5,
+		},
+		{
+			// Separate clusters draw from separate shares: cl-b's grant is
+			// untouched by cl-a having exhausted its own share.
+			name:           "clusters do not starve each other",
+			threshold:      8,
+			defaultStreams: 4,
+			clusterFactor:  2,
+			submit: []TransferSpec{
+				clusterSpec(1, "wf1", "cl-a"),
+				clusterSpec(2, "wf1", "cl-a"),
+				clusterSpec(3, "wf1", "cl-b"),
+			},
+			wantStreams: []int{4, 1, 4},
+			wantShare:   4,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			s := newBalanced(t, tc.threshold, tc.defaultStreams, tc.clusterFactor)
+			got := make([]int, 0, len(tc.submit))
+			for _, sp := range tc.submit {
+				adv, err := s.AdviseTransfers([]TransferSpec{sp})
+				if err != nil {
+					t.Fatalf("AdviseTransfers(%s): %v", sp.RequestID, err)
+				}
+				if len(adv.Transfers) != 1 {
+					t.Fatalf("AdviseTransfers(%s): %d advised, want 1", sp.RequestID, len(adv.Transfers))
+				}
+				got = append(got, adv.Transfers[0].Streams)
+			}
+			for i, want := range tc.wantStreams {
+				if got[i] != want {
+					t.Errorf("transfer %d granted %d streams, want %d (all grants: %v)", i+1, got[i], want, got)
+				}
+			}
+			dump := s.ExportState()
+			if len(dump.ClusterThresholds) != 1 || dump.ClusterThresholds[0].Max != tc.wantShare {
+				t.Errorf("cluster thresholds = %+v, want one share of %d", dump.ClusterThresholds, tc.wantShare)
+			}
+			// The pair ledger must equal the sum of grants regardless of
+			// how they were divided among clusters.
+			sum := 0
+			for _, g := range got {
+				sum += g
+			}
+			if len(dump.Ledgers) != 1 || dump.Ledgers[0].Allocated != sum {
+				t.Errorf("ledgers = %+v, want one pair at %d", dump.Ledgers, sum)
+			}
+		})
+	}
+}
+
+// TestBalancedSingleClusterMatchesGreedy checks the degenerate case the
+// paper implies: with one cluster the balanced algorithm must produce
+// exactly the greedy grant sequence, including the fallback to one stream
+// on exhaustion.
+func TestBalancedSingleClusterMatchesGreedy(t *testing.T) {
+	const threshold, defaultStreams, n = 7, 3, 5
+	balanced := newBalanced(t, threshold, defaultStreams, 1)
+	greedy := newGreedy(t, threshold, defaultStreams)
+	for i := 1; i <= n; i++ {
+		sp := clusterSpec(i, "wf1", "cl-a")
+		badv, err := balanced.AdviseTransfers([]TransferSpec{sp})
+		if err != nil {
+			t.Fatalf("balanced advise %d: %v", i, err)
+		}
+		gadv, err := greedy.AdviseTransfers([]TransferSpec{sp})
+		if err != nil {
+			t.Fatalf("greedy advise %d: %v", i, err)
+		}
+		if badv.Transfers[0].Streams != gadv.Transfers[0].Streams {
+			t.Errorf("transfer %d: balanced granted %d, greedy %d",
+				i, badv.Transfers[0].Streams, gadv.Transfers[0].Streams)
+		}
+	}
+}
+
+// TestBalancedReleaseRefillsCluster completes a transfer and checks its
+// streams return to the cluster's share, becoming grantable again.
+func TestBalancedReleaseRefillsCluster(t *testing.T) {
+	s := newBalanced(t, 4, 4, 1)
+	adv, err := s.AdviseTransfers([]TransferSpec{clusterSpec(1, "wf1", "cl-a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := adv.Transfers[0].Streams; got != 4 {
+		t.Fatalf("first grant = %d, want the full share of 4", got)
+	}
+	if err := s.ReportTransfers(CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+		t.Fatal(err)
+	}
+	adv2, err := s.AdviseTransfers([]TransferSpec{clusterSpec(2, "wf1", "cl-a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := adv2.Transfers[0].Streams; got != 4 {
+		t.Fatalf("grant after release = %d, want 4 (share not refilled)", got)
+	}
+}
+
+// TestThresholdZeroRejected pins the contract at the bottom edge: a
+// threshold below one stream is invalid both at construction and via
+// SetThreshold, rather than silently starving a host pair.
+func TestThresholdZeroRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Algorithm = AlgoBalanced
+	cfg.DefaultThreshold = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("New accepted a zero threshold")
+	}
+	s := newBalanced(t, 4, 2, 2)
+	for _, max := range []int{0, -3} {
+		if err := s.SetThreshold("a.example.org", "b.example.org", max); err == nil {
+			t.Errorf("SetThreshold(%d) accepted", max)
+		}
+	}
+}
+
+// TestBalancedManyClustersOverThreshold documents the trade-off of the
+// floor: with more clusters than threshold streams, every cluster still
+// gets one stream, so the pair total can exceed the nominal threshold —
+// liveness is chosen over strictness.
+func TestBalancedManyClustersOverThreshold(t *testing.T) {
+	const clusters = 5
+	s := newBalanced(t, 2, 2, clusters)
+	total := 0
+	for i := 1; i <= clusters; i++ {
+		adv, err := s.AdviseTransfers([]TransferSpec{clusterSpec(i, "wf1", fmt.Sprintf("cl-%d", i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := adv.Transfers[0].Streams
+		if got != 1 {
+			t.Errorf("cluster %d granted %d streams, want the 1-stream floor", i, got)
+		}
+		total += got
+	}
+	if total != clusters {
+		t.Errorf("total allocation = %d, want %d (one per cluster)", total, clusters)
+	}
+}

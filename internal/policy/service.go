@@ -256,6 +256,14 @@ func (s *Service) Config() Config {
 // ErrEmptyRequest is returned when an advice request has no entries.
 var ErrEmptyRequest = errors.New("policy: empty request")
 
+// ErrInvalidRequest marks errors caused by the request itself (missing
+// URLs, out-of-range thresholds) as opposed to infrastructure failures
+// like a WAL write error. Callers — the HTTP layer in particular — must
+// distinguish the two: an invalid request is rejected deterministically by
+// every replica, while an infrastructure failure is local to one and means
+// the replica is unhealthy. Test with errors.Is.
+var ErrInvalidRequest = errors.New("policy: invalid request")
+
 // AdviseTransfers evaluates a list of requested transfers against the
 // policy rules and returns the modified list: duplicates removed, group IDs
 // and stream counts assigned, ordered by priority and group. Transfers in
@@ -264,6 +272,15 @@ var ErrEmptyRequest = errors.New("policy: empty request")
 func (s *Service) AdviseTransfers(specs []TransferSpec) (adv *TransferAdvice, err error) {
 	if len(specs) == 0 {
 		return nil, ErrEmptyRequest
+	}
+	// Validate the whole batch before logging or touching Policy Memory:
+	// a rejected request must leave no partial state behind (and no WAL
+	// record), or lingering Submitted facts would suppress later valid
+	// requests for the same files as in-batch duplicates.
+	for i, spec := range specs {
+		if spec.SourceURL == "" || spec.DestURL == "" {
+			return nil, fmt.Errorf("%w: request %d: source and destination URLs are required", ErrInvalidRequest, i)
+		}
 	}
 	start := time.Now()
 	var logSeq uint64
@@ -285,11 +302,7 @@ func (s *Service) AdviseTransfers(specs []TransferSpec) (adv *TransferAdvice, er
 	}
 
 	batch := make([]*Transfer, 0, len(specs))
-	for i, spec := range specs {
-		if spec.SourceURL == "" || spec.DestURL == "" {
-			opErr = fmt.Errorf("policy: request %d: source and destination URLs are required", i)
-			return nil, opErr
-		}
+	for _, spec := range specs {
 		s.nextTransfer++
 		t := &Transfer{
 			ID:               fmt.Sprintf("t-%08d", s.nextTransfer),
@@ -526,6 +539,13 @@ func (s *Service) AdviseCleanups(specs []CleanupSpec) (adv *CleanupAdvice, err e
 	if len(specs) == 0 {
 		return nil, ErrEmptyRequest
 	}
+	// Whole-batch validation before logging or inserting facts, for the
+	// same atomicity reason as AdviseTransfers.
+	for i, spec := range specs {
+		if spec.FileURL == "" {
+			return nil, fmt.Errorf("%w: cleanup request %d: file URL is required", ErrInvalidRequest, i)
+		}
+	}
 	start := time.Now()
 	var logSeq uint64
 	defer func() {
@@ -543,11 +563,7 @@ func (s *Service) AdviseCleanups(specs []CleanupSpec) (adv *CleanupAdvice, err e
 	}
 
 	batch := make([]*Cleanup, 0, len(specs))
-	for i, spec := range specs {
-		if spec.FileURL == "" {
-			opErr = fmt.Errorf("policy: cleanup request %d: file URL is required", i)
-			return nil, opErr
-		}
+	for _, spec := range specs {
 		s.nextCleanup++
 		c := &Cleanup{
 			ID:         fmt.Sprintf("c-%08d", s.nextCleanup),
@@ -654,7 +670,7 @@ func (s *Service) ReportCleanups(report CleanupReport) (err error) {
 // pair, overriding the default for that pair from now on.
 func (s *Service) SetThreshold(srcHost, dstHost string, max int) (err error) {
 	if max < 1 {
-		return fmt.Errorf("policy: threshold must be >= 1, got %d", max)
+		return fmt.Errorf("%w: threshold must be >= 1, got %d", ErrInvalidRequest, max)
 	}
 	var logSeq uint64
 	defer func() {

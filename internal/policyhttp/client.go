@@ -2,16 +2,59 @@ package policyhttp
 
 import (
 	"bytes"
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
+	"policyflow/internal/obs"
 	"policyflow/internal/policy"
 )
+
+// IdempotencyKeyHeader carries the client-generated key that makes a
+// mutating request safely retryable: the server applies the mutation at
+// most once per key and replays the recorded response to duplicates.
+const IdempotencyKeyHeader = "Idempotency-Key"
+
+// IdempotencyReplayedHeader marks a response served from the server's
+// idempotency cache instead of a fresh application.
+const IdempotencyReplayedHeader = "Idempotency-Replayed"
+
+// RetryPolicy controls the client's retry loop. Attempts beyond the first
+// are made only for transport errors (connection failures, timeouts,
+// dropped responses) and retryable 5xx statuses (502, 503, 504); every
+// retried mutation carries the same idempotency key, so a response lost
+// after the server applied the mutation is recovered without applying it
+// twice.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first;
+	// values below 1 mean 1 (no retries).
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry; each further retry
+	// doubles it (exponential backoff), capped at MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the backoff growth; 0 means no cap.
+	MaxBackoff time.Duration
+	// Jitter is the fractional randomization applied to each backoff
+	// (0.2 = +-20%), decorrelating retry storms across clients.
+	Jitter float64
+}
+
+// DefaultRetryPolicy is the retry configuration clients start with: three
+// attempts with 50ms base backoff, 1s cap and 20% jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseBackoff: 50 * time.Millisecond,
+		MaxBackoff: time.Second, Jitter: 0.2}
+}
 
 // Client is the Go client for the policy service's RESTful interface; the
 // modified Pegasus Transfer Tool uses it to obtain advice before executing
@@ -21,6 +64,18 @@ type Client struct {
 	http *http.Client
 	// useXML selects the XML wire format instead of JSON.
 	useXML bool
+	retry  RetryPolicy
+	// sleep waits between retry attempts; injectable so tests and the
+	// fault-injection harness never sleep real time.
+	sleep func(time.Duration)
+	// ctx is the base context every request derives from.
+	ctx     context.Context
+	metrics *obs.ClientMetrics
+
+	mu         sync.Mutex
+	rng        *rand.Rand // backoff jitter
+	keyPrefix  string
+	keyCounter uint64
 }
 
 // ClientOption customizes a Client.
@@ -37,15 +92,68 @@ func WithXML() ClientOption {
 	return func(c *Client) { c.useXML = true }
 }
 
+// WithTimeout replaces the default 30s per-attempt HTTP timeout.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.http.Timeout = d }
+}
+
+// WithTransport substitutes the HTTP transport — the fault-injection
+// harness routes requests in-process and injects faults here.
+func WithTransport(rt http.RoundTripper) ClientOption {
+	return func(c *Client) { c.http.Transport = rt }
+}
+
+// WithRetry replaces the default retry policy. A policy with
+// MaxAttempts <= 1 disables retries.
+func WithRetry(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = p }
+}
+
+// WithBackoffSleep substitutes the function that waits between retries
+// (tests pass a fake clock so backoff never sleeps real time).
+func WithBackoffSleep(sleep func(time.Duration)) ClientOption {
+	return func(c *Client) { c.sleep = sleep }
+}
+
+// WithBaseContext makes every request derive from ctx, so cancelling it
+// aborts in-flight calls and pending retries.
+func WithBaseContext(ctx context.Context) ClientOption {
+	return func(c *Client) { c.ctx = ctx }
+}
+
+// WithMetrics attaches retry/fault counters (see obs.NewClientMetrics).
+func WithMetrics(m *obs.ClientMetrics) ClientOption {
+	return func(c *Client) { c.metrics = m }
+}
+
+// WithJitterSeed seeds the backoff jitter generator, making retry timing
+// reproducible in tests.
+func WithJitterSeed(seed int64) ClientOption {
+	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
 // NewClient returns a client for the policy service at baseURL (e.g.
-// "http://localhost:8765").
+// "http://localhost:8765"). Retries with backoff and idempotency keys are
+// on by default (DefaultRetryPolicy); pass WithRetry to tune or disable.
 func NewClient(baseURL string, opts ...ClientOption) *Client {
 	c := &Client{
-		base: strings.TrimRight(baseURL, "/"),
-		http: &http.Client{Timeout: 30 * time.Second},
+		base:  strings.TrimRight(baseURL, "/"),
+		http:  &http.Client{Timeout: 30 * time.Second},
+		retry: DefaultRetryPolicy(),
+		sleep: time.Sleep,
+		ctx:   context.Background(),
+	}
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err == nil {
+		c.keyPrefix = hex.EncodeToString(b[:])
+	} else {
+		c.keyPrefix = fmt.Sprintf("%x", time.Now().UnixNano())
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(int64(time.Now().UnixNano())))
 	}
 	return c
 }
@@ -57,7 +165,7 @@ func (c *Client) contentType() string {
 	return "application/json"
 }
 
-func (c *Client) encode(v any) (io.Reader, error) {
+func (c *Client) encode(v any) ([]byte, error) {
 	var buf bytes.Buffer
 	if c.useXML {
 		if err := xml.NewEncoder(&buf).Encode(v); err != nil {
@@ -68,11 +176,62 @@ func (c *Client) encode(v any) (io.Reader, error) {
 			return nil, err
 		}
 	}
-	return &buf, nil
+	return buf.Bytes(), nil
 }
 
+// newIdempotencyKey mints a key unique to this client instance and call.
+func (c *Client) newIdempotencyKey() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.keyCounter++
+	return fmt.Sprintf("%s-%d", c.keyPrefix, c.keyCounter)
+}
+
+// backoff computes the jittered exponential backoff before retry number
+// retry (1-based).
+func (c *Client) backoff(retry int) time.Duration {
+	d := c.retry.BaseBackoff
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if c.retry.MaxBackoff > 0 && d >= c.retry.MaxBackoff {
+			d = c.retry.MaxBackoff
+			break
+		}
+	}
+	if c.retry.MaxBackoff > 0 && d > c.retry.MaxBackoff {
+		d = c.retry.MaxBackoff
+	}
+	if j := c.retry.Jitter; j > 0 {
+		c.mu.Lock()
+		f := 1 + j*(2*c.rng.Float64()-1)
+		c.mu.Unlock()
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// retryableStatus reports whether a status code is safe and useful to
+// retry: gateway-class failures where the response carries no decision.
+func retryableStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+}
+
+func (c *Client) countFault(path, kind string) {
+	if c.metrics != nil {
+		c.metrics.Faults.With(path, kind).Inc()
+	}
+}
+
+// do performs one logical API call with retries. Mutating calls (anything
+// but GET) carry an idempotency key that is reused across attempts, so
+// the server applies the mutation at most once even when responses are
+// lost and the call is retried.
 func (c *Client) do(method, path string, in, out any) error {
-	var body io.Reader
+	var body []byte
 	if in != nil {
 		var err error
 		body, err = c.encode(in)
@@ -80,36 +239,114 @@ func (c *Client) do(method, path string, in, out any) error {
 			return fmt.Errorf("policyhttp: encode request: %w", err)
 		}
 	}
-	req, err := http.NewRequest(method, c.base+path, body)
-	if err != nil {
-		return fmt.Errorf("policyhttp: build request: %w", err)
+	var idemKey string
+	if method != http.MethodGet {
+		idemKey = c.newIdempotencyKey()
 	}
-	if in != nil {
+	if c.metrics != nil {
+		c.metrics.Requests.With(path).Inc()
+	}
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			if c.metrics != nil {
+				c.metrics.Retries.With(path).Inc()
+			}
+			c.sleep(c.backoff(attempt - 1))
+			if err := c.ctx.Err(); err != nil {
+				return fmt.Errorf("policyhttp: %s %s: %w", method, path, err)
+			}
+		}
+		done, err := c.attempt(method, path, body, idemKey, in != nil, out)
+		if done {
+			return err
+		}
+		lastErr = err
+	}
+	if c.metrics != nil {
+		c.metrics.Exhausted.With(path).Inc()
+	}
+	return lastErr
+}
+
+// attempt performs one HTTP attempt. done=false means the failure is
+// retryable; done=true returns the final result (success or not).
+func (c *Client) attempt(method, path string, body []byte, idemKey string, hasBody bool, out any) (done bool, err error) {
+	var rd io.Reader
+	if hasBody {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(c.ctx, method, c.base+path, rd)
+	if err != nil {
+		return true, fmt.Errorf("policyhttp: build request: %w", err)
+	}
+	if hasBody {
 		req.Header.Set("Content-Type", c.contentType())
 	}
 	req.Header.Set("Accept", c.contentType())
+	if idemKey != "" {
+		req.Header.Set(IdempotencyKeyHeader, idemKey)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return fmt.Errorf("policyhttp: %s %s: %w", method, path, err)
+		c.countFault(path, "transport")
+		return false, fmt.Errorf("policyhttp: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
+	if retryableStatus(resp.StatusCode) {
+		c.countFault(path, "http_5xx")
+		return false, c.decodeError(resp)
+	}
+	if c.metrics != nil && resp.Header.Get(IdempotencyReplayedHeader) != "" {
+		c.metrics.IdempotentReplays.With(path).Inc()
+	}
 	if resp.StatusCode >= 400 {
-		return c.decodeError(resp)
+		return true, c.decodeError(resp)
 	}
 	if out == nil || resp.StatusCode == http.StatusNoContent {
 		io.Copy(io.Discard, resp.Body)
-		return nil
+		return true, nil
 	}
 	if c.useXML {
 		if err := xml.NewDecoder(resp.Body).Decode(out); err != nil {
-			return fmt.Errorf("policyhttp: decode response: %w", err)
+			return true, fmt.Errorf("policyhttp: decode response: %w", err)
 		}
-		return nil
+		return true, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("policyhttp: decode response: %w", err)
+		return true, fmt.Errorf("policyhttp: decode response: %w", err)
 	}
-	return nil
+	return true, nil
+}
+
+// ServerError is an error response decoded from the service. StatusCode
+// distinguishes deterministic rejections (4xx — the service is healthy and
+// refused the request) from server-side failures (5xx).
+type ServerError struct {
+	StatusCode int
+	Message    string
+	// raw is the undecoded body, used when no error document was parsed.
+	raw string
+}
+
+// Error implements error.
+func (e *ServerError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("policyhttp: server: %s (HTTP %d)", e.Message, e.StatusCode)
+	}
+	return fmt.Sprintf("policyhttp: HTTP %d: %s", e.StatusCode, e.raw)
+}
+
+// IsRejection reports whether err is a deterministic server-side rejection
+// (HTTP 4xx): the service is healthy, it just refused the request. Every
+// identically-configured replica would refuse it the same way.
+func IsRejection(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && se.StatusCode >= 400 && se.StatusCode < 500
 }
 
 func (c *Client) decodeError(resp *http.Response) error {
@@ -117,12 +354,12 @@ func (c *Client) decodeError(resp *http.Response) error {
 	var doc ErrorDoc
 	if c.useXML {
 		if xml.Unmarshal(data, &doc) == nil && doc.Message != "" {
-			return fmt.Errorf("policyhttp: server: %s (HTTP %d)", doc.Message, resp.StatusCode)
+			return &ServerError{StatusCode: resp.StatusCode, Message: doc.Message}
 		}
 	} else if json.Unmarshal(data, &doc) == nil && doc.Message != "" {
-		return fmt.Errorf("policyhttp: server: %s (HTTP %d)", doc.Message, resp.StatusCode)
+		return &ServerError{StatusCode: resp.StatusCode, Message: doc.Message}
 	}
-	return fmt.Errorf("policyhttp: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	return &ServerError{StatusCode: resp.StatusCode, raw: strings.TrimSpace(string(data))}
 }
 
 // AdviseTransfers submits a transfer list and returns the modified list.

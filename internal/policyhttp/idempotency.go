@@ -1,0 +1,127 @@
+package policyhttp
+
+import (
+	"net/http"
+	"sync"
+)
+
+// idemEntry records the response produced by the first application of an
+// idempotency key. done is closed once the response is recorded, so
+// concurrent duplicates wait for the original instead of re-applying.
+type idemEntry struct {
+	done   chan struct{}
+	code   int
+	header http.Header
+	body   []byte
+}
+
+// idemCache is a bounded single-flight response cache keyed by the
+// client-supplied Idempotency-Key header. The first request with a given
+// key executes; duplicates (retries after a lost response, duplicated
+// deliveries) receive the recorded response without re-applying the
+// mutation — at-most-once application per key.
+type idemCache struct {
+	mu      sync.Mutex
+	entries map[string]*idemEntry
+	order   []string // insertion order, for FIFO eviction
+	cap     int
+}
+
+// defaultIdemCap bounds retained responses; retries arrive within seconds,
+// so a small window of recent mutations is ample.
+const defaultIdemCap = 1024
+
+func newIdemCache(capacity int) *idemCache {
+	if capacity <= 0 {
+		capacity = defaultIdemCap
+	}
+	return &idemCache{entries: make(map[string]*idemEntry), cap: capacity}
+}
+
+// begin claims key. first=true means the caller must execute the request
+// and record the outcome with finish; first=false returns the (possibly
+// still pending) entry to replay after waiting on entry.done.
+func (c *idemCache) begin(key string) (entry *idemEntry, first bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		return e, false
+	}
+	e := &idemEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	for len(c.order) > c.cap {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	return e, true
+}
+
+// finish records the response for a claimed key and releases waiters.
+func (c *idemCache) finish(e *idemEntry, code int, header http.Header, body []byte) {
+	e.code = code
+	e.header = header
+	e.body = body
+	close(e.done)
+}
+
+// captureWriter buffers a handler's response so it can be recorded in the
+// idempotency cache and then copied to the real writer.
+type captureWriter struct {
+	header http.Header
+	code   int
+	body   []byte
+}
+
+func newCaptureWriter() *captureWriter {
+	return &captureWriter{header: make(http.Header), code: http.StatusOK}
+}
+
+func (w *captureWriter) Header() http.Header { return w.header }
+
+func (w *captureWriter) WriteHeader(code int) { w.code = code }
+
+func (w *captureWriter) Write(p []byte) (int, error) {
+	w.body = append(w.body, p...)
+	return len(p), nil
+}
+
+// writeEntry copies a recorded response to the real writer, marking it as
+// replayed when replay is true.
+func writeEntry(w http.ResponseWriter, e *idemEntry, replay bool) {
+	for k, vs := range e.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	if replay {
+		w.Header().Set(IdempotencyReplayedHeader, "true")
+	}
+	w.WriteHeader(e.code)
+	w.Write(e.body)
+}
+
+// idempotent wraps a mutating handler with at-most-once semantics per
+// Idempotency-Key header. Requests without the header pass through
+// unchanged (the pre-retry wire behaviour).
+func (s *Server) idempotent(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.Header.Get(IdempotencyKeyHeader)
+		if key == "" {
+			h(w, r)
+			return
+		}
+		e, first := s.idem.begin(key)
+		if !first {
+			<-e.done
+			s.idemReplays.Inc()
+			writeEntry(w, e, true)
+			return
+		}
+		cw := newCaptureWriter()
+		h(cw, r)
+		s.idem.finish(e, cw.code, cw.header, cw.body)
+		writeEntry(w, e, false)
+	}
+}

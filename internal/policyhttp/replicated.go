@@ -53,8 +53,13 @@ func (rc *ReplicatedClient) Healthy() []int {
 }
 
 // apply runs op against every healthy replica in index order. The first
-// successful result wins; replicas that error are marked down. An error
-// is returned only when no replica succeeds.
+// successful result wins; replicas that fail (transport errors, 5xx) are
+// marked down. A deterministic rejection (4xx) from the first replica
+// tried is returned as-is without downing anything: the replica is
+// healthy, it refused the request, and — the service being deterministic
+// — every peer would refuse it identically, so no peer sees it and no
+// state diverges. A rejection AFTER another replica accepted the same
+// call means the rejecting replica has diverged, and it is marked down.
 func apply[T any](rc *ReplicatedClient, op func(*Client) (T, error)) (T, error) {
 	var zero T
 	rc.mu.Lock()
@@ -68,6 +73,9 @@ func apply[T any](rc *ReplicatedClient, op func(*Client) (T, error)) (T, error) 
 		}
 		r, err := op(c)
 		if err != nil {
+			if IsRejection(err) && !got {
+				return zero, err
+			}
 			rc.down[i] = true
 			lastErr = err
 			continue

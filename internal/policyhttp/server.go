@@ -109,6 +109,11 @@ type Server struct {
 	httpReqs *obs.CounterVec   // http_requests_total{endpoint,code}
 	httpLat  *obs.HistogramVec // http_request_seconds{endpoint}
 
+	// idem caches responses to mutating requests by idempotency key, so a
+	// client retry after a lost response does not re-apply the mutation.
+	idem        *idemCache
+	idemReplays *obs.Counter // http_idempotent_replays_total
+
 	// state gauges, refreshed from the service snapshot at scrape time.
 	inFlight    *obs.Gauge
 	stagedFiles *obs.Gauge
@@ -144,16 +149,19 @@ func NewServerWith(svc *policy.Service, logger *log.Logger, reg *obs.Registry, t
 		"Cleanup operations in progress.").With()
 	s.streamsVec = reg.Gauge("policy_streams_allocated",
 		"Parallel streams currently allocated per host pair.", "src", "dst")
-	s.mux.HandleFunc("POST /v1/transfers", s.handleTransfers)
-	s.mux.HandleFunc("POST /v1/transfers/completed", s.handleTransfersCompleted)
-	s.mux.HandleFunc("POST /v1/cleanups", s.handleCleanups)
-	s.mux.HandleFunc("POST /v1/cleanups/completed", s.handleCleanupsCompleted)
+	s.idem = newIdemCache(0)
+	s.idemReplays = reg.Counter("http_idempotent_replays_total",
+		"Mutating requests answered from the idempotency cache without re-applying.").With()
+	s.mux.HandleFunc("POST /v1/transfers", s.idempotent(s.handleTransfers))
+	s.mux.HandleFunc("POST /v1/transfers/completed", s.idempotent(s.handleTransfersCompleted))
+	s.mux.HandleFunc("POST /v1/cleanups", s.idempotent(s.handleCleanups))
+	s.mux.HandleFunc("POST /v1/cleanups/completed", s.idempotent(s.handleCleanupsCompleted))
 	s.mux.HandleFunc("GET /v1/state", s.handleState)
 	s.mux.HandleFunc("GET /v1/state/dump", s.handleDump)
-	s.mux.HandleFunc("POST /v1/state/restore", s.handleRestore)
-	s.mux.HandleFunc("POST /v1/state/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /v1/state/restore", s.idempotent(s.handleRestore))
+	s.mux.HandleFunc("POST /v1/state/snapshot", s.idempotent(s.handleSnapshot))
 	s.mux.HandleFunc("GET /v1/state/archive", s.handleArchive)
-	s.mux.HandleFunc("PUT /v1/thresholds", s.handleThreshold)
+	s.mux.HandleFunc("PUT /v1/thresholds", s.idempotent(s.handleThreshold))
 	s.mux.HandleFunc("GET /v1/config", s.handleConfig)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -423,7 +431,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.svc.ImportState(&dump); err != nil {
-		s.writeError(w, resf, http.StatusBadRequest, err)
+		s.writeError(w, resf, statusFor(err), err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -446,14 +454,18 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.svc.SetThreshold(upd.SourceHost, upd.DestHost, upd.Max); err != nil {
-		s.writeError(w, resf, http.StatusBadRequest, err)
+		// statusFor, not a blanket 400: an infrastructure failure (e.g. a
+		// WAL write error) must surface as 500 so a replicated client marks
+		// this replica down instead of treating the call as rejected
+		// everywhere.
+		s.writeError(w, resf, statusFor(err), err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func statusFor(err error) int {
-	if errors.Is(err, policy.ErrEmptyRequest) {
+	if errors.Is(err, policy.ErrEmptyRequest) || errors.Is(err, policy.ErrInvalidRequest) {
 		return http.StatusBadRequest
 	}
 	if strings.Contains(err.Error(), "required") {

@@ -23,6 +23,10 @@ type StandbySyncer struct {
 	// OnSync, when set, is called after each attempt with the error (nil
 	// on success).
 	OnSync func(error)
+	// Ticks, when set, replaces the interval ticker as Run's time source:
+	// one sync per value received. Tests use this to drive the loop
+	// deterministically without real timers.
+	Ticks  <-chan time.Time
 	syncs  int
 	errors int
 }
@@ -58,14 +62,19 @@ func (s *StandbySyncer) Stats() (syncs, failures int) { return s.syncs, s.errors
 
 // Run syncs on the interval until ctx is cancelled. Failures are reported
 // through OnSync and do not stop the loop (the primary may come back).
+// When Ticks is set it is used instead of a real ticker.
 func (s *StandbySyncer) Run(ctx context.Context) {
-	ticker := time.NewTicker(s.Interval)
-	defer ticker.Stop()
+	ticks := s.Ticks
+	if ticks == nil {
+		ticker := time.NewTicker(s.Interval)
+		defer ticker.Stop()
+		ticks = ticker.C
+	}
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-ticker.C:
+		case <-ticks:
 			err := s.SyncOnce()
 			if s.OnSync != nil {
 				s.OnSync(err)

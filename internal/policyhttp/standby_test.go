@@ -47,42 +47,56 @@ func TestStandbySyncOnce(t *testing.T) {
 	}
 }
 
+// TestStandbyRunLoop drives Run through an injected tick channel, so the
+// test is deterministic: exactly one sync per tick, no real timers, no
+// deadlines racing the scheduler.
 func TestStandbyRunLoop(t *testing.T) {
 	servers, _, clients := replicaSet(t, 1)
 	standby, err := policy.New(policy.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	synced := make(chan error, 16)
-	syncer, err := NewStandbySyncer(standby, clients[0], 5*time.Millisecond)
+	synced := make(chan error)
+	syncer, err := NewStandbySyncer(standby, clients[0], time.Hour)
 	if err != nil {
 		t.Fatal(err)
 	}
+	ticks := make(chan time.Time)
+	syncer.Ticks = ticks
 	syncer.OnSync = func(err error) { synced <- err }
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	go syncer.Run(ctx)
-	// First sync succeeds.
-	select {
-	case err := <-synced:
-		if err != nil {
-			t.Fatalf("first sync: %v", err)
-		}
-	case <-time.After(2 * time.Second):
-		t.Fatal("no sync within deadline")
+	done := make(chan struct{})
+	go func() {
+		syncer.Run(ctx)
+		close(done)
+	}()
+
+	// First tick: the primary is healthy, the sync succeeds.
+	ticks <- time.Time{}
+	if err := <-synced; err != nil {
+		t.Fatalf("first sync: %v", err)
 	}
 	// After the primary dies, syncs fail but the loop keeps running.
 	servers[0].Close()
-	deadline := time.After(2 * time.Second)
-	for {
-		select {
-		case err := <-synced:
-			if err != nil {
-				return // observed a failed sync: loop survived the outage
-			}
-		case <-deadline:
-			t.Fatal("no failed sync observed after primary death")
-		}
+	ticks <- time.Time{}
+	if err := <-synced; err == nil {
+		t.Fatal("sync against a dead primary reported success")
+	}
+	// The loop survived the failure: it still answers the next tick.
+	ticks <- time.Time{}
+	if err := <-synced; err == nil {
+		t.Fatal("sync against a dead primary reported success")
+	}
+	if syncs, fails := syncer.Stats(); syncs != 1 || fails != 2 {
+		t.Fatalf("stats = %d syncs, %d failures; want 1, 2", syncs, fails)
+	}
+	// Cancellation stops the loop.
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not return after context cancellation")
 	}
 }
 
