@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci build test race vet fmt fmt-check bench-smoke cover fuzz-smoke
+.PHONY: ci build test race vet fmt fmt-check bench-smoke cover fuzz-smoke test-liveness
 
 # The full gate: what a PR must pass.
-ci: fmt-check vet build race bench-smoke cover fuzz-smoke
+ci: fmt-check vet build race test-liveness bench-smoke cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -28,10 +28,20 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# test-liveness runs the lease-reclamation and degraded-mode suites under
+# the race detector: the policy-level lease lifecycle, the model-checked
+# faultsim liveness properties, and the transfer tool's breaker/reconcile
+# cycle.
+test-liveness:
+	$(GO) test -race -run 'Lease|Clock|Degraded|Breaker' ./internal/policy/ ./internal/faultsim/ ./internal/transfer/
+
 # bench-smoke compiles and runs every WAL benchmark exactly once, so the
-# durability benchmarks cannot rot without failing CI.
+# durability benchmarks cannot rot without failing CI. The lease benchmarks
+# ride along: the expiry scan must stay O(active leases) and off the advise
+# hot path.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkWAL' -benchtime=1x ./internal/durable/
+	$(GO) test -run '^$$' -bench 'BenchmarkLeaseScan|BenchmarkAdviseLeaseOverhead' -benchtime=1x ./internal/policy/
 
 # cover enforces a statement-coverage floor on the correctness-critical
 # packages: the policy engine and the durable store.

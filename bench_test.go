@@ -205,7 +205,7 @@ func BenchmarkPolicyAdvise(b *testing.B) {
 		for j, tr := range adv.Transfers {
 			ids[j] = tr.ID
 		}
-		if err := svc.ReportTransfers(policy.CompletionReport{TransferIDs: ids}); err != nil {
+		if _, err := svc.ReportTransfers(policy.CompletionReport{TransferIDs: ids}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -71,7 +71,19 @@ func main() {
 		if len(args) < 2 {
 			usage()
 		}
-		err = client.ReportTransfers(policy.CompletionReport{TransferIDs: args[1:]})
+		err = complete(client, args[1:])
+	case "leases":
+		err = leases(client, os.Stdout)
+	case "renew-lease":
+		if len(args) != 2 {
+			usage()
+		}
+		err = renewLease(client, args[1])
+	case "advance-clock":
+		if len(args) != 2 {
+			usage()
+		}
+		err = advanceClock(client, args[1])
 	case "cleanup":
 		if len(args) < 3 {
 			usage()
@@ -106,11 +118,65 @@ commands:
   advise <specs.json>                    submit a transfer list for advice
   complete <transfer-id>...              report completed transfers
   cleanup <workflow-id> <file-url>...    request file deletions
+  leases                                 list active workflow leases
+  renew-lease <workflow-id>              register or extend a workflow lease
+  advance-clock <seconds>                advance the logical clock (expires leases)
   metrics                                fetch and pretty-print /v1/metrics
   dump                                   print the Policy Memory snapshot
   restore <dump.json>                    replace Policy Memory from a dump
   snapshot                               force a durable snapshot + WAL compaction`)
 	os.Exit(2)
+}
+
+func complete(c *policyhttp.Client, ids []string) error {
+	ack, err := c.ReportTransfers(policy.CompletionReport{TransferIDs: ids})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("matched %d, unmatched %d\n", ack.Matched, ack.Unmatched)
+	return nil
+}
+
+// leases prints the active workflow leases with the holdings each would
+// forfeit on expiry.
+func leases(c *policyhttp.Client, w io.Writer) error {
+	list, err := c.Leases()
+	if err != nil {
+		return err
+	}
+	if list.TTLSeconds <= 0 {
+		fmt.Fprintln(w, "leases disabled (service LeaseTTL is 0)")
+		return nil
+	}
+	fmt.Fprintf(w, "clock %.1f, ttl %.1fs, %d lease(s)\n", list.Now, list.TTLSeconds, len(list.Leases))
+	for _, l := range list.Leases {
+		fmt.Fprintf(w, "  %-20s deadline %.1f (in %.1fs)  streams %d  in-progress %d\n",
+			l.WorkflowID, l.Deadline, l.Deadline-list.Now, l.HeldStreams, l.InProgress)
+	}
+	return nil
+}
+
+func renewLease(c *policyhttp.Client, workflowID string) error {
+	st, err := c.RenewLease(workflowID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("lease %s renewed, deadline %.1f\n", st.WorkflowID, st.Deadline)
+	return nil
+}
+
+func advanceClock(c *policyhttp.Client, arg string) error {
+	now, err := strconv.ParseFloat(arg, 64)
+	if err != nil {
+		return fmt.Errorf("bad clock value %q: %w", arg, err)
+	}
+	adv, err := c.AdvanceClock(now)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("clock %.1f, expired %d lease(s), reclaimed %d transfer(s)\n",
+		adv.Now, len(adv.Expired), adv.ReclaimedTransfers)
+	return nil
 }
 
 func cleanup(c *policyhttp.Client, workflowID string, urls []string) error {

@@ -66,7 +66,7 @@ func TestCleanupCommand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+	if _, err := c.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
 		t.Fatal(err)
 	}
 	if err := cleanup(c, "wf1", []string{"file://d.example.org/f"}); err != nil {
@@ -147,6 +147,52 @@ func TestShowState(t *testing.T) {
 	c, _ := testClient(t)
 	if err := showState(c); err != nil {
 		t.Fatalf("showState: %v", err)
+	}
+}
+
+func TestLeasesCommand(t *testing.T) {
+	// Against a lease-disabled service the command says so instead of
+	// printing an empty table.
+	c, _ := testClient(t)
+	var out strings.Builder
+	if err := leases(c, &out); err != nil {
+		t.Fatalf("leases (disabled): %v", err)
+	}
+	if !strings.Contains(out.String(), "leases disabled") {
+		t.Fatalf("disabled output = %q", out.String())
+	}
+
+	// With leases on, an advise registers the workflow as a holder and the
+	// listing shows its deadline and holdings.
+	cfg := policy.DefaultConfig()
+	cfg.LeaseTTL = 30
+	svc, err := policy.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(policyhttp.NewServer(svc, nil))
+	t.Cleanup(ts.Close)
+	c = policyhttp.NewClient(ts.URL)
+	if _, err := c.AdviseTransfers([]policy.TransferSpec{{
+		RequestID: "r1", WorkflowID: "wf1",
+		SourceURL: "gsiftp://s.example.org/f", DestURL: "file://d.example.org/f",
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := leases(c, &out); err != nil {
+		t.Fatalf("leases: %v", err)
+	}
+	text := out.String()
+	for _, frag := range []string{
+		"clock 0.0, ttl 30.0s, 1 lease(s)",
+		"wf1",
+		"deadline 30.0",
+		"in-progress 1",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("leases output missing %q:\n%s", frag, text)
+		}
 	}
 }
 

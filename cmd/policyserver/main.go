@@ -14,6 +14,11 @@
 // unless -fsync=false), snapshots are taken every -snapshot-every and on
 // graceful shutdown, and on boot the service recovers from the latest
 // snapshot plus the WAL tail — surviving crashes mid-write.
+//
+// With -lease-ttl the service tracks a lease per calling workflow and a
+// periodic scan (-lease-scan-every) reclaims the holdings of workflows that
+// crash without reporting: their in-flight transfers are failed, streams
+// released, reference counts dropped, and duplicate suppression lifted.
 package main
 
 import (
@@ -54,6 +59,8 @@ func main() {
 		fsync          = flag.Bool("fsync", true, "fsync the WAL before acknowledging each mutation (-data-dir only)")
 		faultWALRate   = flag.Float64("fault-inject-wal", 0, "TEST ONLY: probability [0,1] of failing a WAL append with an injected disk error")
 		faultSeed      = flag.Int64("fault-seed", 1, "TEST ONLY: seed for the -fault-inject-wal generator")
+		leaseTTL       = flag.Float64("lease-ttl", 0, "workflow lease TTL in seconds; 0 disables lease-based orphan reclamation")
+		leaseScanEvery = flag.Duration("lease-scan-every", 5*time.Second, "lease expiry scan period when -lease-ttl is set")
 	)
 	flag.Parse()
 
@@ -62,6 +69,7 @@ func main() {
 	cfg.DefaultThreshold = *threshold
 	cfg.DefaultStreams = *defaultStreams
 	cfg.ClusterFactor = *clusterFactor
+	cfg.LeaseTTL = *leaseTTL
 
 	svc, err := policy.New(cfg)
 	if err != nil {
@@ -170,6 +178,45 @@ func main() {
 		}
 		go syncer.Run(ctx)
 		log.Printf("warm standby of %s (sync every %s)", *standbyOf, *syncInterval)
+	}
+
+	// The policy core never reads the wall clock: its lease deadlines live
+	// on a logical clock that only moves through the logged AdvanceClock
+	// mutation (so durable replicas replay to identical state). The binary
+	// is where wall time enters — a ticker feeds wall-derived seconds into
+	// the clock, expiring the leases of workflows that stopped renewing.
+	if *leaseTTL > 0 && *leaseScanEvery > 0 {
+		wallSeconds := func() float64 { return float64(time.Now().UnixMilli()) / 1000 }
+		// Catch up after recovery: anything that expired while the server
+		// was down is reclaimed before the listener opens.
+		if adv, err := svc.AdvanceClock(wallSeconds()); err != nil {
+			fmt.Fprintf(os.Stderr, "policyserver: initial lease scan: %v\n", err)
+			os.Exit(1)
+		} else if len(adv.Expired) > 0 {
+			log.Printf("startup lease scan: expired %v, reclaimed %d transfer(s), %d stream(s)",
+				adv.Expired, adv.ReclaimedTransfers, adv.ReclaimedStreams)
+		}
+		go func() {
+			t := time.NewTicker(*leaseScanEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					adv, err := svc.AdvanceClock(wallSeconds())
+					if err != nil {
+						log.Printf("lease scan: %v", err)
+						continue
+					}
+					if len(adv.Expired) > 0 {
+						log.Printf("lease scan: expired %v, reclaimed %d transfer(s), %d stream(s)",
+							adv.Expired, adv.ReclaimedTransfers, adv.ReclaimedStreams)
+					}
+				}
+			}
+		}()
+		log.Printf("lease liveness enabled (ttl=%.1fs, scan every %s)", *leaseTTL, *leaseScanEvery)
 	}
 
 	if ps != nil && *snapshotEvery > 0 {

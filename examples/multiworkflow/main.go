@@ -56,7 +56,7 @@ func main() {
 			fmt.Printf("  skipped %s: %s\n", rm.RequestID, rm.Reason)
 		}
 		if len(done) > 0 {
-			if err := client.ReportTransfers(policyflow.CompletionReport{TransferIDs: done}); err != nil {
+			if _, err := client.ReportTransfers(policyflow.CompletionReport{TransferIDs: done}); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -91,7 +91,7 @@ func main() {
 			fmt.Printf("  blocked %s: %s\n", rm.RequestID, rm.Reason)
 		}
 		if len(done) > 0 {
-			if err := client.ReportCleanups(policyflow.CleanupReport{CleanupIDs: done}); err != nil {
+			if _, err := client.ReportCleanups(policyflow.CleanupReport{CleanupIDs: done}); err != nil {
 				log.Fatal(err)
 			}
 		}

@@ -48,7 +48,7 @@ func main() {
 	for _, tr := range advice.Transfers {
 		ids = append(ids, tr.ID)
 	}
-	if err := svc.ReportTransfers(policyflow.CompletionReport{TransferIDs: ids}); err != nil {
+	if _, err := svc.ReportTransfers(policyflow.CompletionReport{TransferIDs: ids}); err != nil {
 		log.Fatal(err)
 	}
 

@@ -28,7 +28,7 @@ func benchAdvise(b *testing.B, svc *policy.Service) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := svc.ReportTransfers(policy.CompletionReport{
+		if _, err := svc.ReportTransfers(policy.CompletionReport{
 			TransferIDs: []string{adv.Transfers[0].ID},
 		}); err != nil {
 			b.Fatal(err)
@@ -40,7 +40,7 @@ func benchAdvise(b *testing.B, svc *policy.Service) {
 			b.Fatal(err)
 		}
 		if len(cadv.Cleanups) == 1 {
-			if err := svc.ReportCleanups(policy.CleanupReport{
+			if _, err := svc.ReportCleanups(policy.CleanupReport{
 				CleanupIDs: []string{cadv.Cleanups[0].ID},
 			}); err != nil {
 				b.Fatal(err)
@@ -110,7 +110,7 @@ func BenchmarkWALRecovery(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if err := svc.ReportTransfers(policy.CompletionReport{
+				if _, err := svc.ReportTransfers(policy.CompletionReport{
 					TransferIDs: []string{adv.Transfers[0].ID},
 				}); err != nil {
 					b.Fatal(err)
@@ -168,7 +168,7 @@ func BenchmarkWALAdviseFsyncParallel(b *testing.B) {
 			}
 			// Report failure so Policy Memory stays bounded and the
 			// measurement isolates WAL cost rather than fact-base growth.
-			if err := svc.ReportTransfers(policy.CompletionReport{
+			if _, err := svc.ReportTransfers(policy.CompletionReport{
 				FailedIDs: []string{adv.Transfers[0].ID},
 			}); err != nil {
 				b.Fatal(err)

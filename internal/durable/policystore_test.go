@@ -81,7 +81,7 @@ func TestCrashRecoveryByteIdentical(t *testing.T) {
 	if len(adv.Transfers) != 2 {
 		t.Fatalf("advice = %+v", adv)
 	}
-	if err := svc.ReportTransfers(policy.CompletionReport{
+	if _, err := svc.ReportTransfers(policy.CompletionReport{
 		TransferIDs: []string{adv.Transfers[0].ID},
 	}); err != nil {
 		t.Fatal(err)
@@ -152,7 +152,7 @@ func TestRecoveryFromSnapshotPlusTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := svc.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+	if _, err := svc.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
 		t.Fatal(err)
 	}
 	// Flush to the OS (no Close — the "process" dies here).

@@ -36,7 +36,7 @@ func (a *timingAdvisor) AdviseTransfers(specs []policy.TransferSpec) (*policy.Tr
 	return adv, err
 }
 
-func (a *timingAdvisor) ReportTransfers(r policy.CompletionReport) error {
+func (a *timingAdvisor) ReportTransfers(r policy.CompletionReport) (*policy.ReportAck, error) {
 	return a.svc.ReportTransfers(r)
 }
 
@@ -44,7 +44,7 @@ func (a *timingAdvisor) AdviseCleanups(specs []policy.CleanupSpec) (*policy.Clea
 	return a.svc.AdviseCleanups(specs)
 }
 
-func (a *timingAdvisor) ReportCleanups(r policy.CleanupReport) error {
+func (a *timingAdvisor) ReportCleanups(r policy.CleanupReport) (*policy.ReportAck, error) {
 	return a.svc.ReportCleanups(r)
 }
 

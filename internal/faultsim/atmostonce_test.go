@@ -93,7 +93,7 @@ func TestConcurrentClientsStayConsistent(t *testing.T) {
 					return
 				}
 				if i%2 == 0 && len(adv.Transfers) == 1 {
-					if err := h.rc.ReportTransfers(policy.CompletionReport{
+					if _, err := h.rc.ReportTransfers(policy.CompletionReport{
 						TransferIDs: []string{adv.Transfers[0].ID},
 					}); err != nil {
 						t.Errorf("worker %d report %d: %v", w, i, err)

@@ -74,6 +74,7 @@ func NewHarness(baseDir string, sched Schedule) (*Harness, error) {
 		MinStreams:       1,
 		DefaultThreshold: sc.Threshold,
 		ClusterFactor:    sc.ClusterFactor,
+		LeaseTTL:         sc.LeaseTTL,
 	}
 	oracle, err := policy.New(cfg)
 	if err != nil {
@@ -202,6 +203,16 @@ func (h *Harness) Step(op Op) error {
 		err = h.stepCleanupReport(op)
 	case OpSetThreshold:
 		err = h.stepSetThreshold(op)
+	case OpRenewLease:
+		err = h.stepRenewLease(op)
+	case OpAdvanceClock:
+		err = h.stepAdvanceClock(op)
+	case OpClientCrash:
+		// A client process dies. Nothing reaches the service — the whole
+		// point of the lease subsystem is that the server notices only via
+		// the clock. The generator stops issuing ops for this workflow; its
+		// holdings stay pinned until a later advanceClock expires its lease.
+		h.localFaults[OpClientCrash]++
 	case OpCrash, OpTornCrash:
 		err = h.stepCrash(op.Replica, op.Kind == OpTornCrash)
 	case OpDiskFault:
@@ -268,17 +279,21 @@ func (h *Harness) stepAdvise(op Op) error {
 }
 
 func (h *Harness) stepReport(op Op) error {
-	err := h.rc.ReportTransfers(*op.Report)
+	ack, err := h.rc.ReportTransfers(*op.Report)
 	return h.clientOutcome(err,
 		func() error {
-			if oerr := h.oracle.ReportTransfers(*op.Report); oerr != nil {
+			oack, oerr := h.oracle.ReportTransfers(*op.Report)
+			if oerr != nil {
 				return fmt.Errorf("replicas accepted report the oracle rejects: %v", oerr)
+			}
+			if !reflect.DeepEqual(ack, oack) {
+				return fmt.Errorf("report ack diverges from oracle:\n  got  %+v\n  want %+v", ack, oack)
 			}
 			h.model.ApplyReport(*op.Report)
 			return nil
 		},
 		func() error {
-			if oerr := h.oracle.ReportTransfers(*op.Report); oerr == nil {
+			if _, oerr := h.oracle.ReportTransfers(*op.Report); oerr == nil {
 				return fmt.Errorf("replicas rejected report the oracle accepts: %v", err)
 			}
 			return nil
@@ -310,18 +325,71 @@ func (h *Harness) stepCleanup(op Op) error {
 }
 
 func (h *Harness) stepCleanupReport(op Op) error {
-	err := h.rc.ReportCleanups(*op.CleanupReport)
+	ack, err := h.rc.ReportCleanups(*op.CleanupReport)
 	return h.clientOutcome(err,
 		func() error {
-			if oerr := h.oracle.ReportCleanups(*op.CleanupReport); oerr != nil {
+			oack, oerr := h.oracle.ReportCleanups(*op.CleanupReport)
+			if oerr != nil {
 				return fmt.Errorf("replicas accepted cleanup report the oracle rejects: %v", oerr)
+			}
+			if !reflect.DeepEqual(ack, oack) {
+				return fmt.Errorf("cleanup ack diverges from oracle:\n  got  %+v\n  want %+v", ack, oack)
 			}
 			h.model.ApplyCleanupReport(*op.CleanupReport)
 			return nil
 		},
 		func() error {
-			if oerr := h.oracle.ReportCleanups(*op.CleanupReport); oerr == nil {
+			if _, oerr := h.oracle.ReportCleanups(*op.CleanupReport); oerr == nil {
 				return fmt.Errorf("replicas rejected cleanup report the oracle accepts: %v", err)
+			}
+			return nil
+		})
+}
+
+// stepRenewLease renews op.Workflow's lease on the replica group and the
+// oracle, then mirrors it into the model.
+func (h *Harness) stepRenewLease(op Op) error {
+	st, err := h.rc.RenewLease(op.Workflow)
+	return h.clientOutcome(err,
+		func() error {
+			ost, oerr := h.oracle.RenewLease(op.Workflow)
+			if oerr != nil {
+				return fmt.Errorf("replicas accepted lease renewal the oracle rejects: %v", oerr)
+			}
+			if !reflect.DeepEqual(st, ost) {
+				return fmt.Errorf("lease status diverges from oracle:\n  got  %+v\n  want %+v", st, ost)
+			}
+			h.model.ApplyRenewLease(op.Workflow)
+			return nil
+		},
+		func() error {
+			if _, oerr := h.oracle.RenewLease(op.Workflow); oerr == nil {
+				return fmt.Errorf("replicas rejected lease renewal the oracle accepts: %v", err)
+			}
+			return nil
+		})
+}
+
+// stepAdvanceClock moves the logical clock forward everywhere. The
+// reclamation that follows is a logged deterministic mutation, so the
+// replicas' expiry results must match the oracle's exactly, and the model
+// must predict the same set of expired owners.
+func (h *Harness) stepAdvanceClock(op Op) error {
+	adv, err := h.rc.AdvanceClock(op.Now)
+	return h.clientOutcome(err,
+		func() error {
+			oadv, oerr := h.oracle.AdvanceClock(op.Now)
+			if oerr != nil {
+				return fmt.Errorf("replicas accepted clock advance the oracle rejects: %v", oerr)
+			}
+			if !reflect.DeepEqual(adv, oadv) {
+				return fmt.Errorf("clock advance diverges from oracle:\n  got  %+v\n  want %+v", adv, oadv)
+			}
+			return h.model.ApplyAdvanceClock(op.Now, adv)
+		},
+		func() error {
+			if _, oerr := h.oracle.AdvanceClock(op.Now); oerr == nil {
+				return fmt.Errorf("replicas rejected clock advance the oracle accepts: %v", err)
 			}
 			return nil
 		})
@@ -475,7 +543,7 @@ func RunSchedule(baseDir string, sched Schedule) ([]Op, map[string]int, error) {
 		return nil, nil, err
 	}
 	defer h.Close()
-	g := &gen{rng: rand.New(rand.NewSource(sched.Seed)), h: h}
+	g := &gen{rng: rand.New(rand.NewSource(sched.Seed)), h: h, dead: make(map[string]bool)}
 	var trace []Op
 	for i := 0; i < sched.Config.OpCount; i++ {
 		op := g.next(sched.Config)

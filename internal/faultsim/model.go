@@ -62,6 +62,9 @@ type Model struct {
 	clusterTh   map[policy.HostPair]int // balanced: per-cluster share, fixed at creation
 	clusterLedg map[pairCluster]int     // balanced: per-(pair, cluster) allocation
 
+	clock  float64            // mirrors the service's logical clock
+	leases map[string]float64 // workflow -> lease deadline (LeaseTTL > 0 only)
+
 	// CorruptRefcounts deliberately breaks the model's reference counting.
 	// Tests set it to prove the harness reports a divergence instead of
 	// silently agreeing with whatever the service does.
@@ -81,6 +84,7 @@ func NewModel(cfg policy.Config) *Model {
 		ledger:      make(map[policy.HostPair]int),
 		clusterTh:   make(map[policy.HostPair]int),
 		clusterLedg: make(map[pairCluster]int),
+		leases:      make(map[string]float64),
 	}
 }
 
@@ -107,6 +111,33 @@ func (m *Model) CleanupIDs() []string {
 	ids := make([]string, 0, len(m.cleanups))
 	for id := range m.cleanups {
 		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// InFlightIDsOwned returns the in-flight transfer IDs whose owning
+// workflow is not in dead, sorted. The generator draws completion reports
+// from this list: a crashed client never reports.
+func (m *Model) InFlightIDsOwned(dead map[string]bool) []string {
+	ids := make([]string, 0, len(m.inProgress))
+	for id, t := range m.inProgress {
+		if !dead[t.workflow] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// CleanupIDsOwned returns the in-progress cleanup IDs whose owning
+// workflow is not in dead, sorted.
+func (m *Model) CleanupIDsOwned(dead map[string]bool) []string {
+	ids := make([]string, 0, len(m.cleanups))
+	for id, c := range m.cleanups {
+		if !dead[c.workflow] {
+			ids = append(ids, id)
+		}
 	}
 	sort.Strings(ids)
 	return ids
@@ -283,6 +314,12 @@ func (m *Model) ApplyAdvice(specs []policy.TransferSpec, adv *policy.TransferAdv
 	m.advised += len(adv.Transfers)
 	m.suppressed += len(adv.Removed)
 
+	// Advising doubles as a liveness signal: every workflow in the batch
+	// (advised or suppressed) gets its lease registered or extended.
+	for _, spec := range specs {
+		m.renewLease(spec.WorkflowID)
+	}
+
 	// Reference counting: every batch member — advised or suppressed —
 	// counts as a user of the staged file, provided the resource fact
 	// exists when the association rule runs. It exists when it pre-existed
@@ -431,6 +468,9 @@ func (m *Model) ApplyCleanupAdvice(specs []policy.CleanupSpec, adv *policy.Clean
 		approved = append(approved, pendingCleanup{id: ids[i], spec: spec})
 	}
 	m.nextCleanup += n
+	for _, spec := range specs {
+		m.renewLease(spec.WorkflowID)
+	}
 	if !reflect.DeepEqual(adv.Cleanups, wantAdvised) {
 		return fmt.Errorf("model: cleanup advice mismatch:\n  got  %+v\n  want %+v", adv.Cleanups, wantAdvised)
 	}
@@ -459,6 +499,90 @@ func (m *Model) ApplyCleanupReport(rep policy.CleanupReport) {
 // ApplySetThreshold records an explicit per-pair threshold.
 func (m *Model) ApplySetThreshold(src, dst string, max int) {
 	m.explicitTh[policy.HostPair{Src: src, Dst: dst}] = max
+}
+
+// renewLease registers or extends owner's lease at clock + TTL, mirroring
+// the service's renew-on-advise behavior. No-op when leases are disabled.
+func (m *Model) renewLease(owner string) {
+	if m.cfg.LeaseTTL <= 0 || owner == "" {
+		return
+	}
+	if d := m.clock + m.cfg.LeaseTTL; d > m.leases[owner] {
+		m.leases[owner] = d
+	}
+}
+
+// ApplyRenewLease advances the model for an explicit RenewLease call.
+func (m *Model) ApplyRenewLease(workflowID string) {
+	m.renewLease(workflowID)
+}
+
+// ApplyAdvanceClock checks a clock advance's reported effect against the
+// model's independent prediction — which leases expire and how much of the
+// dead workflows' holdings are reclaimed — and advances the model: the
+// expired owners' in-flight transfers are dropped and their streams
+// released, their reference counts removed wholesale, and their in-progress
+// cleanups forgotten. Resources stay tracked even with no users left.
+func (m *Model) ApplyAdvanceClock(now float64, adv *policy.ClockAdvance) error {
+	if now <= m.clock {
+		// Monotonic clamp: a stale tick is a no-op on every replica.
+		if adv.Now != m.clock || len(adv.Expired) != 0 || adv.ReclaimedTransfers != 0 || adv.ReclaimedStreams != 0 {
+			return fmt.Errorf("model: stale clock advance to %v changed state: %+v", now, adv)
+		}
+		return nil
+	}
+	m.clock = now
+	var expired []string
+	for wf, deadline := range m.leases {
+		if deadline <= now {
+			expired = append(expired, wf)
+		}
+	}
+	sort.Strings(expired)
+	var want []string
+	want = append(want, expired...) // nil when nothing expired, like the DTO
+	if !reflect.DeepEqual(adv.Expired, want) {
+		return fmt.Errorf("model: clock advance expired %v, predicted %v", adv.Expired, want)
+	}
+	reclaimedT, reclaimedS := 0, 0
+	for _, wf := range expired {
+		delete(m.leases, wf)
+		for id, t := range m.inProgress {
+			if t.workflow != wf {
+				continue
+			}
+			reclaimedT++
+			reclaimedS += t.streams
+			m.ledger[t.pair] -= t.streams
+			if m.ledger[t.pair] < 0 {
+				m.ledger[t.pair] = 0
+			}
+			if m.cfg.Algorithm == policy.AlgoBalanced {
+				pc := pairCluster{t.pair, t.cluster}
+				m.clusterLedg[pc] -= t.streams
+				if m.clusterLedg[pc] < 0 {
+					m.clusterLedg[pc] = 0
+				}
+			}
+			delete(m.inProgress, id)
+		}
+		for _, r := range m.resources {
+			delete(r.users, wf)
+		}
+		for id, c := range m.cleanups {
+			if c.workflow == wf {
+				delete(m.cleanups, id)
+			}
+		}
+	}
+	if adv.ReclaimedTransfers != reclaimedT || adv.ReclaimedStreams != reclaimedS {
+		return fmt.Errorf("model: clock advance reclaimed %d transfers / %d streams, predicted %d / %d",
+			adv.ReclaimedTransfers, adv.ReclaimedStreams, reclaimedT, reclaimedS)
+	}
+	if adv.Now != now {
+		return fmt.Errorf("model: clock advance reports now=%v, requested %v", adv.Now, now)
+	}
+	return nil
 }
 
 // CheckDump verifies a full Policy Memory dump against the model: every
@@ -595,6 +719,50 @@ func (m *Model) CheckDump(d *policy.StateDump) error {
 		if v != inFlightSum[p] {
 			return fmt.Errorf("model: ledger %s->%s is %d but in-flight grants sum to %d",
 				p.Src, p.Dst, v, inFlightSum[p])
+		}
+	}
+
+	// Leases: the clock and the lease set must match the model exactly, and
+	// the liveness invariant must hold — with leases enabled, every
+	// in-flight transfer owner, every staged-file user and every in-progress
+	// cleanup owner holds an unexpired lease (anything else is a leak the
+	// expiry pass failed to reclaim).
+	if d.Clock != m.clock {
+		return fmt.Errorf("model: clock %v, predicted %v", d.Clock, m.clock)
+	}
+	gotLeases := make(map[string]float64, len(d.Leases))
+	for _, l := range d.Leases {
+		if _, dup := gotLeases[l.Owner]; dup {
+			return fmt.Errorf("model: workflow %s holds two leases", l.Owner)
+		}
+		gotLeases[l.Owner] = l.Deadline
+	}
+	if !reflect.DeepEqual(gotLeases, m.leases) {
+		return fmt.Errorf("model: leases %+v, predicted %+v", gotLeases, m.leases)
+	}
+	if m.cfg.LeaseTTL > 0 {
+		for _, l := range d.Leases {
+			if l.Deadline <= d.Clock {
+				return fmt.Errorf("model: lease %s expired (deadline %v <= clock %v) but was not reclaimed",
+					l.Owner, l.Deadline, d.Clock)
+			}
+		}
+		for _, t := range d.Transfers {
+			if _, ok := gotLeases[t.WorkflowID]; !ok {
+				return fmt.Errorf("model: in-flight transfer %s owned by %s, which holds no lease", t.ID, t.WorkflowID)
+			}
+		}
+		for _, r := range d.Resources {
+			for _, u := range r.Users {
+				if _, ok := gotLeases[u.WorkflowID]; !ok {
+					return fmt.Errorf("model: resource %s referenced by %s, which holds no lease", r.DestURL, u.WorkflowID)
+				}
+			}
+		}
+		for _, c := range d.Cleanups {
+			if _, ok := gotLeases[c.WorkflowID]; !ok {
+				return fmt.Errorf("model: cleanup %s owned by %s, which holds no lease", c.ID, c.WorkflowID)
+			}
 		}
 	}
 

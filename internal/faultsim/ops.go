@@ -15,11 +15,14 @@ const (
 	OpCleanup       = "cleanup"
 	OpCleanupReport = "cleanupReport"
 	OpSetThreshold  = "setThreshold"
-	OpCrash         = "crash"     // close a replica's store, reopen, compare state
-	OpTornCrash     = "tornCrash" // crash + append a torn record to the WAL tail first
-	OpDiskFault     = "diskFault" // arm N injected WAL append failures on a replica
-	OpResync        = "resync"    // resync every downed replica from a healthy peer
-	OpSnapshot      = "snapshot"  // force a snapshot on a replica
+	OpCrash         = "crash"        // close a replica's store, reopen, compare state
+	OpTornCrash     = "tornCrash"    // crash + append a torn record to the WAL tail first
+	OpDiskFault     = "diskFault"    // arm N injected WAL append failures on a replica
+	OpResync        = "resync"       // resync every downed replica from a healthy peer
+	OpSnapshot      = "snapshot"     // force a snapshot on a replica
+	OpRenewLease    = "renewLease"   // explicitly renew a workflow's lease
+	OpAdvanceClock  = "advanceClock" // advance the logical clock, expiring stale leases
+	OpClientCrash   = "clientCrash"  // a client dies: it stops issuing ops, holdings stay pinned
 )
 
 // Op is one step of a schedule.
@@ -39,6 +42,9 @@ type Op struct {
 	Replica int  `json:"replica,omitempty"` // crash/tornCrash/diskFault/snapshot
 	Count   int  `json:"count,omitempty"`   // diskFault: failures to arm
 	Invalid bool `json:"invalid,omitempty"` // advise/cleanup: deliberately malformed
+
+	Workflow string  `json:"workflow,omitempty"` // renewLease/clientCrash
+	Now      float64 `json:"now,omitempty"`      // advanceClock
 }
 
 // ScheduleConfig fixes the service configuration a schedule runs under.
@@ -49,6 +55,9 @@ type ScheduleConfig struct {
 	ClusterFactor  int              `json:"clusterFactor"`
 	OpCount        int              `json:"opCount"`
 	FaultProb      float64          `json:"faultProb"`
+	// LeaseTTL enables the lease subsystem when positive; the generator
+	// then also draws renewLease, advanceClock and clientCrash operations.
+	LeaseTTL float64 `json:"leaseTtl,omitempty"`
 }
 
 // Schedule identifies one randomized run: regenerate it from the seed.
@@ -72,6 +81,9 @@ func RandomSchedule(seed int64) Schedule {
 			ClusterFactor:  1 + rng.Intn(3),   // 1..3
 			OpCount:        12 + rng.Intn(17), // 12..28
 			FaultProb:      0.25 + rng.Float64()*0.25,
+			// Half the schedules exercise liveness: leases short enough that
+			// generated clock jumps routinely expire them.
+			LeaseTTL: float64(rng.Intn(2)) * (2 + float64(rng.Intn(20))), // 0 or 2..21
 		},
 	}
 }
@@ -83,6 +95,13 @@ type gen struct {
 	rng    *rand.Rand
 	h      *Harness
 	reqSeq int
+	// now is the generator's logical clock; advanceClock ops carry it, and
+	// it only moves forward.
+	now float64
+	// dead marks workflows whose client crashed: the generator stops
+	// issuing operations on their behalf — no advises, no reports — so
+	// their holdings stay pinned until a lease expiry reclaims them.
+	dead map[string]bool
 }
 
 var (
@@ -94,6 +113,18 @@ var (
 func (g *gen) requestID() string {
 	g.reqSeq++
 	return fmt.Sprintf("r-%06d", g.reqSeq)
+}
+
+// liveWfs returns the workflows whose clients are still running, in the
+// fixed genWfs order.
+func (g *gen) liveWfs() []string {
+	live := make([]string, 0, len(genWfs))
+	for _, wf := range genWfs {
+		if !g.dead[wf] {
+			live = append(live, wf)
+		}
+	}
+	return live
 }
 
 func (g *gen) fileURL(host string, n int) string {
@@ -110,9 +141,10 @@ func (g *gen) transferSpec() policy.TransferSpec {
 		dst = genHosts[g.rng.Intn(len(genHosts))]
 	}
 	n := g.rng.Intn(12)
+	live := g.liveWfs()
 	return policy.TransferSpec{
 		RequestID:        g.requestID(),
-		WorkflowID:       genWfs[g.rng.Intn(len(genWfs))],
+		WorkflowID:       live[g.rng.Intn(len(live))],
 		ClusterID:        genClusters[g.rng.Intn(len(genClusters))],
 		SourceURL:        g.fileURL(src, n),
 		DestURL:          g.fileURL(dst, n),
@@ -142,6 +174,9 @@ func (g *gen) faults(prob float64) []FaultSpec {
 
 // next draws the next operation given the harness's current model state.
 func (g *gen) next(sc ScheduleConfig) Op {
+	if sc.LeaseTTL > 0 && g.rng.Float64() < 0.18 {
+		return g.genLeaseOp(sc)
+	}
 	roll := g.rng.Float64()
 	switch {
 	case roll < 0.30:
@@ -176,6 +211,35 @@ func (g *gen) next(sc ScheduleConfig) Op {
 	}
 }
 
+// genLeaseOp draws a liveness operation: renew a live workflow's lease,
+// advance the logical clock (sometimes far enough to expire every current
+// lease), or crash a client process.
+func (g *gen) genLeaseOp(sc ScheduleConfig) Op {
+	switch roll := g.rng.Float64(); {
+	case roll < 0.30:
+		live := g.liveWfs()
+		return Op{Kind: OpRenewLease, Workflow: live[g.rng.Intn(len(live))], Faults: g.faults(sc.FaultProb)}
+	case roll < 0.85:
+		delta := 0.5 + g.rng.Float64()*sc.LeaseTTL*0.4
+		if g.rng.Intn(4) == 0 {
+			// Jump past every deadline currently in force.
+			delta += sc.LeaseTTL + 1
+		}
+		g.now += delta
+		return Op{Kind: OpAdvanceClock, Now: g.now, Faults: g.faults(sc.FaultProb)}
+	default:
+		live := g.liveWfs()
+		if len(live) <= 1 {
+			// Keep at least one client running; advance the clock instead.
+			g.now++
+			return Op{Kind: OpAdvanceClock, Now: g.now, Faults: g.faults(sc.FaultProb)}
+		}
+		wf := live[g.rng.Intn(len(live))]
+		g.dead[wf] = true
+		return Op{Kind: OpClientCrash, Workflow: wf}
+	}
+}
+
 func (g *gen) genAdvise(sc ScheduleConfig) Op {
 	if g.rng.Float64() < 0.10 {
 		// Deliberately malformed batch: the service must reject it with a
@@ -196,7 +260,9 @@ func (g *gen) genAdvise(sc ScheduleConfig) Op {
 }
 
 func (g *gen) genReport(sc ScheduleConfig) Op {
-	ids := g.h.model.InFlightIDs()
+	// Only live clients report: a crashed workflow's transfers stay
+	// in-flight until its lease expires.
+	ids := g.h.model.InFlightIDsOwned(g.dead)
 	if len(ids) == 0 {
 		return g.genAdvise(sc)
 	}
@@ -218,8 +284,9 @@ func (g *gen) genReport(sc ScheduleConfig) Op {
 }
 
 func (g *gen) genCleanup(sc ScheduleConfig) Op {
+	live := g.liveWfs()
 	if g.rng.Float64() < 0.08 {
-		spec := policy.CleanupSpec{RequestID: g.requestID(), WorkflowID: genWfs[g.rng.Intn(len(genWfs))]}
+		spec := policy.CleanupSpec{RequestID: g.requestID(), WorkflowID: live[g.rng.Intn(len(live))]}
 		return Op{Kind: OpCleanup, Invalid: true, Cleanups: []policy.CleanupSpec{spec}, Faults: g.faults(sc.FaultProb)}
 	}
 	urls := g.h.model.TrackedURLs()
@@ -235,7 +302,7 @@ func (g *gen) genCleanup(sc ScheduleConfig) Op {
 		}
 		specs = append(specs, policy.CleanupSpec{
 			RequestID:  g.requestID(),
-			WorkflowID: genWfs[g.rng.Intn(len(genWfs))],
+			WorkflowID: live[g.rng.Intn(len(live))],
 			FileURL:    url,
 		})
 	}
@@ -243,7 +310,7 @@ func (g *gen) genCleanup(sc ScheduleConfig) Op {
 }
 
 func (g *gen) genCleanupReport(sc ScheduleConfig) Op {
-	ids := g.h.model.CleanupIDs()
+	ids := g.h.model.CleanupIDsOwned(g.dead)
 	if len(ids) == 0 {
 		return g.genCleanup(sc)
 	}

@@ -22,6 +22,10 @@ const (
 	EventCleanupAdvised    = "cleanup-advised"
 	EventCleanupSuppressed = "cleanup-suppressed"
 	EventCleaned           = "cleaned"
+	// Lease lifecycle: a workflow's lease expired, and each in-progress
+	// transfer reclaimed from it.
+	EventLeaseExpired = "lease-expired"
+	EventReclaimed    = "reclaimed"
 )
 
 // Event is one structured trace record. The JSONL stream of events is the

@@ -191,7 +191,7 @@ func TestBalancedReleaseRefillsCluster(t *testing.T) {
 	if got := adv.Transfers[0].Streams; got != 4 {
 		t.Fatalf("first grant = %d, want the full share of 4", got)
 	}
-	if err := s.ReportTransfers(CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+	if _, err := s.ReportTransfers(CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
 		t.Fatal(err)
 	}
 	adv2, err := s.AdviseTransfers([]TransferSpec{clusterSpec(2, "wf1", "cl-a")})

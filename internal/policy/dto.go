@@ -109,6 +109,16 @@ type CleanupReport struct {
 	CleanupIDs []string `json:"cleanupIds" xml:"cleanupIds>id"`
 }
 
+// ReportAck acknowledges a completion report. Matched counts reported IDs
+// that corresponded to in-progress entries in Policy Memory; Unmatched
+// counts IDs that matched nothing — a nonzero value means client and
+// service have drifted (e.g. the entry was reclaimed after the client's
+// lease expired, or the report was replayed).
+type ReportAck struct {
+	Matched   int `json:"matched" xml:"matched"`
+	Unmatched int `json:"unmatched" xml:"unmatched"`
+}
+
 // PairState is the externally visible stream accounting for one host pair.
 type PairState struct {
 	SourceHost string `json:"sourceHost" xml:"sourceHost"`

@@ -78,7 +78,7 @@ func TestManyPairsScale(t *testing.T) {
 			t.Fatalf("pair state = %+v", p)
 		}
 	}
-	if err := s.ReportTransfers(CompletionReport{TransferIDs: ids}); err != nil {
+	if _, err := s.ReportTransfers(CompletionReport{TransferIDs: ids}); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range s.Snapshot().Pairs {

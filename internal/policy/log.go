@@ -17,6 +17,8 @@ const (
 	OpReportCleanups  = "report_cleanups"
 	OpSetThreshold    = "set_threshold"
 	OpImportState     = "import_state"
+	OpRenewLease      = "renew_lease"
+	OpAdvanceClock    = "advance_clock"
 )
 
 // ThresholdOp is the logged payload of a SetThreshold call.
@@ -125,6 +127,18 @@ func (s *Service) ApplyLogged(op string, payload []byte) error {
 			return fmt.Errorf("policy: replay %s: %w", op, err)
 		}
 		s.ImportState(&d)
+	case OpRenewLease:
+		var l LeaseOp
+		if err := json.Unmarshal(payload, &l); err != nil {
+			return fmt.Errorf("policy: replay %s: %w", op, err)
+		}
+		s.RenewLease(l.WorkflowID)
+	case OpAdvanceClock:
+		var c ClockOp
+		if err := json.Unmarshal(payload, &c); err != nil {
+			return fmt.Errorf("policy: replay %s: %w", op, err)
+		}
+		s.AdvanceClock(c.Now)
 	default:
 		return fmt.Errorf("policy: replay: unknown logged op %q", op)
 	}

@@ -58,7 +58,7 @@ func TestMutationsAreLoggedInOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := svc.ReportTransfers(CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+	if _, err := svc.ReportTransfers(CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
 		t.Fatal(err)
 	}
 	if err := svc.SetThreshold("src", "dst", 9); err != nil {
@@ -69,7 +69,7 @@ func TestMutationsAreLoggedInOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(cadv.Cleanups) == 1 {
-		if err := svc.ReportCleanups(CleanupReport{CleanupIDs: []string{cadv.Cleanups[0].ID}}); err != nil {
+		if _, err := svc.ReportCleanups(CleanupReport{CleanupIDs: []string{cadv.Cleanups[0].ID}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -137,7 +137,7 @@ func TestApplyLoggedRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := svc.ReportTransfers(CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+	if _, err := svc.ReportTransfers(CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
 		t.Fatal(err)
 	}
 	want, _ := json.Marshal(svc.ExportState())

@@ -205,7 +205,7 @@ func BenchmarkAdviseWithPriorityRules(b *testing.B) {
 		for j, tr := range adv.Transfers {
 			ids[j] = tr.ID
 		}
-		if err := s.ReportTransfers(CompletionReport{TransferIDs: ids}); err != nil {
+		if _, err := s.ReportTransfers(CompletionReport{TransferIDs: ids}); err != nil {
 			b.Fatal(err)
 		}
 	}

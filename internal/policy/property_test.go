@@ -116,7 +116,7 @@ func TestLedgerConservationProperty(t *testing.T) {
 						rep.TransferIDs = []string{id}
 						staged[fl.dest] = true
 					}
-					if err := s.ReportTransfers(rep); err != nil {
+					if _, err := s.ReportTransfers(rep); err != nil {
 						return false
 					}
 					delete(inflight, id)
@@ -134,7 +134,7 @@ func TestLedgerConservationProperty(t *testing.T) {
 						return false
 					}
 					for _, c := range adv.Cleanups {
-						if err := s.ReportCleanups(CleanupReport{CleanupIDs: []string{c.ID}}); err != nil {
+						if _, err := s.ReportCleanups(CleanupReport{CleanupIDs: []string{c.ID}}); err != nil {
 							return false
 						}
 						delete(staged, dest)
@@ -200,10 +200,10 @@ func TestAdviceDeterminismProperty(t *testing.T) {
 			// Complete the same prefix on both.
 			if len(advA.Transfers) > 0 {
 				rep := CompletionReport{TransferIDs: []string{advA.Transfers[0].ID}}
-				if err := a.ReportTransfers(rep); err != nil {
+				if _, err := a.ReportTransfers(rep); err != nil {
 					return false
 				}
-				if err := b.ReportTransfers(rep); err != nil {
+				if _, err := b.ReportTransfers(rep); err != nil {
 					return false
 				}
 			}

@@ -50,6 +50,13 @@ type Config struct {
 	// priority request more streams, those below request fewer. The zero
 	// value disables weighting; ordering by priority always applies.
 	Priority PriorityWeighting
+	// LeaseTTL, when positive, enables the liveness subsystem: every
+	// workflow that calls AdviseTransfers/AdviseCleanups (or RenewLease)
+	// holds a lease for this many seconds of the service's logical clock.
+	// When the clock (advanced only via AdvanceClock — the core never
+	// reads wall time) passes a lease's deadline, the owner is presumed
+	// crashed and its holdings are reclaimed. Zero disables leases.
+	LeaseTTL float64
 }
 
 // DefaultConfig returns the configuration used in the paper's experiments:
@@ -85,6 +92,9 @@ func (c *Config) normalize() error {
 	if c.ClusterFactor < 1 {
 		c.ClusterFactor = 1
 	}
+	if c.LeaseTTL < 0 {
+		c.LeaseTTL = 0
+	}
 	return nil
 }
 
@@ -106,6 +116,18 @@ type Service struct {
 	// suppressedByReason splits the suppressed count by DupReason, so a
 	// late Instrument call can backfill the labeled counter series.
 	suppressedByReason map[string]int
+
+	// clock is the service's logical time. It only moves via the logged
+	// AdvanceClock mutation, so lease deadlines and expiry replay
+	// identically on every replica.
+	clock float64
+	// Lease lifecycle counters, kept for metric backfill.
+	leaseRenewals      int
+	leasesExpired      int
+	reclaimedTransfers int
+	// reportUnmatchedByOp counts report IDs that matched nothing in
+	// Policy Memory, split by operation, for metric backfill.
+	reportUnmatchedByOp map[string]int
 
 	// observer, when set, receives performance measurements for
 	// completed transfers that carried timings.
@@ -132,6 +154,11 @@ type svcMetrics struct {
 	cleanAdv   *obs.Counter      // policy_cleanups_advised_total
 	cleanSupp  *obs.CounterVec   // policy_cleanup_suppressions_total{reason}
 	factsGauge *obs.Gauge        // policy_memory_facts
+
+	leaseRenewals *obs.Counter    // policy_lease_renewals_total
+	leasesExpired *obs.Counter    // policy_leases_expired_total
+	reclaimed     *obs.Counter    // policy_reclaimed_transfers_total
+	reportUnmatch *obs.CounterVec // policy_report_unmatched_total{op}
 }
 
 // Instrument attaches a metrics registry and an event tracer (either may
@@ -166,12 +193,26 @@ func (s *Service) Instrument(reg *obs.Registry, tracer obs.Tracer) {
 			"Cleanup suppressions by reason.", "reason"),
 		factsGauge: reg.Gauge("policy_memory_facts",
 			"Facts currently held in Policy Memory.").With(),
+		leaseRenewals: reg.Counter("policy_lease_renewals_total",
+			"Workflow lease registrations and renewals.").With(),
+		leasesExpired: reg.Counter("policy_leases_expired_total",
+			"Workflow leases expired by clock advancement.").With(),
+		reclaimed: reg.Counter("policy_reclaimed_transfers_total",
+			"In-progress transfers reclaimed from expired leases.").With(),
+		reportUnmatch: reg.Counter("policy_report_unmatched_total",
+			"Reported IDs that matched nothing in Policy Memory.", "op"),
 	}
 	m.advised.Add(float64(s.advised))
 	m.suppressed.Add(float64(s.suppressed))
 	m.firings.Add(float64(s.session.Firings()))
 	for reason, n := range s.suppressedByReason {
 		m.suppReason.With(reason).Add(float64(n))
+	}
+	m.leaseRenewals.Add(float64(s.leaseRenewals))
+	m.leasesExpired.Add(float64(s.leasesExpired))
+	m.reclaimed.Add(float64(s.reclaimedTransfers))
+	for op, n := range s.reportUnmatchedByOp {
+		m.reportUnmatch.With(op).Add(float64(n))
 	}
 	s.metrics = m
 }
@@ -214,7 +255,8 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	s := &Service{cfg: cfg, session: rules.NewSession(),
-		suppressedByReason: make(map[string]int)}
+		suppressedByReason:  make(map[string]int),
+		reportUnmatchedByOp: make(map[string]int)}
 	// FIFO fairness: within a batch, the first submitted transfer is
 	// allocated first.
 	s.session.SetOldestFirst(true)
@@ -235,6 +277,9 @@ func New(cfg Config) (*Service, error) {
 		s.session.MustAddRules(balancedRules(cfg)...)
 	case AlgoNone:
 		s.session.MustAddRules(passthroughRules(cfg)...)
+	}
+	if cfg.LeaseTTL > 0 {
+		s.session.MustAddRules(leaseRules()...)
 	}
 
 	// Configuration facts.
@@ -300,6 +345,10 @@ func (s *Service) AdviseTransfers(specs []TransferSpec) (adv *TransferAdvice, er
 	if logSeq, opErr = s.appendLog(OpAdviseTransfers, specs); opErr != nil {
 		return nil, opErr
 	}
+	// Advising doubles as a liveness signal: the calling workflows' leases
+	// are registered or extended. Deadlines derive only from the logged
+	// specs and logged clock state, so replay reproduces them.
+	s.renewLeasesLocked(transferOwners(specs))
 
 	batch := make([]*Transfer, 0, len(specs))
 	for _, spec := range specs {
@@ -449,8 +498,12 @@ func (s *Service) SetObserver(obs TransferObserver) {
 // state is removed from Policy Memory, their streams are released, and (on
 // success) the staged file's resource is marked staged so future requests
 // for the same file are suppressed. Timings, when present, are forwarded
-// to the performance observer.
-func (s *Service) ReportTransfers(report CompletionReport) error {
+// to the performance observer. The returned ack counts reported IDs that
+// matched an in-progress transfer and those that matched nothing —
+// unmatched IDs mean client and service state have drifted (a replayed
+// report after reclamation, a client bug) and were previously dropped
+// silently.
+func (s *Service) ReportTransfers(report CompletionReport) (*ReportAck, error) {
 	type observation struct {
 		pair    HostPair
 		streams int
@@ -466,7 +519,39 @@ func (s *Service) ReportTransfers(report CompletionReport) error {
 	if logErr != nil {
 		s.observeOp("report_transfers", start, firingsBefore, logErr)
 		s.mu.Unlock()
-		return logErr
+		return nil, logErr
+	}
+	// Count matches against the transfers still present, consuming each
+	// fact on match so a duplicate ID within one report counts unmatched —
+	// exactly the IDs the transfer-result-unknown rule will garbage-collect.
+	live := make(map[string]bool)
+	for _, t := range rules.FactsOf[*Transfer](s.session) {
+		if t.State == TransferInProgress {
+			live[t.ID] = true
+		}
+	}
+	ack := &ReportAck{}
+	for _, id := range report.TransferIDs {
+		if live[id] {
+			delete(live, id)
+			ack.Matched++
+		} else {
+			ack.Unmatched++
+		}
+	}
+	for _, id := range report.FailedIDs {
+		if live[id] {
+			delete(live, id)
+			ack.Matched++
+		} else {
+			ack.Unmatched++
+		}
+	}
+	if ack.Unmatched > 0 {
+		s.reportUnmatchedByOp["report_transfers"] += ack.Unmatched
+		if s.metrics != nil {
+			s.metrics.reportUnmatch.With("report_transfers").Add(float64(ack.Unmatched))
+		}
 	}
 	if s.observer != nil {
 		// Look the transfers up before the rules retract them; the
@@ -501,17 +586,17 @@ func (s *Service) ReportTransfers(report CompletionReport) error {
 	s.mu.Unlock()
 
 	if err != nil {
-		return fmt.Errorf("policy: rule evaluation: %w", err)
+		return nil, fmt.Errorf("policy: rule evaluation: %w", err)
 	}
 	if serr := s.syncLog(logSeq); serr != nil {
-		return serr
+		return nil, serr
 	}
 	if observer != nil {
 		for _, o := range pending {
 			observer(o.pair, o.streams, o.size, o.seconds)
 		}
 	}
-	return nil
+	return ack, nil
 }
 
 // emitResults emits one lifecycle event per reported transfer ID,
@@ -561,6 +646,7 @@ func (s *Service) AdviseCleanups(specs []CleanupSpec) (adv *CleanupAdvice, err e
 	if logSeq, opErr = s.appendLog(OpAdviseCleanups, specs); opErr != nil {
 		return nil, opErr
 	}
+	s.renewLeasesLocked(cleanupOwners(specs))
 
 	batch := make([]*Cleanup, 0, len(specs))
 	for _, spec := range specs {
@@ -629,13 +715,15 @@ func (s *Service) AdviseCleanups(specs []CleanupSpec) (adv *CleanupAdvice, err e
 }
 
 // ReportCleanups records completed cleanup operations; their state and the
-// deleted files' resources are removed from Policy Memory.
-func (s *Service) ReportCleanups(report CleanupReport) (err error) {
+// deleted files' resources are removed from Policy Memory. The returned
+// ack counts IDs that matched an in-progress cleanup versus matched
+// nothing, mirroring ReportTransfers.
+func (s *Service) ReportCleanups(report CleanupReport) (ack *ReportAck, err error) {
 	start := time.Now()
 	var logSeq uint64
 	defer func() {
 		if serr := s.syncLog(logSeq); serr != nil && err == nil {
-			err = serr
+			ack, err = nil, serr
 		}
 	}()
 	s.mu.Lock()
@@ -644,9 +732,22 @@ func (s *Service) ReportCleanups(report CleanupReport) (err error) {
 	var opErr error
 	defer func() { s.observeOp("report_cleanups", start, firingsBefore, opErr) }()
 	if logSeq, opErr = s.appendLog(OpReportCleanups, report); opErr != nil {
-		return opErr
+		return nil, opErr
 	}
+	live := make(map[string]bool)
+	for _, c := range rules.FactsOf[*Cleanup](s.session) {
+		if c.State == CleanupInProgress {
+			live[c.ID] = true
+		}
+	}
+	ack = &ReportAck{}
 	for _, id := range report.CleanupIDs {
+		if live[id] {
+			delete(live, id)
+			ack.Matched++
+		} else {
+			ack.Unmatched++
+		}
 		if s.tracer != nil {
 			e := obs.Event{Type: obs.EventCleaned, TransferID: id}
 			cid := id
@@ -659,11 +760,17 @@ func (s *Service) ReportCleanups(report CleanupReport) (err error) {
 		}
 		s.session.Insert(&CleanupResult{CleanupID: id})
 	}
-	if _, err := s.session.FireAll(s.cfg.FireBudget); err != nil {
-		opErr = fmt.Errorf("policy: rule evaluation: %w", err)
-		return opErr
+	if ack.Unmatched > 0 {
+		s.reportUnmatchedByOp["report_cleanups"] += ack.Unmatched
+		if s.metrics != nil {
+			s.metrics.reportUnmatch.With("report_cleanups").Add(float64(ack.Unmatched))
+		}
 	}
-	return nil
+	if _, ferr := s.session.FireAll(s.cfg.FireBudget); ferr != nil {
+		opErr = fmt.Errorf("policy: rule evaluation: %w", ferr)
+		return nil, opErr
+	}
+	return ack, nil
 }
 
 // SetThreshold sets the maximum number of parallel streams between a host

@@ -116,7 +116,7 @@ func TestCompletionFreesStreamsForNewTransfers(t *testing.T) {
 		t.Fatalf("second grant = %d, want 2", adv2.Transfers[0].Streams)
 	}
 	// Complete the first: its 8 streams are released.
-	if err := s.ReportTransfers(CompletionReport{TransferIDs: []string{adv1.Transfers[0].ID}}); err != nil {
+	if _, err := s.ReportTransfers(CompletionReport{TransferIDs: []string{adv1.Transfers[0].ID}}); err != nil {
 		t.Fatal(err)
 	}
 	adv3, err := s.AdviseTransfers([]TransferSpec{spec(3, "wf1")})
@@ -172,7 +172,7 @@ func TestDuplicateAlreadyStagedSuppressed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.ReportTransfers(CompletionReport{TransferIDs: []string{adv1.Transfers[0].ID}}); err != nil {
+	if _, err := s.ReportTransfers(CompletionReport{TransferIDs: []string{adv1.Transfers[0].ID}}); err != nil {
 		t.Fatal(err)
 	}
 	// Another workflow requests the same staged file.
@@ -194,7 +194,7 @@ func TestFailedTransferAllowsRetry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.ReportTransfers(CompletionReport{FailedIDs: []string{adv1.Transfers[0].ID}}); err != nil {
+	if _, err := s.ReportTransfers(CompletionReport{FailedIDs: []string{adv1.Transfers[0].ID}}); err != nil {
 		t.Fatal(err)
 	}
 	// Retry must not be treated as a duplicate.
@@ -218,7 +218,7 @@ func TestCleanupSuppressedWhileOtherWorkflowUsesFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.ReportTransfers(CompletionReport{TransferIDs: []string{adv1.Transfers[0].ID}}); err != nil {
+	if _, err := s.ReportTransfers(CompletionReport{TransferIDs: []string{adv1.Transfers[0].ID}}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.AdviseTransfers([]TransferSpec{spec(1, "wf2")}); err != nil {
@@ -245,7 +245,7 @@ func TestCleanupSuppressedWhileOtherWorkflowUsesFile(t *testing.T) {
 		t.Fatalf("cleanup advice = %+v", cadv2)
 	}
 	// After the cleanup completes, the file may be staged again.
-	if err := s.ReportCleanups(CleanupReport{CleanupIDs: []string{cadv2.Cleanups[0].ID}}); err != nil {
+	if _, err := s.ReportCleanups(CleanupReport{CleanupIDs: []string{cadv2.Cleanups[0].ID}}); err != nil {
 		t.Fatal(err)
 	}
 	adv3, err := s.AdviseTransfers([]TransferSpec{spec(1, "wf3")})
@@ -263,7 +263,7 @@ func TestDuplicateCleanupSuppressed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.ReportTransfers(CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+	if _, err := s.ReportTransfers(CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
 		t.Fatal(err)
 	}
 	fileURL := spec(1, "").DestURL
@@ -362,7 +362,7 @@ func TestBalancedReleaseRestoresClusterShare(t *testing.T) {
 	if adv2.Transfers[0].Streams != 1 {
 		t.Fatalf("saturated-cluster grant = %d, want 1", adv2.Transfers[0].Streams)
 	}
-	if err := s.ReportTransfers(CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+	if _, err := s.ReportTransfers(CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
 		t.Fatal(err)
 	}
 	sp3 := spec(3, "wf1")
@@ -460,7 +460,7 @@ func TestSnapshot(t *testing.T) {
 	if len(snap.Pairs) != 1 || snap.Pairs[0].Allocated != 8 || snap.Pairs[0].Threshold != 50 {
 		t.Fatalf("pairs = %+v", snap.Pairs)
 	}
-	if err := s.ReportTransfers(CompletionReport{TransferIDs: []string{adv.Transfers[0].ID, adv.Transfers[1].ID}}); err != nil {
+	if _, err := s.ReportTransfers(CompletionReport{TransferIDs: []string{adv.Transfers[0].ID, adv.Transfers[1].ID}}); err != nil {
 		t.Fatal(err)
 	}
 	snap = s.Snapshot()
@@ -504,10 +504,10 @@ func TestValidationErrors(t *testing.T) {
 
 func TestReportUnknownIDsIgnored(t *testing.T) {
 	s := newGreedy(t, 50, 4)
-	if err := s.ReportTransfers(CompletionReport{TransferIDs: []string{"t-bogus"}}); err != nil {
+	if _, err := s.ReportTransfers(CompletionReport{TransferIDs: []string{"t-bogus"}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.ReportCleanups(CleanupReport{CleanupIDs: []string{"c-bogus"}}); err != nil {
+	if _, err := s.ReportCleanups(CleanupReport{CleanupIDs: []string{"c-bogus"}}); err != nil {
 		t.Fatal(err)
 	}
 	// Events must not linger in memory.

@@ -22,6 +22,8 @@ type StateDump struct {
 	NextCleanup  int `json:"nextCleanup" xml:"nextCleanup"`
 	Advised      int `json:"advised" xml:"advised"`
 	Suppressed   int `json:"suppressed" xml:"suppressed"`
+	// Clock is the logical clock driving lease expiry.
+	Clock float64 `json:"clock,omitempty" xml:"clock,omitempty"`
 
 	Transfers         []TransferDump    `json:"transfers,omitempty" xml:"transfers>transfer,omitempty"`
 	Resources         []ResourceDump    `json:"resources,omitempty" xml:"resources>resource,omitempty"`
@@ -31,6 +33,13 @@ type StateDump struct {
 	Groups            []GroupDump       `json:"groups,omitempty" xml:"groups>group,omitempty"`
 	Ledgers           []LedgerDump      `json:"ledgers,omitempty" xml:"ledgers>ledger,omitempty"`
 	ClusterLedgers    []ClusterLedgDump `json:"clusterLedgers,omitempty" xml:"clusterLedgers>ledger,omitempty"`
+	Leases            []LeaseDump       `json:"leases,omitempty" xml:"leases>lease,omitempty"`
+}
+
+// LeaseDump serializes one Lease fact.
+type LeaseDump struct {
+	Owner    string  `json:"owner" xml:"owner"`
+	Deadline float64 `json:"deadline" xml:"deadline"`
 }
 
 // TransferDump serializes one Transfer fact.
@@ -139,6 +148,7 @@ func (s *Service) exportStateLocked() *StateDump {
 		NextCleanup:  s.nextCleanup,
 		Advised:      s.advised,
 		Suppressed:   s.suppressed,
+		Clock:        s.clock,
 	}
 	for _, t := range rules.FactsOf[*Transfer](s.session) {
 		d.Transfers = append(d.Transfers, TransferDump{
@@ -181,6 +191,10 @@ func (s *Service) exportStateLocked() *StateDump {
 			Src: cl.Pair.Src, Dst: cl.Pair.Dst, ClusterID: cl.ClusterID, Allocated: cl.Allocated,
 		})
 	}
+	for _, l := range rules.FactsOf[*Lease](s.session) {
+		d.Leases = append(d.Leases, LeaseDump{Owner: l.Owner, Deadline: l.Deadline})
+	}
+	sort.Slice(d.Leases, func(i, j int) bool { return d.Leases[i].Owner < d.Leases[j].Owner })
 	return d
 }
 
@@ -209,6 +223,7 @@ func (s *Service) ImportState(d *StateDump) (err error) {
 	s.nextCleanup = d.NextCleanup
 	s.advised = d.Advised
 	s.suppressed = d.Suppressed
+	s.clock = d.Clock
 
 	// Configuration facts come from this service's own config.
 	s.session.Insert(&Defaults{DefaultStreams: s.cfg.DefaultStreams, MinStreams: s.cfg.MinStreams})
@@ -254,6 +269,9 @@ func (s *Service) ImportState(d *StateDump) (err error) {
 		s.session.Insert(&ClusterLedger{
 			Pair: HostPair{Src: cl.Src, Dst: cl.Dst}, ClusterID: cl.ClusterID, Allocated: cl.Allocated,
 		})
+	}
+	for _, l := range d.Leases {
+		s.session.Insert(&Lease{Owner: l.Owner, Deadline: l.Deadline})
 	}
 	return nil
 }

@@ -20,7 +20,7 @@ func buildBusyService(t *testing.T) (*Service, *TransferAdvice) {
 		t.Fatal(err)
 	}
 	// Complete one; leave two in flight.
-	if err := s.ReportTransfers(CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+	if _, err := s.ReportTransfers(CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
 		t.Fatal(err)
 	}
 	return s, adv
@@ -104,7 +104,7 @@ func TestImportedStateContinuesSemantics(t *testing.T) {
 		t.Fatalf("ID counter regressed: %s", adv.Transfers[0].ID)
 	}
 	// Completing an imported transfer releases its streams.
-	if err := dst.ReportTransfers(CompletionReport{TransferIDs: []string{"t-00000002"}}); err != nil {
+	if _, err := dst.ReportTransfers(CompletionReport{TransferIDs: []string{"t-00000002"}}); err != nil {
 		t.Fatal(err)
 	}
 	snap := dst.Snapshot()

@@ -27,7 +27,7 @@ func TestTableRulesActuallyFire(t *testing.T) {
 	for _, tr := range adv.Transfers {
 		ids = append(ids, tr.ID)
 	}
-	if err := s.ReportTransfers(CompletionReport{TransferIDs: ids}); err != nil {
+	if _, err := s.ReportTransfers(CompletionReport{TransferIDs: ids}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.AdviseTransfers([]TransferSpec{spec(1, "wf2")}); err != nil {
@@ -41,7 +41,7 @@ func TestTableRulesActuallyFire(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(cadv.Cleanups) == 1 {
-		if err := s.ReportCleanups(CleanupReport{CleanupIDs: []string{cadv.Cleanups[0].ID}}); err != nil {
+		if _, err := s.ReportCleanups(CleanupReport{CleanupIDs: []string{cadv.Cleanups[0].ID}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -93,7 +93,7 @@ func TestBalancedRulesFire(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.ReportTransfers(CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+	if _, err := s.ReportTransfers(CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
 		t.Fatal(err)
 	}
 	trace := strings.Join(fired, "\n")

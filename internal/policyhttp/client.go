@@ -231,6 +231,18 @@ func (c *Client) countFault(path, kind string) {
 // the server applies the mutation at most once even when responses are
 // lost and the call is retried.
 func (c *Client) do(method, path string, in, out any) error {
+	var idemKey string
+	if method != http.MethodGet {
+		idemKey = c.newIdempotencyKey()
+	}
+	return c.doKeyed(method, path, idemKey, in, out)
+}
+
+// doKeyed is do with a caller-chosen idempotency key: callers that retry a
+// logical operation across their own failure-handling episodes (the PTT's
+// degraded-mode backlog) keep the key stable so the server applies the
+// mutation at most once across all of them.
+func (c *Client) doKeyed(method, path, idemKey string, in, out any) error {
 	var body []byte
 	if in != nil {
 		var err error
@@ -238,10 +250,6 @@ func (c *Client) do(method, path string, in, out any) error {
 		if err != nil {
 			return fmt.Errorf("policyhttp: encode request: %w", err)
 		}
-	}
-	var idemKey string
-	if method != http.MethodGet {
-		idemKey = c.newIdempotencyKey()
 	}
 	if c.metrics != nil {
 		c.metrics.Requests.With(path).Inc()
@@ -372,8 +380,19 @@ func (c *Client) AdviseTransfers(specs []policy.TransferSpec) (*policy.TransferA
 }
 
 // ReportTransfers reports completed and failed transfers.
-func (c *Client) ReportTransfers(report policy.CompletionReport) error {
-	return c.do(http.MethodPost, "/v1/transfers/completed", &CompletionDoc{CompletionReport: report}, nil)
+func (c *Client) ReportTransfers(report policy.CompletionReport) (*policy.ReportAck, error) {
+	return c.ReportTransfersKeyed(c.newIdempotencyKey(), report)
+}
+
+// ReportTransfersKeyed is ReportTransfers with a caller-chosen idempotency
+// key (see KeyedReporter in internal/transfer).
+func (c *Client) ReportTransfersKeyed(key string, report policy.CompletionReport) (*policy.ReportAck, error) {
+	var doc ReportAckDoc
+	if err := c.doKeyed(http.MethodPost, "/v1/transfers/completed", key,
+		&CompletionDoc{CompletionReport: report}, &doc); err != nil {
+		return nil, err
+	}
+	return &doc.ReportAck, nil
 }
 
 // AdviseCleanups submits a cleanup list and returns the modified list.
@@ -386,8 +405,47 @@ func (c *Client) AdviseCleanups(specs []policy.CleanupSpec) (*policy.CleanupAdvi
 }
 
 // ReportCleanups reports completed cleanups.
-func (c *Client) ReportCleanups(report policy.CleanupReport) error {
-	return c.do(http.MethodPost, "/v1/cleanups/completed", &CleanupReportDoc{CleanupReport: report}, nil)
+func (c *Client) ReportCleanups(report policy.CleanupReport) (*policy.ReportAck, error) {
+	return c.ReportCleanupsKeyed(c.newIdempotencyKey(), report)
+}
+
+// ReportCleanupsKeyed is ReportCleanups with a caller-chosen idempotency
+// key.
+func (c *Client) ReportCleanupsKeyed(key string, report policy.CleanupReport) (*policy.ReportAck, error) {
+	var doc ReportAckDoc
+	if err := c.doKeyed(http.MethodPost, "/v1/cleanups/completed", key,
+		&CleanupReportDoc{CleanupReport: report}, &doc); err != nil {
+		return nil, err
+	}
+	return &doc.ReportAck, nil
+}
+
+// RenewLease registers or extends the workflow's liveness lease.
+func (c *Client) RenewLease(workflowID string) (*policy.LeaseStatus, error) {
+	var doc LeaseStatusDoc
+	if err := c.do(http.MethodPost, "/v1/leases/renew", &LeaseRenewal{WorkflowID: workflowID}, &doc); err != nil {
+		return nil, err
+	}
+	return &doc.LeaseStatus, nil
+}
+
+// Leases lists the active leases and the holdings behind each.
+func (c *Client) Leases() (*policy.LeaseList, error) {
+	var doc LeaseListDoc
+	if err := c.do(http.MethodGet, "/v1/leases", nil, &doc); err != nil {
+		return nil, err
+	}
+	return &doc.LeaseList, nil
+}
+
+// AdvanceClock moves the service's logical clock forward, expiring leases
+// whose deadlines have passed and reclaiming their holdings.
+func (c *Client) AdvanceClock(now float64) (*policy.ClockAdvance, error) {
+	var doc ClockAdvanceDoc
+	if err := c.do(http.MethodPost, "/v1/clock/advance", &ClockUpdate{Now: now}, &doc); err != nil {
+		return nil, err
+	}
+	return &doc.ClockAdvance, nil
 }
 
 // State fetches the service's externally visible state.

@@ -132,7 +132,8 @@ func replayRecord(target *Client, rec durable.Record) error {
 		if err := json.Unmarshal(rec.Data, &report); err != nil {
 			return err
 		}
-		return ignoreApplication(target.ReportTransfers(report))
+		_, err := target.ReportTransfers(report)
+		return ignoreApplication(err)
 	case policy.OpAdviseCleanups:
 		var specs []policy.CleanupSpec
 		if err := json.Unmarshal(rec.Data, &specs); err != nil {
@@ -145,7 +146,8 @@ func replayRecord(target *Client, rec durable.Record) error {
 		if err := json.Unmarshal(rec.Data, &report); err != nil {
 			return err
 		}
-		return ignoreApplication(target.ReportCleanups(report))
+		_, err := target.ReportCleanups(report)
+		return ignoreApplication(err)
 	case policy.OpSetThreshold:
 		var op policy.ThresholdOp
 		if err := json.Unmarshal(rec.Data, &op); err != nil {
@@ -158,6 +160,20 @@ func replayRecord(target *Client, rec durable.Record) error {
 			return err
 		}
 		return target.Restore(&dump)
+	case policy.OpRenewLease:
+		var op policy.LeaseOp
+		if err := json.Unmarshal(rec.Data, &op); err != nil {
+			return err
+		}
+		_, err := target.RenewLease(op.WorkflowID)
+		return ignoreApplication(err)
+	case policy.OpAdvanceClock:
+		var op policy.ClockOp
+		if err := json.Unmarshal(rec.Data, &op); err != nil {
+			return err
+		}
+		_, err := target.AdvanceClock(op.Now)
+		return ignoreApplication(err)
 	default:
 		return fmt.Errorf("unknown op %q", rec.Op)
 	}

@@ -69,7 +69,7 @@ func TestDurableCrashRecoveryAndResync(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rc.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+	if _, err := rc.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -84,7 +84,7 @@ func TestDurableCrashRecoveryAndResync(t *testing.T) {
 	if err != nil {
 		t.Fatalf("failover: %v", err)
 	}
-	if err := rc.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv2.Transfers[0].ID}}); err != nil {
+	if _, err := rc.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv2.Transfers[0].ID}}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -177,7 +177,7 @@ func TestResyncPrefersArchive(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Post-snapshot mutations ride in the archive tail.
-	if err := c0.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+	if _, err := c0.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
 		t.Fatal(err)
 	}
 

@@ -61,7 +61,7 @@ func TestClientConnectionRefused(t *testing.T) {
 	if _, err := c.State(); err == nil {
 		t.Fatal("state succeeded against nothing")
 	}
-	if err := c.ReportCleanups(policy.CleanupReport{CleanupIDs: []string{"x"}}); err == nil {
+	if _, err := c.ReportCleanups(policy.CleanupReport{CleanupIDs: []string{"x"}}); err == nil {
 		t.Fatal("report succeeded against nothing")
 	}
 }

@@ -68,7 +68,7 @@ func testTransferRoundTrip(t *testing.T, c *Client) {
 	if st.InFlight != 2 {
 		t.Fatalf("InFlight = %d", st.InFlight)
 	}
-	if err := c.ReportTransfers(policy.CompletionReport{
+	if _, err := c.ReportTransfers(policy.CompletionReport{
 		TransferIDs: []string{adv.Transfers[0].ID, adv.Transfers[1].ID},
 	}); err != nil {
 		t.Fatalf("ReportTransfers: %v", err)
@@ -104,7 +104,7 @@ func TestCleanupRoundTrip(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := c.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+			if _, err := c.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
 				t.Fatal(err)
 			}
 			cadv, err := c.AdviseCleanups([]policy.CleanupSpec{{
@@ -116,7 +116,7 @@ func TestCleanupRoundTrip(t *testing.T) {
 			if len(cadv.Cleanups) != 1 {
 				t.Fatalf("cleanups = %+v", cadv)
 			}
-			if err := c.ReportCleanups(policy.CleanupReport{CleanupIDs: []string{cadv.Cleanups[0].ID}}); err != nil {
+			if _, err := c.ReportCleanups(policy.CleanupReport{CleanupIDs: []string{cadv.Cleanups[0].ID}}); err != nil {
 				t.Fatal(err)
 			}
 			st, err := c.State()

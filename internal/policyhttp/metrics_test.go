@@ -40,7 +40,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+	if _, err := c.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
 		t.Fatal(err)
 	}
 	resp, err := http.Get(ts.URL + "/v1/metrics")
@@ -147,7 +147,7 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+	if _, err := c.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
 		t.Fatal(err)
 	}
 	if resp, err := http.Get(ts.URL + "/nope"); err != nil {
@@ -218,7 +218,7 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 		// Per-endpoint request accounting, exact counts: the PTT talks to
 		// the service in-process, so only our own calls are counted.
 		`http_requests_total{endpoint="POST /v1/transfers",code="200"} 1`,
-		`http_requests_total{endpoint="POST /v1/transfers/completed",code="204"} 1`,
+		`http_requests_total{endpoint="POST /v1/transfers/completed",code="200"} 1`,
 		`http_requests_total{endpoint="unmatched",code="404"} 1`,
 		`http_request_seconds_bucket{endpoint="POST /v1/transfers",le="+Inf"} 1`,
 		`http_request_seconds_count{endpoint="POST /v1/transfers"} 1`,
@@ -259,7 +259,7 @@ func TestServerTraceEvents(t *testing.T) {
 		t.Fatal(err)
 	}
 	id := adv.Transfers[0].ID
-	if err := c.ReportTransfers(policy.CompletionReport{TransferIDs: []string{id}}); err != nil {
+	if _, err := c.ReportTransfers(policy.CompletionReport{TransferIDs: []string{id}}); err != nil {
 		t.Fatal(err)
 	}
 	if err := tracer.Close(); err != nil {
@@ -324,7 +324,7 @@ func TestConcurrentClients(t *testing.T) {
 					errs <- fmt.Errorf("worker %d: advice %+v", w, adv)
 					return
 				}
-				if err := c.ReportTransfers(policy.CompletionReport{
+				if _, err := c.ReportTransfers(policy.CompletionReport{
 					TransferIDs: []string{adv.Transfers[0].ID},
 				}); err != nil {
 					errs <- err

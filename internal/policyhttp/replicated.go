@@ -101,11 +101,10 @@ func (rc *ReplicatedClient) AdviseTransfers(specs []policy.TransferSpec) (*polic
 }
 
 // ReportTransfers implements the Advisor interface with replication.
-func (rc *ReplicatedClient) ReportTransfers(report policy.CompletionReport) error {
-	_, err := apply(rc, func(c *Client) (struct{}, error) {
-		return struct{}{}, c.ReportTransfers(report)
+func (rc *ReplicatedClient) ReportTransfers(report policy.CompletionReport) (*policy.ReportAck, error) {
+	return apply(rc, func(c *Client) (*policy.ReportAck, error) {
+		return c.ReportTransfers(report)
 	})
-	return err
 }
 
 // AdviseCleanups implements the Advisor interface with replication.
@@ -116,11 +115,30 @@ func (rc *ReplicatedClient) AdviseCleanups(specs []policy.CleanupSpec) (*policy.
 }
 
 // ReportCleanups implements the Advisor interface with replication.
-func (rc *ReplicatedClient) ReportCleanups(report policy.CleanupReport) error {
-	_, err := apply(rc, func(c *Client) (struct{}, error) {
-		return struct{}{}, c.ReportCleanups(report)
+func (rc *ReplicatedClient) ReportCleanups(report policy.CleanupReport) (*policy.ReportAck, error) {
+	return apply(rc, func(c *Client) (*policy.ReportAck, error) {
+		return c.ReportCleanups(report)
 	})
-	return err
+}
+
+// RenewLease renews the workflow's lease on every healthy replica.
+func (rc *ReplicatedClient) RenewLease(workflowID string) (*policy.LeaseStatus, error) {
+	return apply(rc, func(c *Client) (*policy.LeaseStatus, error) {
+		return c.RenewLease(workflowID)
+	})
+}
+
+// AdvanceClock advances the logical clock on every healthy replica; being
+// a logged deterministic mutation, each replica expires the same leases.
+func (rc *ReplicatedClient) AdvanceClock(now float64) (*policy.ClockAdvance, error) {
+	return apply(rc, func(c *Client) (*policy.ClockAdvance, error) {
+		return c.AdvanceClock(now)
+	})
+}
+
+// Leases lists active leases from the first healthy replica.
+func (rc *ReplicatedClient) Leases() (*policy.LeaseList, error) {
+	return apply(rc, func(c *Client) (*policy.LeaseList, error) { return c.Leases() })
 }
 
 // SetThreshold applies a threshold change to every healthy replica.

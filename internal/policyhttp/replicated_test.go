@@ -42,7 +42,7 @@ func TestReplicasStayIdentical(t *testing.T) {
 	if len(adv.Transfers) != 2 {
 		t.Fatalf("advice = %+v", adv)
 	}
-	if err := rc.ReportTransfers(policy.CompletionReport{
+	if _, err := rc.ReportTransfers(policy.CompletionReport{
 		TransferIDs: []string{adv.Transfers[0].ID},
 	}); err != nil {
 		t.Fatal(err)
@@ -114,7 +114,7 @@ func TestResyncRecoversReplica(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rc.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+	if _, err := rc.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
 		t.Fatal(err)
 	}
 	// Simulate replica 1 losing its memory (fresh restart).
@@ -176,7 +176,7 @@ func TestDumpRestoreOverHTTP(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := a.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+			if _, err := a.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
 				t.Fatal(err)
 			}
 			dump, err := a.Dump()

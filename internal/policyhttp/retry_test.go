@@ -218,7 +218,7 @@ func TestMutationKeysAreUnique(t *testing.T) {
 	if err := c.SetThreshold("a", "b", 3); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.ReportTransfers(policy.CompletionReport{TransferIDs: []string{"t-00000001"}}); err != nil {
+	if _, err := c.ReportTransfers(policy.CompletionReport{TransferIDs: []string{"t-00000001"}}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.Dump(); err != nil {

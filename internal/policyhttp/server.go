@@ -12,6 +12,9 @@
 //	POST /v1/cleanups/completed   report completed cleanups
 //	GET  /v1/state                observe stream ledgers and resources
 //	PUT  /v1/thresholds           set a host-pair stream threshold
+//	POST /v1/leases/renew         renew a workflow's liveness lease
+//	GET  /v1/leases               list active leases and their holdings
+//	POST /v1/clock/advance        advance the logical clock (expires leases)
 //	GET  /v1/healthz              liveness probe
 //
 // Servers attached to a durable store (SetDurable) additionally serve
@@ -79,6 +82,42 @@ type CleanupReportDoc struct {
 type SnapshotDoc struct {
 	XMLName xml.Name `xml:"state" json:"-"`
 	policy.Snapshot
+}
+
+// ReportAckDoc wraps policy.ReportAck for XML round-trips.
+type ReportAckDoc struct {
+	XMLName xml.Name `xml:"reportAck" json:"-"`
+	policy.ReportAck
+}
+
+// LeaseRenewal is the wire type for POST /v1/leases/renew.
+type LeaseRenewal struct {
+	XMLName    xml.Name `xml:"leaseRenewal" json:"-"`
+	WorkflowID string   `json:"workflowId" xml:"workflowId"`
+}
+
+// LeaseStatusDoc wraps policy.LeaseStatus for XML round-trips.
+type LeaseStatusDoc struct {
+	XMLName xml.Name `xml:"lease" json:"-"`
+	policy.LeaseStatus
+}
+
+// LeaseListDoc wraps policy.LeaseList for XML round-trips.
+type LeaseListDoc struct {
+	XMLName xml.Name `xml:"leases" json:"-"`
+	policy.LeaseList
+}
+
+// ClockUpdate is the wire type for POST /v1/clock/advance.
+type ClockUpdate struct {
+	XMLName xml.Name `xml:"clock" json:"-"`
+	Now     float64  `json:"now" xml:"now"`
+}
+
+// ClockAdvanceDoc wraps policy.ClockAdvance for XML round-trips.
+type ClockAdvanceDoc struct {
+	XMLName xml.Name `xml:"clockAdvance" json:"-"`
+	policy.ClockAdvance
 }
 
 // ThresholdUpdate is the wire type for PUT /v1/thresholds.
@@ -162,6 +201,9 @@ func NewServerWith(svc *policy.Service, logger *log.Logger, reg *obs.Registry, t
 	s.mux.HandleFunc("POST /v1/state/snapshot", s.idempotent(s.handleSnapshot))
 	s.mux.HandleFunc("GET /v1/state/archive", s.handleArchive)
 	s.mux.HandleFunc("PUT /v1/thresholds", s.idempotent(s.handleThreshold))
+	s.mux.HandleFunc("POST /v1/leases/renew", s.idempotent(s.handleLeaseRenew))
+	s.mux.HandleFunc("GET /v1/leases", s.handleLeases)
+	s.mux.HandleFunc("POST /v1/clock/advance", s.idempotent(s.handleClockAdvance))
 	s.mux.HandleFunc("GET /v1/config", s.handleConfig)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -362,11 +404,12 @@ func (s *Server) handleTransfersCompleted(w http.ResponseWriter, r *http.Request
 		s.writeError(w, resf, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
-	if err := s.svc.ReportTransfers(doc.CompletionReport); err != nil {
-		s.writeError(w, resf, http.StatusInternalServerError, err)
+	ack, err := s.svc.ReportTransfers(doc.CompletionReport)
+	if err != nil {
+		s.writeError(w, resf, statusFor(err), err)
 		return
 	}
-	w.WriteHeader(http.StatusNoContent)
+	s.writeResponse(w, resf, http.StatusOK, &ReportAckDoc{ReportAck: *ack})
 }
 
 func (s *Server) handleCleanups(w http.ResponseWriter, r *http.Request) {
@@ -401,11 +444,57 @@ func (s *Server) handleCleanupsCompleted(w http.ResponseWriter, r *http.Request)
 		s.writeError(w, resf, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
-	if err := s.svc.ReportCleanups(doc.CleanupReport); err != nil {
-		s.writeError(w, resf, http.StatusInternalServerError, err)
+	ack, err := s.svc.ReportCleanups(doc.CleanupReport)
+	if err != nil {
+		s.writeError(w, resf, statusFor(err), err)
 		return
 	}
-	w.WriteHeader(http.StatusNoContent)
+	s.writeResponse(w, resf, http.StatusOK, &ReportAckDoc{ReportAck: *ack})
+}
+
+func (s *Server) handleLeaseRenew(w http.ResponseWriter, r *http.Request) {
+	reqf, err := requestFormat(r)
+	resf := responseFormat(r, reqf)
+	if err != nil {
+		s.writeError(w, resf, http.StatusUnsupportedMediaType, err)
+		return
+	}
+	var req LeaseRenewal
+	if err := decode(r, reqf, &req); err != nil {
+		s.writeError(w, resf, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	status, err := s.svc.RenewLease(req.WorkflowID)
+	if err != nil {
+		s.writeError(w, resf, statusFor(err), err)
+		return
+	}
+	s.writeResponse(w, resf, http.StatusOK, &LeaseStatusDoc{LeaseStatus: *status})
+}
+
+func (s *Server) handleLeases(w http.ResponseWriter, r *http.Request) {
+	resf := responseFormat(r, formatJSON)
+	s.writeResponse(w, resf, http.StatusOK, &LeaseListDoc{LeaseList: *s.svc.Leases()})
+}
+
+func (s *Server) handleClockAdvance(w http.ResponseWriter, r *http.Request) {
+	reqf, err := requestFormat(r)
+	resf := responseFormat(r, reqf)
+	if err != nil {
+		s.writeError(w, resf, http.StatusUnsupportedMediaType, err)
+		return
+	}
+	var req ClockUpdate
+	if err := decode(r, reqf, &req); err != nil {
+		s.writeError(w, resf, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	adv, err := s.svc.AdvanceClock(req.Now)
+	if err != nil {
+		s.writeError(w, resf, statusFor(err), err)
+		return
+	}
+	s.writeResponse(w, resf, http.StatusOK, &ClockAdvanceDoc{ClockAdvance: *adv})
 }
 
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {

@@ -16,7 +16,7 @@ func TestStandbySyncOnce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := primary.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
+	if _, err := primary.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv.Transfers[0].ID}}); err != nil {
 		t.Fatal(err)
 	}
 	standby, err := policy.New(policy.DefaultConfig())

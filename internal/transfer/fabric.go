@@ -19,9 +19,26 @@ import (
 // *policy.Service (in-process) and *policyhttp.Client (REST) satisfy it.
 type Advisor interface {
 	AdviseTransfers([]policy.TransferSpec) (*policy.TransferAdvice, error)
-	ReportTransfers(policy.CompletionReport) error
+	ReportTransfers(policy.CompletionReport) (*policy.ReportAck, error)
 	AdviseCleanups([]policy.CleanupSpec) (*policy.CleanupAdvice, error)
-	ReportCleanups(policy.CleanupReport) error
+	ReportCleanups(policy.CleanupReport) (*policy.ReportAck, error)
+}
+
+// KeyedReporter is the optional Advisor extension for advisors that accept
+// a caller-chosen idempotency key (the REST client). The PTT uses it when
+// draining its degraded-mode backlog: each queued report keeps one key
+// across every drain attempt, so a report that reached the service before
+// a lost response is not applied twice.
+type KeyedReporter interface {
+	ReportTransfersKeyed(key string, report policy.CompletionReport) (*policy.ReportAck, error)
+	ReportCleanupsKeyed(key string, report policy.CleanupReport) (*policy.ReportAck, error)
+}
+
+// LeaseRenewer is the optional Advisor extension for advisors that expose
+// lease renewal. The PTT re-acquires its lease when reconciling after a
+// degraded-mode episode.
+type LeaseRenewer interface {
+	RenewLease(workflowID string) (*policy.LeaseStatus, error)
 }
 
 // Fabric abstracts the data plane: something that can move bytes between

@@ -3,6 +3,7 @@ package transfer
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"policyflow/internal/obs"
@@ -39,6 +40,30 @@ type Config struct {
 	// Tracer, when set, receives a started event (stamped with the
 	// simulation clock) for every transfer the PTT begins executing.
 	Tracer obs.Tracer
+	// Breaker configures the fail-open circuit breaker around the policy
+	// advisor. The zero value disables it: policy-call failures fail the
+	// staging task, the pre-existing behaviour.
+	Breaker BreakerConfig
+}
+
+// BreakerConfig tunes the PTT's degraded mode. When the policy service is
+// unreachable for FailureThreshold consecutive calls, the breaker opens:
+// staging proceeds with locally computed defaults (DefaultStreams per
+// transfer, host-pair grouping), cleanups are deferred, and unreported
+// completions queue in a bounded backlog. After CooldownSeconds of
+// simulated time one call probes the service again; on success the PTT
+// reconciles — re-acquires its lease and drains the backlog, reusing each
+// queued report's idempotency key so nothing is applied twice.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive policy-call failures
+	// that opens the breaker; 0 disables the breaker entirely.
+	FailureThreshold int
+	// CooldownSeconds is how long (simulated time) the breaker stays open
+	// before probing the service again. Defaults to 30.
+	CooldownSeconds float64
+	// BacklogLimit bounds the unreported-completion queue; the oldest
+	// entry is dropped on overflow. Defaults to 256.
+	BacklogLimit int
 }
 
 func (c *Config) normalize() error {
@@ -50,6 +75,14 @@ func (c *Config) normalize() error {
 	}
 	if c.SessionSetupSeconds < 0 || c.TransferSetupSeconds < 0 || c.PolicyCallSeconds < 0 {
 		return errors.New("transfer: negative overhead")
+	}
+	if c.Breaker.FailureThreshold > 0 {
+		if c.Breaker.CooldownSeconds <= 0 {
+			c.Breaker.CooldownSeconds = 30
+		}
+		if c.Breaker.BacklogLimit <= 0 {
+			c.Breaker.BacklogLimit = 256
+		}
 	}
 	return nil
 }
@@ -71,6 +104,24 @@ type Stats struct {
 	// CleanupsExecuted and CleanupsSuppressed count deletion operations.
 	CleanupsExecuted   int64
 	CleanupsSuppressed int64
+	// DegradedTransfers counts transfers executed with fail-open defaults
+	// while the breaker was open or the advice call failed.
+	DegradedTransfers int64
+	// BreakerOpens counts breaker open transitions.
+	BreakerOpens int64
+	// BacklogQueued, BacklogDropped and BacklogDrained count completion
+	// reports entering, overflowing out of, and successfully leaving the
+	// degraded-mode backlog.
+	BacklogQueued  int64
+	BacklogDropped int64
+	BacklogDrained int64
+	// Reconciles counts recoveries that fully drained the backlog.
+	Reconciles int64
+	// CleanupsDeferred counts deletions skipped while degraded (without
+	// policy knowledge a shared file must not be deleted).
+	CleanupsDeferred int64
+	// LeaseRenewals counts explicit lease re-acquisitions at reconcile.
+	LeaseRenewals int64
 }
 
 // PTT is the Pegasus Transfer Tool equivalent. Safe for concurrent use by
@@ -81,7 +132,26 @@ type PTT struct {
 	stats Stats
 	seq   int64
 
+	// Circuit-breaker state, all under mu.
+	consecFailures int
+	open           bool
+	openedAt       float64
+	backlog        []backlogEntry
+	reconciling    bool
+
 	metrics *pttMetrics // nil without Config.Obs
+}
+
+// backlogEntry is one unreported completion held while the policy service
+// is unreachable. Exactly one of transfers/cleanups is set. The key is
+// minted once and reused on every drain attempt, so an advisor that
+// honors idempotency keys (the REST client) applies the report at most
+// once even if an earlier attempt's response was lost.
+type backlogEntry struct {
+	key        string
+	workflowID string
+	transfers  *policy.CompletionReport
+	cleanups   *policy.CleanupReport
 }
 
 // pttMetrics holds the PTT's registry series, all labeled by host pair.
@@ -93,6 +163,13 @@ type pttMetrics struct {
 	bytesMoved  *obs.CounterVec   // transfer_bytes_total{src,dst}
 	sessions    *obs.Counter      // transfer_sessions_total
 	policyCalls *obs.Counter      // transfer_policy_calls_total
+
+	degraded       *obs.Counter // transfer_degraded_total
+	breakerOpens   *obs.Counter // transfer_breaker_opens_total
+	backlogQueued  *obs.Counter // transfer_backlog_queued_total
+	backlogDropped *obs.Counter // transfer_backlog_dropped_total
+	backlogDrained *obs.Counter // transfer_backlog_drained_total
+	reconciles     *obs.Counter // transfer_reconciles_total
 }
 
 // New creates a PTT.
@@ -119,6 +196,18 @@ func New(cfg Config) (*PTT, error) {
 				"Transfer sessions opened (host-pair groups).").With(),
 			policyCalls: reg.Counter("transfer_policy_calls_total",
 				"Round trips to the policy service.").With(),
+			degraded: reg.Counter("transfer_degraded_total",
+				"Transfers executed with fail-open defaults (policy unreachable).").With(),
+			breakerOpens: reg.Counter("transfer_breaker_opens_total",
+				"Circuit-breaker open transitions.").With(),
+			backlogQueued: reg.Counter("transfer_backlog_queued_total",
+				"Completion reports queued while degraded.").With(),
+			backlogDropped: reg.Counter("transfer_backlog_dropped_total",
+				"Queued completion reports dropped on backlog overflow.").With(),
+			backlogDrained: reg.Counter("transfer_backlog_drained_total",
+				"Queued completion reports delivered at reconcile.").With(),
+			reconciles: reg.Counter("transfer_reconciles_total",
+				"Recoveries that fully drained the degraded-mode backlog.").With(),
 		}
 	}
 	return t, nil
@@ -157,6 +246,206 @@ func (t *PTT) bump(f func(*Stats)) {
 // ErrTransfersFailed reports that one or more transfers in a list failed;
 // the caller (the workflow executor) retries the staging job.
 var ErrTransfersFailed = errors.New("transfer: one or more transfers failed")
+
+// breakerEnabled reports whether the fail-open breaker is in effect.
+func (t *PTT) breakerEnabled() bool {
+	return t.cfg.Advisor != nil && t.cfg.Breaker.FailureThreshold > 0
+}
+
+// breakerOpen reports whether policy calls should be skipped at simulated
+// time now. Once the cooldown has elapsed the next call is allowed
+// through as a probe; the breaker itself stays open until that probe
+// succeeds (policySucceeded) or fails (policyFailed restarts the
+// cooldown).
+func (t *PTT) breakerOpen(now float64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.open && now-t.openedAt < t.cfg.Breaker.CooldownSeconds
+}
+
+// policyFailed records one failed policy call at simulated time now,
+// opening the breaker at the configured threshold.
+func (t *PTT) policyFailed(now float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.consecFailures++
+	if t.open {
+		// A failed probe: restart the cooldown.
+		t.openedAt = now
+		return
+	}
+	if t.consecFailures >= t.cfg.Breaker.FailureThreshold {
+		t.open = true
+		t.openedAt = now
+		t.stats.BreakerOpens++
+		if t.metrics != nil {
+			t.metrics.breakerOpens.Inc()
+		}
+	}
+}
+
+// policySucceeded records one successful policy call. If the PTT had been
+// degraded (breaker open, or reports queued) it reconciles: re-acquires
+// the workflow's lease and drains the backlog.
+func (t *PTT) policySucceeded(p *simnet.Proc, workflowID string) {
+	if !t.breakerEnabled() {
+		return
+	}
+	t.mu.Lock()
+	t.consecFailures = 0
+	wasOpen := t.open
+	t.open = false
+	pending := len(t.backlog)
+	t.mu.Unlock()
+	if wasOpen || pending > 0 {
+		t.reconcile(p, workflowID)
+	}
+}
+
+// nextBacklogKey mints the idempotency key a report keeps for life —
+// through the first send attempt and every backlog drain after it.
+func (t *PTT) nextBacklogKey(workflowID string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	return fmt.Sprintf("%s-bk-%06d", workflowID, t.seq)
+}
+
+// enqueueBacklog queues one unreported completion, dropping the oldest
+// entry when the bound is reached.
+func (t *PTT) enqueueBacklog(e backlogEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.backlog) >= t.cfg.Breaker.BacklogLimit {
+		t.backlog = t.backlog[1:]
+		t.stats.BacklogDropped++
+		if t.metrics != nil {
+			t.metrics.backlogDropped.Inc()
+		}
+	}
+	t.backlog = append(t.backlog, e)
+	t.stats.BacklogQueued++
+	if t.metrics != nil {
+		t.metrics.backlogQueued.Inc()
+	}
+}
+
+// sendBacklog delivers one queued report, preferring the keyed interface
+// so the entry's original idempotency key is reused.
+func (t *PTT) sendBacklog(e backlogEntry) error {
+	if kr, ok := t.cfg.Advisor.(KeyedReporter); ok {
+		if e.transfers != nil {
+			_, err := kr.ReportTransfersKeyed(e.key, *e.transfers)
+			return err
+		}
+		_, err := kr.ReportCleanupsKeyed(e.key, *e.cleanups)
+		return err
+	}
+	if e.transfers != nil {
+		_, err := t.cfg.Advisor.ReportTransfers(*e.transfers)
+		return err
+	}
+	_, err := t.cfg.Advisor.ReportCleanups(*e.cleanups)
+	return err
+}
+
+// reconcile runs after the service answers again: leases are re-acquired
+// for every workflow with queued state (the service may have reclaimed
+// their holdings while they looked dead), then the backlog drains in
+// order. A delivery failure requeues the remainder and re-opens the
+// breaker accounting; the next recovery picks up where this one stopped.
+func (t *PTT) reconcile(p *simnet.Proc, workflowID string) {
+	t.mu.Lock()
+	if t.reconciling {
+		t.mu.Unlock()
+		return
+	}
+	t.reconciling = true
+	pending := t.backlog
+	t.backlog = nil
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		t.reconciling = false
+		t.mu.Unlock()
+	}()
+
+	if lr, ok := t.cfg.Advisor.(LeaseRenewer); ok {
+		owners := map[string]bool{}
+		if workflowID != "" {
+			owners[workflowID] = true
+		}
+		for _, e := range pending {
+			if e.workflowID != "" {
+				owners[e.workflowID] = true
+			}
+		}
+		sorted := make([]string, 0, len(owners))
+		for o := range owners {
+			sorted = append(sorted, o)
+		}
+		sort.Strings(sorted)
+		for _, o := range sorted {
+			// Best-effort: a rejection here (e.g. leases disabled) must not
+			// block the backlog drain.
+			if _, err := lr.RenewLease(o); err == nil {
+				t.bump(func(s *Stats) { s.LeaseRenewals++ })
+			}
+		}
+	}
+	for i, e := range pending {
+		p.Sleep(t.cfg.PolicyCallSeconds)
+		t.bump(func(s *Stats) { s.PolicyCalls++ })
+		if t.metrics != nil {
+			t.metrics.policyCalls.Inc()
+		}
+		if err := t.sendBacklog(e); err != nil {
+			t.mu.Lock()
+			t.backlog = append(append([]backlogEntry{}, pending[i:]...), t.backlog...)
+			for len(t.backlog) > t.cfg.Breaker.BacklogLimit {
+				t.backlog = t.backlog[1:]
+				t.stats.BacklogDropped++
+				if t.metrics != nil {
+					t.metrics.backlogDropped.Inc()
+				}
+			}
+			t.mu.Unlock()
+			t.policyFailed(p.Now())
+			return
+		}
+		t.bump(func(s *Stats) { s.BacklogDrained++ })
+		if t.metrics != nil {
+			t.metrics.backlogDrained.Inc()
+		}
+	}
+	t.bump(func(s *Stats) { s.Reconciles++ })
+	if t.metrics != nil {
+		t.metrics.reconciles.Inc()
+	}
+}
+
+// executeDegraded stages the list without policy advice — the fail-open
+// path. The locally computed fallback mirrors what the service would do
+// knowing nothing: DefaultStreams per transfer, transfers grouped by host
+// pair to amortize session setup. Duplicate suppression and threshold
+// enforcement are unavailable; the workflow makes progress anyway, which
+// is the point.
+func (t *PTT) executeDegraded(p *simnet.Proc, ops []workflow.TransferOp) error {
+	sorted := append([]workflow.TransferOp(nil), ops...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a := policy.PairOf(sorted[i].SourceURL, sorted[i].DestURL)
+		b := policy.PairOf(sorted[j].SourceURL, sorted[j].DestURL)
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Dst < b.Dst
+	})
+	t.bump(func(s *Stats) { s.DegradedTransfers += int64(len(sorted)) })
+	if t.metrics != nil {
+		t.metrics.degraded.Add(float64(len(sorted)))
+	}
+	return t.executeWithoutPolicy(p, sorted)
+}
 
 // ExecuteList performs a list of transfer operations on behalf of one
 // staging task. With a policy service configured it submits the list for
@@ -227,6 +516,9 @@ func (t *PTT) executeWithPolicy(p *simnet.Proc, workflowID, clusterID string, op
 			Priority:         priority,
 		})
 	}
+	if t.breakerEnabled() && t.breakerOpen(p.Now()) {
+		return t.executeDegraded(p, ops)
+	}
 	p.Sleep(t.cfg.PolicyCallSeconds)
 	t.bump(func(s *Stats) { s.PolicyCalls++ })
 	if t.metrics != nil {
@@ -234,8 +526,14 @@ func (t *PTT) executeWithPolicy(p *simnet.Proc, workflowID, clusterID string, op
 	}
 	adv, err := t.cfg.Advisor.AdviseTransfers(specs)
 	if err != nil {
-		return fmt.Errorf("transfer: policy advice: %w", err)
+		if !t.breakerEnabled() {
+			return fmt.Errorf("transfer: policy advice: %w", err)
+		}
+		// Fail open: the service is unreachable, the data still moves.
+		t.policyFailed(p.Now())
+		return t.executeDegraded(p, ops)
 	}
+	t.policySucceeded(p, workflowID)
 	t.bump(func(s *Stats) { s.TransfersSuppressed += int64(len(adv.Removed)) })
 
 	var completed, failedIDs []string
@@ -290,12 +588,30 @@ func (t *PTT) executeWithPolicy(p *simnet.Proc, workflowID, clusterID string, op
 		if t.metrics != nil {
 			t.metrics.policyCalls.Inc()
 		}
-		if err := t.cfg.Advisor.ReportTransfers(policy.CompletionReport{
+		report := policy.CompletionReport{
 			TransferIDs: completed,
 			FailedIDs:   failedIDs,
 			Timings:     timings,
-		}); err != nil {
-			return fmt.Errorf("transfer: completion report: %w", err)
+		}
+		// The key is minted before the first attempt so a backlog drain
+		// after a lost response reuses it and the report applies once.
+		key := t.nextBacklogKey(workflowID)
+		var rerr error
+		if kr, ok := t.cfg.Advisor.(KeyedReporter); ok {
+			_, rerr = kr.ReportTransfersKeyed(key, report)
+		} else {
+			_, rerr = t.cfg.Advisor.ReportTransfers(report)
+		}
+		if rerr != nil {
+			if !t.breakerEnabled() {
+				return fmt.Errorf("transfer: completion report: %w", rerr)
+			}
+			// The transfers happened; only the bookkeeping is stuck. Queue
+			// it for reconciliation instead of failing the staging task.
+			t.policyFailed(p.Now())
+			t.enqueueBacklog(backlogEntry{key: key, workflowID: workflowID, transfers: &report})
+		} else {
+			t.policySucceeded(p, workflowID)
 		}
 	}
 	if len(failedIDs) > 0 {
@@ -329,6 +645,13 @@ func (t *PTT) ExecuteCleanups(p *simnet.Proc, workflowID string, urls []string) 
 		t.mu.Unlock()
 		specs = append(specs, policy.CleanupSpec{RequestID: reqID, WorkflowID: workflowID, FileURL: u})
 	}
+	if t.breakerEnabled() && t.breakerOpen(p.Now()) {
+		// Fail safe, not open: without policy knowledge a staged file may
+		// still be in use by another workflow, so deletions are deferred
+		// rather than risked.
+		t.bump(func(s *Stats) { s.CleanupsDeferred += int64(len(urls)) })
+		return nil
+	}
 	p.Sleep(t.cfg.PolicyCallSeconds)
 	t.bump(func(s *Stats) { s.PolicyCalls++ })
 	if t.metrics != nil {
@@ -336,8 +659,14 @@ func (t *PTT) ExecuteCleanups(p *simnet.Proc, workflowID string, urls []string) 
 	}
 	adv, err := t.cfg.Advisor.AdviseCleanups(specs)
 	if err != nil {
-		return fmt.Errorf("transfer: cleanup advice: %w", err)
+		if !t.breakerEnabled() {
+			return fmt.Errorf("transfer: cleanup advice: %w", err)
+		}
+		t.policyFailed(p.Now())
+		t.bump(func(s *Stats) { s.CleanupsDeferred += int64(len(urls)) })
+		return nil
 	}
+	t.policySucceeded(p, workflowID)
 	t.bump(func(s *Stats) { s.CleanupsSuppressed += int64(len(adv.Removed)) })
 	var done []string
 	for _, c := range adv.Cleanups {
@@ -353,8 +682,22 @@ func (t *PTT) ExecuteCleanups(p *simnet.Proc, workflowID string, urls []string) 
 		if t.metrics != nil {
 			t.metrics.policyCalls.Inc()
 		}
-		if err := t.cfg.Advisor.ReportCleanups(policy.CleanupReport{CleanupIDs: done}); err != nil {
-			return fmt.Errorf("transfer: cleanup report: %w", err)
+		report := policy.CleanupReport{CleanupIDs: done}
+		key := t.nextBacklogKey(workflowID)
+		var rerr error
+		if kr, ok := t.cfg.Advisor.(KeyedReporter); ok {
+			_, rerr = kr.ReportCleanupsKeyed(key, report)
+		} else {
+			_, rerr = t.cfg.Advisor.ReportCleanups(report)
+		}
+		if rerr != nil {
+			if !t.breakerEnabled() {
+				return fmt.Errorf("transfer: cleanup report: %w", rerr)
+			}
+			t.policyFailed(p.Now())
+			t.enqueueBacklog(backlogEntry{key: key, workflowID: workflowID, cleanups: &report})
+		} else {
+			t.policySucceeded(p, workflowID)
 		}
 	}
 	return nil

@@ -17,7 +17,7 @@ type recordingAdvisor struct {
 	reports []policy.CompletionReport
 }
 
-func (r *recordingAdvisor) ReportTransfers(rep policy.CompletionReport) error {
+func (r *recordingAdvisor) ReportTransfers(rep policy.CompletionReport) (*policy.ReportAck, error) {
 	r.mu.Lock()
 	r.reports = append(r.reports, rep)
 	r.mu.Unlock()

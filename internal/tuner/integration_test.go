@@ -85,7 +85,7 @@ func TestOnlineTuningLoop(t *testing.T) {
 				Seconds:    float64(tr.SizeBytes) / (1 << 20) / g * 4, // 4 sharing
 			})
 		}
-		if err := svc.ReportTransfers(rep); err != nil {
+		if _, err := svc.ReportTransfers(rep); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -129,7 +129,7 @@ func TestObserverReceivesPairAndSize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = svc.ReportTransfers(policy.CompletionReport{
+	_, err = svc.ReportTransfers(policy.CompletionReport{
 		TransferIDs: []string{adv.Transfers[0].ID},
 		Timings:     []policy.TransferTiming{{TransferID: adv.Transfers[0].ID, Seconds: 12}},
 	})
@@ -154,7 +154,7 @@ func TestObserverReceivesPairAndSize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := svc.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv2.Transfers[0].ID}}); err != nil {
+	if _, err := svc.ReportTransfers(policy.CompletionReport{TransferIDs: []string{adv2.Transfers[0].ID}}); err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 0 {

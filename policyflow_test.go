@@ -28,7 +28,7 @@ func TestFacadeQuickstart(t *testing.T) {
 	if len(advice.Transfers) != 1 || advice.Transfers[0].Streams != 4 {
 		t.Fatalf("advice = %+v", advice)
 	}
-	if err := svc.ReportTransfers(policyflow.CompletionReport{
+	if _, err := svc.ReportTransfers(policyflow.CompletionReport{
 		TransferIDs: []string{advice.Transfers[0].ID},
 	}); err != nil {
 		t.Fatal(err)
