@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci build test race vet fmt fmt-check bench-smoke cover fuzz-smoke test-liveness
+.PHONY: ci build test race vet fmt fmt-check bench-smoke bench-json bench-json-check cover fuzz-smoke test-liveness
 
 # The full gate: what a PR must pass.
-ci: fmt-check vet build race test-liveness bench-smoke cover fuzz-smoke
+ci: fmt-check vet build race test-liveness bench-smoke bench-json-check cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,21 @@ test-liveness:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkWAL' -benchtime=1x ./internal/durable/
 	$(GO) test -run '^$$' -bench 'BenchmarkLeaseScan|BenchmarkAdviseLeaseOverhead' -benchtime=1x ./internal/policy/
+
+# bench-json refreshes the machine-readable perf trajectory at the repo
+# root: one JSON series per core benchmark (advise hot path, advise vs
+# resident-fact count, lease scan, WAL commit with and without fsync),
+# stamped with the go version and git SHA. Commit the refreshed file when
+# a PR intentionally moves a number.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_policyflow.json
+
+# bench-json-check re-measures the trajectory and fails CI when any
+# committed series has regressed more than BENCH_TOLERANCE (fractional;
+# 0.30 = 30% slower ns/op).
+BENCH_TOLERANCE := 0.30
+bench-json-check:
+	$(GO) run ./cmd/benchjson -check BENCH_policyflow.json -tolerance $(BENCH_TOLERANCE)
 
 # cover enforces a statement-coverage floor on the correctness-critical
 # packages: the policy engine and the durable store.

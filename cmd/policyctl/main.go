@@ -23,6 +23,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"policyflow/internal/policy"
 	"policyflow/internal/policyhttp"
@@ -89,6 +90,11 @@ func main() {
 			usage()
 		}
 		err = cleanup(client, args[1], args[2:])
+	case "explain":
+		if len(args) != 3 {
+			usage()
+		}
+		err = explain(client, os.Stdout, args[1], args[2])
 	case "metrics":
 		err = metrics(client, os.Stdout)
 	case "dump":
@@ -118,6 +124,7 @@ commands:
   advise <specs.json>                    submit a transfer list for advice
   complete <transfer-id>...              report completed transfers
   cleanup <workflow-id> <file-url>...    request file deletions
+  explain <workflow-id> <lfn>            show the decision provenance for a file
   leases                                 list active workflow leases
   renew-lease <workflow-id>              register or extend a workflow lease
   advance-clock <seconds>                advance the logical clock (expires leases)
@@ -134,6 +141,59 @@ func complete(c *policyhttp.Client, ids []string) error {
 		return err
 	}
 	fmt.Printf("matched %d, unmatched %d\n", ack.Matched, ack.Unmatched)
+	return nil
+}
+
+// explain renders the why-chain for one logical file of one workflow: the
+// decision records whose lines touched the file, each with the rules that
+// fired (in firing order), the fact counts matched against, and the
+// per-file outcome — the granted stream count, the suppression reason, or
+// the completion/cleanup result.
+func explain(c *policyhttp.Client, w io.Writer, workflowID, lfn string) error {
+	recs, err := c.Decisions(0, "", workflowID, lfn)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		fmt.Fprintf(w, "no decision records for workflow %q and file %q\n", workflowID, lfn)
+		fmt.Fprintln(w, "(the ring is bounded; older decisions may have been evicted)")
+		return nil
+	}
+	for _, r := range recs {
+		fmt.Fprintf(w, "decision %d: %s", r.Seq, r.Op)
+		if r.TimeUnixNano != 0 {
+			fmt.Fprintf(w, " at %s", time.Unix(0, r.TimeUnixNano).UTC().Format(time.RFC3339))
+		}
+		if r.WALSeq > 0 {
+			fmt.Fprintf(w, "  wal-seq %d", r.WALSeq)
+		}
+		if r.TraceID != "" {
+			fmt.Fprintf(w, "  trace %s", r.TraceID)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "  matched against %d fact(s), %d after\n", r.FactsBefore, r.FactsAfter)
+		if len(r.RulesFired) > 0 {
+			fmt.Fprintln(w, "  rules fired, in order:")
+			for i, f := range r.RulesFired {
+				fmt.Fprintf(w, "    %2d. %s (salience %d)\n", i+1, f.Rule, f.Salience)
+			}
+		}
+		for _, ln := range r.Lines {
+			if !policyhttp.MatchesLFN(ln.FileURL, lfn) {
+				continue
+			}
+			fmt.Fprintf(w, "  %s\n", ln.FileURL)
+			switch ln.Outcome {
+			case policy.OutcomeAdvised:
+				fmt.Fprintf(w, "    -> advised: %d stream(s), group %s, transfer %s\n",
+					ln.Streams, ln.GroupID, ln.ID)
+			case policy.OutcomeSuppressed:
+				fmt.Fprintf(w, "    -> suppressed: %s\n", ln.Reason)
+			default:
+				fmt.Fprintf(w, "    -> %s (%s)\n", ln.Outcome, ln.ID)
+			}
+		}
+	}
 	return nil
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -263,5 +264,138 @@ func TestSnapshotCommandRoundTrip(t *testing.T) {
 	// Against a memory-only server the command reports the 501 cleanly.
 	if err := snapshot(c2); err == nil {
 		t.Error("snapshot against non-durable server succeeded")
+	}
+}
+
+// TestExplainCommand is the acceptance check for decision provenance: it
+// reproduces the quickstart example's transfer batch (threshold 10,
+// default 4 streams, the third file requesting 8) and requires `policyctl
+// explain` to render the exact rule-firing chain behind the greedy-trimmed
+// stream grant, straight from the server's decision ring.
+func TestExplainCommand(t *testing.T) {
+	cfg := policy.DefaultConfig()
+	cfg.DefaultThreshold = 10
+	cfg.DefaultStreams = 4
+	svc, err := policy.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(policyhttp.NewServer(svc, nil))
+	t.Cleanup(ts.Close)
+	c := policyhttp.NewClient(ts.URL)
+
+	specs := []policy.TransferSpec{
+		{RequestID: "r1", WorkflowID: "wf1",
+			SourceURL: "gsiftp://data.example.org/input/a.dat",
+			DestURL:   "file://cluster.example.org/scratch/a.dat"},
+		{RequestID: "r2", WorkflowID: "wf1",
+			SourceURL: "gsiftp://data.example.org/input/b.dat",
+			DestURL:   "file://cluster.example.org/scratch/b.dat"},
+		{RequestID: "r3", WorkflowID: "wf1", RequestedStreams: 8,
+			SourceURL: "gsiftp://data.example.org/input/c.dat",
+			DestURL:   "file://cluster.example.org/scratch/c.dat"},
+	}
+	adv, err := c.AdviseTransfers(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var granted int
+	var transferID string
+	for _, tr := range adv.Transfers {
+		if tr.RequestID == "r3" {
+			granted, transferID = tr.Streams, tr.ID
+		}
+	}
+	if granted == 0 {
+		t.Fatalf("r3 not advised: %+v", adv.Transfers)
+	}
+
+	var buf strings.Builder
+	if err := explain(c, &buf, "wf1", "c.dat"); err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "advise_transfers") || !strings.Contains(out, "rules fired, in order:") {
+		t.Fatalf("explain output missing decision header:\n%s", out)
+	}
+
+	// The rendered chain must be the service's own record, rule for rule,
+	// in firing order with saliences intact.
+	var rec *policy.DecisionRecord
+	for _, r := range svc.Decisions(0) {
+		if r.Op == policy.OpAdviseTransfers {
+			r := r
+			rec = &r
+		}
+	}
+	if rec == nil {
+		t.Fatal("no advise decision record on the server")
+	}
+	if len(rec.RulesFired) == 0 {
+		t.Fatalf("decision record lists no rule firings: %+v", rec)
+	}
+	pos := -1
+	for i, f := range rec.RulesFired {
+		line := fmt.Sprintf("%2d. %s (salience %d)", i+1, f.Rule, f.Salience)
+		j := strings.Index(out, line)
+		if j < 0 {
+			t.Fatalf("explain output missing firing %q:\n%s", line, out)
+		}
+		if j < pos {
+			t.Fatalf("firing %q rendered out of order:\n%s", line, out)
+		}
+		pos = j
+	}
+	// The chain behind the grant: defaulting for r1/r2, the greedy
+	// allocation that trimmed r3's request against the threshold.
+	fired := make(map[string]bool, len(rec.RulesFired))
+	for _, f := range rec.RulesFired {
+		fired[f.Rule] = true
+	}
+	for _, rule := range []string{"transfer-default-streams", "greedy-allocate", "transfer-create-group"} {
+		if !fired[rule] {
+			t.Errorf("rule %s missing from the recorded chain: %+v", rule, rec.RulesFired)
+		}
+	}
+	grantLine := fmt.Sprintf("advised: %d stream(s)", granted)
+	if !strings.Contains(out, grantLine) || !strings.Contains(out, transferID) {
+		t.Fatalf("explain output does not show the grant (%q, %s):\n%s", grantLine, transferID, out)
+	}
+	// Greedy trimming is actually visible: 4 + 4 leaves 2 of the 10.
+	if granted != 2 {
+		t.Fatalf("r3 granted %d streams, want 2 under threshold 10", granted)
+	}
+
+	// A second workflow re-requesting a staged file gets a suppression
+	// why-chain.
+	ids := make([]string, len(adv.Transfers))
+	for i, tr := range adv.Transfers {
+		ids[i] = tr.ID
+	}
+	if _, err := c.ReportTransfers(policy.CompletionReport{TransferIDs: ids}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AdviseTransfers([]policy.TransferSpec{
+		{RequestID: "r4", WorkflowID: "wf2",
+			SourceURL: "gsiftp://data.example.org/input/a.dat",
+			DestURL:   "file://cluster.example.org/scratch/a.dat"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := explain(c, &buf, "wf2", "a.dat"); err != nil {
+		t.Fatalf("explain wf2: %v", err)
+	}
+	if !strings.Contains(buf.String(), "suppressed: already-staged") {
+		t.Fatalf("suppression why-chain missing:\n%s", buf.String())
+	}
+
+	// Unknown files explain to an explicit empty answer, not an error.
+	buf.Reset()
+	if err := explain(c, &buf, "wf1", "zz.dat"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no decision records") {
+		t.Fatalf("empty explain output: %q", buf.String())
 	}
 }

@@ -54,6 +54,7 @@ func main() {
 		quiet          = flag.Bool("quiet", false, "disable request logging")
 		debug          = flag.Bool("debug", false, "mount net/http/pprof profiling handlers and /debug/vars")
 		traceOut       = flag.String("trace-out", "", "stream the JSONL transfer-lifecycle event log to this file")
+		decisionLog    = flag.String("decision-log", "", "stream decision provenance records (JSONL) to this file")
 		dataDir        = flag.String("data-dir", "", "persist Policy Memory to this directory (WAL + snapshots); empty runs in memory")
 		snapshotEvery  = flag.Duration("snapshot-every", 5*time.Minute, "periodic snapshot interval when -data-dir is set (0 disables the ticker)")
 		fsync          = flag.Bool("fsync", true, "fsync the WAL before acknowledging each mutation (-data-dir only)")
@@ -97,6 +98,26 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	if tracer != nil {
+		tracer.SetDropCounter(reg.Counter("obs_trace_dropped_total",
+			"Trace events discarded because the JSONL sink failed.").With())
+	}
+
+	if *decisionLog != "" {
+		f, err := os.Create(*decisionLog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "policyserver: open decision log: %v\n", err)
+			os.Exit(1)
+		}
+		svc.SetDecisionSink(f)
+		defer func() {
+			if err := svc.FlushDecisions(); err != nil {
+				log.Printf("flush decision log: %v", err)
+			}
+			f.Close()
+		}()
+		log.Printf("streaming decision provenance records to %s", *decisionLog)
+	}
 
 	// Recover Policy Memory from the data directory (latest snapshot plus
 	// WAL tail) before the listener opens, then keep logging mutations.
@@ -105,6 +126,9 @@ func main() {
 		opts := durable.Options{
 			Fsync:   *fsync,
 			Metrics: obs.NewWALMetrics(reg),
+		}
+		if tracer != nil {
+			opts.Tracer = tracer
 		}
 		if *faultWALRate > 0 {
 			// Deterministic fault hook for resilience testing: a seeded

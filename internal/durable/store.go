@@ -21,6 +21,9 @@ type Options struct {
 	KeepSnapshots int
 	// Metrics, when non-nil, receives the WAL and snapshot series.
 	Metrics *obs.WALMetrics
+	// Tracer, when non-nil, receives "wal.fsync" spans from group-commit
+	// leaders (see walOptions.Tracer).
+	Tracer obs.Tracer
 	// WriteFault is a fault-injection hook for tests and harnesses: when
 	// non-nil it is consulted before every append, and a non-nil error
 	// fails the append as a disk-write error would — before any state
@@ -90,6 +93,7 @@ func Open(dir string, opts Options, restore func(state []byte) error, apply func
 		Fsync:      opts.Fsync,
 		ReplayFrom: snapSeq,
 		Metrics:    opts.Metrics,
+		Tracer:     opts.Tracer,
 	}, func(rec Record) error {
 		stats.Replayed++
 		if opts.Metrics != nil {

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"policyflow/internal/obs"
 )
@@ -24,6 +25,10 @@ type walOptions struct {
 	ReplayFrom uint64
 	// Metrics, when non-nil, receives append/fsync/byte counters.
 	Metrics *obs.WALMetrics
+	// Tracer, when non-nil, receives a "wal.fsync" span for every
+	// group-commit fsync the leader performs, annotated with the highest
+	// sequence the batch made durable.
+	Tracer obs.Tracer
 }
 
 // walSegment is one on-disk log file; First is the sequence number of the
@@ -221,9 +226,19 @@ func (w *wal) Sync(seq uint64) error {
 		f := w.f
 		w.mu.Unlock()
 		if err == nil && w.opts.Fsync {
+			start := time.Now()
 			err = f.Sync()
 			if m := w.opts.Metrics; m != nil {
 				m.Fsyncs.Inc()
+			}
+			if tr := w.opts.Tracer; tr != nil {
+				// The leader's fsync covers a whole batch of concurrent
+				// commits, so the span is a root of its own trace; request
+				// traces join it through the WALSeq annotation.
+				sc := obs.NewSpanContext()
+				tr.Emit(obs.Event{Type: obs.EventSpan, Name: "wal.fsync",
+					TraceID: sc.TraceID, SpanID: sc.SpanID, WALSeq: end,
+					DurationNanos: time.Since(start).Nanoseconds()})
 			}
 		}
 		w.releaseToken(end, err)

@@ -1,0 +1,101 @@
+package faultsim
+
+import (
+	"strings"
+	"testing"
+
+	"policyflow/internal/policy"
+)
+
+// TestDecisionRecordsSurviveRetries checks decision provenance under the
+// faults that make exactly-once hard: a dropped response (the client
+// retries with the same idempotency key and is answered from the replay
+// cache) and a duplicated delivery. Each replica must commit exactly one
+// decision record per acknowledged advise, the record must carry the WAL
+// sequence it was logged under, and — because the replicated client mints
+// one span context per logical operation — both replicas' records must
+// carry the same trace ID.
+func TestDecisionRecordsSurviveRetries(t *testing.T) {
+	h, err := NewHarness(t.TempDir(), passingSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	if err := h.Step(adviseOp("r-1", "f-01",
+		FaultSpec{Replica: 0, Kind: FaultDropResponse},
+		FaultSpec{Replica: 1, Kind: FaultDuplicate},
+	)); err != nil {
+		t.Fatal(err)
+	}
+
+	var traces []string
+	for i, r := range h.replicas {
+		if got := r.svc.DecisionCount(policy.OpAdviseTransfers); got != 1 {
+			t.Fatalf("replica %d committed %d advise decision records, want exactly 1", i, got)
+		}
+		recs := r.svc.Decisions(0)
+		if len(recs) != 1 {
+			t.Fatalf("replica %d ring holds %d records, want 1", i, len(recs))
+		}
+		rec := recs[0]
+		if rec.Op != policy.OpAdviseTransfers {
+			t.Fatalf("replica %d record op = %q", i, rec.Op)
+		}
+		if rec.WALSeq == 0 {
+			t.Fatalf("replica %d record has no WAL sequence", i)
+		}
+		if rec.TraceID == "" {
+			t.Fatalf("replica %d record carries no trace ID", i)
+		}
+		if len(rec.RulesFired) == 0 {
+			t.Fatalf("replica %d record lists no rule firings", i)
+		}
+		advised := 0
+		for _, line := range rec.Lines {
+			if line.Outcome == policy.OutcomeAdvised && strings.HasSuffix(line.FileURL, "f-01") {
+				advised++
+			}
+		}
+		if advised != 1 {
+			t.Fatalf("replica %d record lines = %+v, want one advised f-01", i, rec.Lines)
+		}
+		traces = append(traces, rec.TraceID)
+	}
+	if traces[0] != traces[1] {
+		t.Fatalf("replicas recorded different trace IDs for one logical advise: %v", traces)
+	}
+
+	// The follow-up report (fault-free) adds exactly one report record per
+	// replica and leaves the advise count alone.
+	ids := h.model.InFlightIDs()
+	if err := h.Step(Op{Kind: OpReport, Report: &policy.CompletionReport{TransferIDs: ids}}); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range h.replicas {
+		if got := r.svc.DecisionCount(policy.OpAdviseTransfers); got != 1 {
+			t.Fatalf("replica %d advise records after report = %d, want 1", i, got)
+		}
+		if got := r.svc.DecisionCount(policy.OpReportTransfers); got != 1 {
+			t.Fatalf("replica %d report records = %d, want 1", i, got)
+		}
+	}
+}
+
+// TestHarnessDetectsDecisionMiscount proves the per-step provenance check
+// is live: skewing the acknowledged-op ledger must make the next check
+// report a mismatch between committed records and acknowledged calls.
+func TestHarnessDetectsDecisionMiscount(t *testing.T) {
+	h, err := NewHarness(t.TempDir(), passingSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := h.Step(adviseOp("r-1", "f-01")); err != nil {
+		t.Fatal(err)
+	}
+	h.acked[policy.OpAdviseTransfers]-- // simulate a duplicate decision record
+	if err := h.checkDecisions(); err == nil {
+		t.Fatal("decision-record miscount went undetected")
+	}
+}

@@ -49,6 +49,12 @@ type Harness struct {
 	oracle *policy.Service
 	model  *Model
 
+	// acked counts acknowledged operations by logged op name. After every
+	// step the oracle's decision-provenance counters must equal these
+	// exactly: one decision record per acknowledged advise/report, none
+	// for rejections, none for retries or idempotent replays.
+	acked map[string]int64
+
 	// ClientReg holds the shared client retry metrics (requests, retries,
 	// faults, exhausted, idempotent replays) for all simulated clients.
 	ClientReg     *obs.Registry
@@ -87,6 +93,7 @@ func NewHarness(baseDir string, sched Schedule) (*Harness, error) {
 		oracle:      oracle,
 		model:       NewModel(cfg),
 		ClientReg:   obs.NewRegistry(),
+		acked:       make(map[string]int64),
 		localFaults: make(map[string]int),
 		seed:        sched.Seed,
 	}
@@ -268,6 +275,7 @@ func (h *Harness) stepAdvise(op Op) error {
 			if !reflect.DeepEqual(adv, oadv) {
 				return fmt.Errorf("advice diverges from oracle:\n  got  %+v\n  want %+v", adv, oadv)
 			}
+			h.acked[policy.OpAdviseTransfers]++
 			return h.model.ApplyAdvice(op.Specs, adv)
 		},
 		func() error {
@@ -289,6 +297,7 @@ func (h *Harness) stepReport(op Op) error {
 			if !reflect.DeepEqual(ack, oack) {
 				return fmt.Errorf("report ack diverges from oracle:\n  got  %+v\n  want %+v", ack, oack)
 			}
+			h.acked[policy.OpReportTransfers]++
 			h.model.ApplyReport(*op.Report)
 			return nil
 		},
@@ -314,6 +323,7 @@ func (h *Harness) stepCleanup(op Op) error {
 			if !reflect.DeepEqual(adv, oadv) {
 				return fmt.Errorf("cleanup advice diverges from oracle:\n  got  %+v\n  want %+v", adv, oadv)
 			}
+			h.acked[policy.OpAdviseCleanups]++
 			return h.model.ApplyCleanupAdvice(op.Cleanups, adv)
 		},
 		func() error {
@@ -335,6 +345,7 @@ func (h *Harness) stepCleanupReport(op Op) error {
 			if !reflect.DeepEqual(ack, oack) {
 				return fmt.Errorf("cleanup ack diverges from oracle:\n  got  %+v\n  want %+v", ack, oack)
 			}
+			h.acked[policy.OpReportCleanups]++
 			h.model.ApplyCleanupReport(*op.CleanupReport)
 			return nil
 		},
@@ -522,6 +533,9 @@ func (h *Harness) checkReplicas() error {
 	if err := h.model.CheckDump(oracleDump); err != nil {
 		return err
 	}
+	if err := h.checkDecisions(); err != nil {
+		return err
+	}
 	for _, i := range h.rc.Healthy() {
 		dump, err := h.clients[i].Dump()
 		if err != nil {
@@ -529,6 +543,26 @@ func (h *Harness) checkReplicas() error {
 		}
 		if !reflect.DeepEqual(dump, oracleDump) {
 			return fmt.Errorf("replica %d diverged from oracle:\n  replica %+v\n  oracle  %+v", i, dump, oracleDump)
+		}
+	}
+	return nil
+}
+
+// checkDecisions asserts decision-provenance exactly-once: the oracle
+// committed one decision record per acknowledged advise/report and
+// nothing else. The oracle sees exactly the acknowledged operations (no
+// retries, no replays, no rejections), so any mismatch means an
+// operation produced zero or duplicate provenance. Replica rings are
+// not compared — a crash-recovered replica legitimately rebuilds only
+// the WAL tail since its last snapshot — but replica behavior under
+// retries is covered by TestDecisionRecordsSurviveRetries.
+func (h *Harness) checkDecisions() error {
+	for _, op := range []string{
+		policy.OpAdviseTransfers, policy.OpReportTransfers,
+		policy.OpAdviseCleanups, policy.OpReportCleanups,
+	} {
+		if got, want := h.oracle.DecisionCount(op), h.acked[op]; got != want {
+			return fmt.Errorf("decision records for %s: %d committed, %d operations acknowledged", op, got, want)
 		}
 	}
 	return nil

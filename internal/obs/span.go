@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Causal span tracing. A SpanContext (trace ID + span ID) rides a
+// context.Context through the process and a traceparent-style header
+// across the policyhttp client/server boundary, so one advise call is
+// reconstructable end-to-end: client attempt -> server handler -> rule
+// firing -> WAL append -> group-commit fsync. Spans are emitted as
+// ordinary Events (Type == EventSpan) into the same JSONL stream as the
+// transfer lifecycle, keyed by TraceID/SpanID/ParentSpanID.
+
+// TraceparentHeader is the HTTP header carrying the span context, in the
+// W3C trace-context style: "00-<32 hex trace id>-<16 hex span id>-01".
+const TraceparentHeader = "Traceparent"
+
+// SpanContext identifies a position in a trace: the trace it belongs to
+// and the span that is current.
+type SpanContext struct {
+	TraceID string
+	SpanID  string
+}
+
+// Valid reports whether both IDs are present.
+func (sc SpanContext) Valid() bool { return sc.TraceID != "" && sc.SpanID != "" }
+
+// Traceparent renders the header value for sc.
+func (sc SpanContext) Traceparent() string {
+	return "00-" + sc.TraceID + "-" + sc.SpanID + "-01"
+}
+
+// ParseTraceparent parses a traceparent-style header value. It accepts
+// any version field and ignores the flags; malformed values return
+// ok == false.
+func ParseTraceparent(v string) (SpanContext, bool) {
+	parts := strings.Split(strings.TrimSpace(v), "-")
+	if len(parts) != 4 {
+		return SpanContext{}, false
+	}
+	if len(parts[0]) != 2 || !isHex(parts[0]) {
+		return SpanContext{}, false
+	}
+	if len(parts[1]) != 32 || !isHex(parts[1]) || parts[1] == strings.Repeat("0", 32) {
+		return SpanContext{}, false
+	}
+	if len(parts[2]) != 16 || !isHex(parts[2]) || parts[2] == strings.Repeat("0", 16) {
+		return SpanContext{}, false
+	}
+	if len(parts[3]) != 2 || !isHex(parts[3]) {
+		return SpanContext{}, false
+	}
+	return SpanContext{TraceID: strings.ToLower(parts[1]), SpanID: strings.ToLower(parts[2])}, true
+}
+
+func isHex(s string) bool {
+	for _, c := range s {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c >= 'A' && c <= 'F':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// idFallback seeds deterministic fallback IDs if crypto/rand ever fails
+// (it does not on any supported platform, but span creation must never
+// fail or block a policy decision).
+var idFallback atomic.Uint64
+
+func randomHex(nbytes int) string {
+	b := make([]byte, nbytes)
+	if _, err := rand.Read(b); err != nil {
+		n := idFallback.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * (uint(i) % 8)))
+		}
+		b[0] |= 1 // never all zeros
+	}
+	return hex.EncodeToString(b)
+}
+
+// NewTraceID returns a fresh 128-bit trace ID in lowercase hex.
+func NewTraceID() string { return randomHex(16) }
+
+// NewSpanID returns a fresh 64-bit span ID in lowercase hex.
+func NewSpanID() string { return randomHex(8) }
+
+// NewSpanContext mints a root span context: a fresh trace with a fresh
+// span.
+func NewSpanContext() SpanContext {
+	return SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying sc.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+// SpanFromContext returns the span context carried by ctx, if any.
+func SpanFromContext(ctx context.Context) (SpanContext, bool) {
+	if ctx == nil {
+		return SpanContext{}, false
+	}
+	sc, ok := ctx.Value(spanCtxKey{}).(SpanContext)
+	return sc, ok && sc.Valid()
+}
+
+// Span is one timed operation within a trace. It is created by StartSpan
+// and emitted on End. A nil *Span is valid and inert, so callers need no
+// nil checks when tracing is disabled.
+type Span struct {
+	tracer Tracer
+	name   string
+	sc     SpanContext
+	parent string
+	start  time.Time
+	// Annot holds optional annotations merged into the emitted event
+	// (identifying and timing fields are overwritten at End). Set fields
+	// before calling End; Span is not safe for concurrent mutation.
+	Annot Event
+}
+
+// StartSpan begins a span named name as a child of the span context in
+// ctx (or as a root span of a fresh trace if ctx carries none) and
+// returns a derived context carrying the new span context. The span is
+// emitted to tr on End; if tr is nil the returned *Span is nil (End is
+// still safe to call) but the context still carries the child span
+// context so propagation works with tracing disabled.
+func StartSpan(ctx context.Context, tr Tracer, name string) (context.Context, *Span) {
+	parent, ok := SpanFromContext(ctx)
+	if tr == nil && !ok {
+		// Tracing disabled and no incoming trace to propagate: the hot
+		// path pays nothing (no ID generation, no context allocation).
+		return ctx, nil
+	}
+	var sc SpanContext
+	var parentID string
+	if ok {
+		sc = SpanContext{TraceID: parent.TraceID, SpanID: NewSpanID()}
+		parentID = parent.SpanID
+	} else {
+		sc = NewSpanContext()
+	}
+	ctx = ContextWithSpan(ctx, sc)
+	if tr == nil {
+		return ctx, nil
+	}
+	return ctx, &Span{tracer: tr, name: name, sc: sc, parent: parentID, start: time.Now()}
+}
+
+// SetWALSeq annotates the span with the WAL sequence it covers. Safe on
+// nil spans (tracing disabled).
+func (s *Span) SetWALSeq(seq uint64) {
+	if s != nil {
+		s.Annot.WALSeq = seq
+	}
+}
+
+// Context returns the span's own span context. Valid on nil spans.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// End emits the span event with its measured duration. Safe on nil
+// spans; a second End is ignored.
+func (s *Span) End() {
+	if s == nil || s.tracer == nil {
+		return
+	}
+	e := s.Annot
+	e.Type = EventSpan
+	e.Name = s.name
+	e.TraceID = s.sc.TraceID
+	e.SpanID = s.sc.SpanID
+	e.ParentSpanID = s.parent
+	e.DurationNanos = time.Since(s.start).Nanoseconds()
+	tr := s.tracer
+	s.tracer = nil
+	tr.Emit(e)
+}

@@ -26,6 +26,9 @@ const (
 	// transfer reclaimed from it.
 	EventLeaseExpired = "lease-expired"
 	EventReclaimed    = "reclaimed"
+	// EventSpan records one finished causal span (see span.go); the
+	// TraceID/SpanID/ParentSpanID fields link spans into a trace.
+	EventSpan = "span"
 )
 
 // Event is one structured trace record. The JSONL stream of events is the
@@ -69,6 +72,25 @@ type Event struct {
 	// SimSeconds is the simulation clock at emission, for events produced
 	// inside the simulated testbed.
 	SimSeconds float64 `json:"simSeconds,omitempty"`
+	// Name is the span's operation name (span events only), e.g.
+	// "policy.advise_transfers" or "wal.fsync".
+	Name string `json:"name,omitempty"`
+	// TraceID, SpanID and ParentSpanID link span events (and any
+	// lifecycle event emitted under a traced request) into a causal
+	// trace; ParentSpanID is empty on root spans.
+	TraceID      string `json:"traceId,omitempty"`
+	SpanID       string `json:"spanId,omitempty"`
+	ParentSpanID string `json:"parentSpanId,omitempty"`
+	// DurationNanos is the span's measured wall-clock duration.
+	DurationNanos int64 `json:"durationNanos,omitempty"`
+	// WALSeq ties a span to the mutation-log record it covers (append
+	// spans carry the appended sequence, fsync spans the last durable
+	// one).
+	WALSeq uint64 `json:"walSeq,omitempty"`
+	// Endpoint and Status annotate HTTP server spans with the route
+	// pattern and response code.
+	Endpoint string `json:"endpoint,omitempty"`
+	Status   int    `json:"status,omitempty"`
 }
 
 // Tracer receives lifecycle events. Implementations must be safe for
@@ -89,6 +111,26 @@ type JSONLTracer struct {
 	err error
 	// now is the wall clock; replaceable in tests for determinism.
 	now func() time.Time
+	// dropped counts events discarded because of a write failure (the
+	// failing write and every event rejected by the sticky error after
+	// it). Nil until SetDropCounter wires a metric.
+	dropped *Counter
+}
+
+// SetDropCounter registers the counter incremented once per event the
+// tracer drops on write failure, surfacing losses that would otherwise
+// be invisible until Close.
+func (t *JSONLTracer) SetDropCounter(c *Counter) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dropped = c
+}
+
+// drop records a discarded event. Called with t.mu held.
+func (t *JSONLTracer) drop() {
+	if t.dropped != nil {
+		t.dropped.Inc()
+	}
 }
 
 // NewJSONLTracer wraps w. If w is also an io.Closer, Close closes it after
@@ -107,6 +149,7 @@ func (t *JSONLTracer) Emit(e Event) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.err != nil {
+		t.drop()
 		return
 	}
 	t.seq++
@@ -117,14 +160,17 @@ func (t *JSONLTracer) Emit(e Event) {
 	data, err := json.Marshal(&e)
 	if err != nil {
 		t.err = err
+		t.drop()
 		return
 	}
 	if _, err := t.bw.Write(data); err != nil {
 		t.err = err
+		t.drop()
 		return
 	}
 	if err := t.bw.WriteByte('\n'); err != nil {
 		t.err = err
+		t.drop()
 	}
 }
 

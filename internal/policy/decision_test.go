@@ -1,0 +1,127 @@
+package policy
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDecisionLogRingEviction(t *testing.T) {
+	l := NewDecisionLog(3)
+	for i := 0; i < 5; i++ {
+		l.Add(DecisionRecord{Op: OpAdviseTransfers})
+	}
+	recs := l.Recent(0)
+	if len(recs) != 3 {
+		t.Fatalf("ring holds %d records, want capacity 3", len(recs))
+	}
+	// Oldest first, sequence numbers survive eviction unbroken.
+	for i, r := range recs {
+		if want := int64(i + 3); r.Seq != want {
+			t.Fatalf("record %d has seq %d, want %d", i, r.Seq, want)
+		}
+		if r.TimeUnixNano == 0 {
+			t.Fatalf("record %d has no timestamp", i)
+		}
+	}
+	if got := l.Recent(2); len(got) != 2 || got[0].Seq != 4 || got[1].Seq != 5 {
+		t.Fatalf("Recent(2) = %+v, want seqs 4,5", got)
+	}
+	if got := l.Recent(10); len(got) != 3 {
+		t.Fatalf("Recent(10) returned %d records, want all 3", len(got))
+	}
+	if l.Total() != 5 {
+		t.Fatalf("Total = %d, want 5 (eviction must not shrink lifetime count)", l.Total())
+	}
+	if l.CountByOp(OpAdviseTransfers) != 5 {
+		t.Fatalf("CountByOp = %d, want 5", l.CountByOp(OpAdviseTransfers))
+	}
+	if l.CountByOp(OpReportTransfers) != 0 {
+		t.Fatalf("CountByOp for unseen op = %d", l.CountByOp(OpReportTransfers))
+	}
+}
+
+func TestDecisionLogDefaultCapacity(t *testing.T) {
+	l := NewDecisionLog(0)
+	for i := 0; i < DefaultDecisionRing+10; i++ {
+		l.Add(DecisionRecord{Op: OpReportCleanups})
+	}
+	if got := len(l.Recent(0)); got != DefaultDecisionRing {
+		t.Fatalf("default ring holds %d, want %d", got, DefaultDecisionRing)
+	}
+}
+
+func TestDecisionLogSinkStreams(t *testing.T) {
+	l := NewDecisionLog(2) // smaller than the record count: sink must not evict
+	var sb strings.Builder
+	l.SetSink(&sb)
+	l.now = func() time.Time { return time.Unix(0, 12345) }
+	for i := 0; i < 4; i++ {
+		l.Add(DecisionRecord{
+			Op:         OpAdviseTransfers,
+			RulesFired: []RuleFiring{{Rule: "assign-streams", Salience: 10}},
+			Lines:      []DecisionLine{{ID: "t-00000001", Outcome: OutcomeAdvised, Streams: 4}},
+		})
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("sink received %d lines, want 4 (ring eviction must not drop sink records)", len(lines))
+	}
+	for i, line := range lines {
+		var rec DecisionRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d does not parse: %v", i+1, err)
+		}
+		if rec.Seq != int64(i+1) || rec.Op != OpAdviseTransfers || rec.TimeUnixNano != 12345 {
+			t.Fatalf("line %d = %+v", i+1, rec)
+		}
+		if len(rec.RulesFired) != 1 || rec.RulesFired[0].Rule != "assign-streams" {
+			t.Fatalf("line %d lost rule firings: %+v", i+1, rec)
+		}
+	}
+
+	// Detaching stops streaming without disturbing the ring.
+	l.SetSink(nil)
+	l.Add(DecisionRecord{Op: OpAdviseTransfers})
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "\n"); got != 4 {
+		t.Fatalf("detached sink received more records: %d lines", got)
+	}
+}
+
+type failingSink struct{}
+
+func (failingSink) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestDecisionLogSinkErrorSticky(t *testing.T) {
+	l := NewDecisionLog(4)
+	l.SetSink(failingSink{})
+	// Push enough bytes through bufio that the failing write surfaces.
+	big := strings.Repeat("r", 8192)
+	l.Add(DecisionRecord{Op: OpAdviseTransfers, Lines: []DecisionLine{{ID: big}}})
+	if err := l.Flush(); err == nil {
+		t.Fatal("sink failure not reported by Flush")
+	}
+	// The ring keeps working after the sink dies.
+	l.Add(DecisionRecord{Op: OpAdviseTransfers})
+	if got := l.Total(); got != 2 {
+		t.Fatalf("Total after sink failure = %d, want 2", got)
+	}
+	// A fresh sink clears the sticky error.
+	var sb strings.Builder
+	l.SetSink(&sb)
+	l.Add(DecisionRecord{Op: OpAdviseTransfers})
+	if err := l.Flush(); err != nil {
+		t.Fatalf("replacement sink still failing: %v", err)
+	}
+	if !strings.Contains(sb.String(), "advise_transfers") {
+		t.Fatalf("replacement sink got %q", sb.String())
+	}
+}

@@ -1,0 +1,59 @@
+package policy
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkAdviseFactsResident measures how one advise/report round trip
+// scales with the number of facts already resident in Policy Memory: the
+// fact count is the paper's natural load axis (every in-flight transfer
+// contributes transfer + file + pair facts). Each resident transfer sits
+// on its own host pair so threshold contention does not distort the
+// measurement; the measured transfer uses a dedicated pair too.
+//
+// The sub-benchmark names ("facts=N") feed the factsResident column of
+// BENCH_policyflow.json (see cmd/benchjson).
+func BenchmarkAdviseFactsResident(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("facts=%d", n), func(b *testing.B) {
+			svc, err := New(DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			// One spec per warm-up call: a batch puts every spec into the
+			// pending set at once and the rule joins go combinatorial.
+			for i := 0; i < n; i++ {
+				_, err := svc.AdviseTransfers([]TransferSpec{{
+					RequestID:  fmt.Sprintf("warm-%d", i),
+					WorkflowID: "resident",
+					SourceURL:  fmt.Sprintf("gsiftp://src-%d.example.org/data/f%d", i, i),
+					DestURL:    fmt.Sprintf("file://dst-%d.example.org/scratch/f%d", i, i),
+				}})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				adv, err := svc.AdviseTransfers([]TransferSpec{{
+					RequestID:  fmt.Sprintf("bench-%d", i),
+					WorkflowID: "bench",
+					SourceURL:  fmt.Sprintf("gsiftp://bench-src.example.org/data/f%d", i),
+					DestURL:    fmt.Sprintf("file://bench-dst.example.org/scratch/f%d", i),
+				}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids := make([]string, len(adv.Transfers))
+				for j, tr := range adv.Transfers {
+					ids[j] = tr.ID
+				}
+				if _, err := svc.ReportTransfers(CompletionReport{TransferIDs: ids}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -50,6 +51,9 @@ type Config struct {
 	// priority request more streams, those below request fewer. The zero
 	// value disables weighting; ordering by priority always applies.
 	Priority PriorityWeighting
+	// DecisionRing bounds the in-memory decision provenance ring; 0
+	// selects DefaultDecisionRing.
+	DecisionRing int
 	// LeaseTTL, when positive, enables the liveness subsystem: every
 	// workflow that calls AdviseTransfers/AdviseCleanups (or RenewLease)
 	// holds a lease for this many seconds of the service's logical clock.
@@ -140,6 +144,16 @@ type Service struct {
 	// mlog, when set, receives every mutation command before it is
 	// applied (write-ahead). Nil keeps the service purely in-memory.
 	mlog MutationLog
+
+	// decisions is the bounded decision-provenance ring, always present.
+	decisions *DecisionLog
+	// pendingFirings collects rule activations of the operation in
+	// progress, appended by the session's firing observer. Guarded by
+	// s.mu (every FireAll call holds it).
+	pendingFirings []RuleFiring
+	// curTrace is the trace ID of the operation in progress, stamped
+	// onto lifecycle events emitted under the lock. Guarded by s.mu.
+	curTrace string
 }
 
 // svcMetrics holds the service's registry series. All fields are created
@@ -238,10 +252,44 @@ func (s *Service) observeOp(op string, start time.Time, firingsBefore int64, err
 
 // emit forwards a lifecycle event to the tracer, if any. Callers hold s.mu;
 // the tracer serializes internally and never calls back into the service.
+// Events emitted during a traced operation are stamped with its trace ID,
+// linking the transfer lifecycle to the causal span tree.
 func (s *Service) emit(e obs.Event) {
 	if s.tracer != nil {
+		if e.TraceID == "" {
+			e.TraceID = s.curTrace
+		}
 		s.tracer.Emit(e)
 	}
+}
+
+// currentTracer returns the attached tracer, for span creation before
+// the service lock is taken.
+func (s *Service) currentTracer() obs.Tracer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tracer
+}
+
+// beginOp marks the start of a traced, provenance-recorded operation.
+// Called with s.mu held; the returned func must run before unlock.
+func (s *Service) beginOp(ctx context.Context) (done func()) {
+	if sc, ok := obs.SpanFromContext(ctx); ok {
+		s.curTrace = sc.TraceID
+	}
+	s.pendingFirings = s.pendingFirings[:0]
+	return func() { s.curTrace = "" }
+}
+
+// takeFirings returns the rule activations recorded since beginOp.
+// Called with s.mu held.
+func (s *Service) takeFirings() []RuleFiring {
+	if len(s.pendingFirings) == 0 {
+		return nil
+	}
+	out := make([]RuleFiring, len(s.pendingFirings))
+	copy(out, s.pendingFirings)
+	return out
 }
 
 // TransferObserver receives per-transfer performance measurements — the
@@ -256,10 +304,17 @@ func New(cfg Config) (*Service, error) {
 	}
 	s := &Service{cfg: cfg, session: rules.NewSession(),
 		suppressedByReason:  make(map[string]int),
-		reportUnmatchedByOp: make(map[string]int)}
+		reportUnmatchedByOp: make(map[string]int),
+		decisions:           NewDecisionLog(cfg.DecisionRing)}
 	// FIFO fairness: within a batch, the first submitted transfer is
 	// allocated first.
 	s.session.SetOldestFirst(true)
+	// Record every rule activation for decision provenance. The observer
+	// runs under the session lock inside FireAll, which the service only
+	// calls while holding s.mu, so pendingFirings needs no extra lock.
+	s.session.SetFiringObserver(func(rule string, salience int) {
+		s.pendingFirings = append(s.pendingFirings, RuleFiring{Rule: rule, Salience: salience})
+	})
 
 	newGroupID := func() string {
 		s.nextGroup++
@@ -314,35 +369,74 @@ var ErrInvalidRequest = errors.New("policy: invalid request")
 // and stream counts assigned, ordered by priority and group. Transfers in
 // the returned list are recorded as in progress until reported via
 // ReportTransfers.
-func (s *Service) AdviseTransfers(specs []TransferSpec) (adv *TransferAdvice, err error) {
+func (s *Service) AdviseTransfers(specs []TransferSpec) (*TransferAdvice, error) {
+	return s.AdviseTransfersCtx(context.Background(), specs)
+}
+
+// AdviseTransfersCtx is AdviseTransfers with causal-trace propagation:
+// the span context carried by ctx (installed from a traceparent header
+// by the HTTP layer) parents the operation's spans — advise, rule
+// firing, WAL append, group-commit sync — and stamps lifecycle events
+// and the decision record with the trace ID.
+func (s *Service) AdviseTransfersCtx(ctx context.Context, specs []TransferSpec) (adv *TransferAdvice, err error) {
 	if len(specs) == 0 {
 		return nil, ErrEmptyRequest
 	}
 	// Validate the whole batch before logging or touching Policy Memory:
 	// a rejected request must leave no partial state behind (and no WAL
-	// record), or lingering Submitted facts would suppress later valid
-	// requests for the same files as in-batch duplicates.
+	// record, and no decision record), or lingering Submitted facts would
+	// suppress later valid requests for the same files as in-batch
+	// duplicates.
 	for i, spec := range specs {
 		if spec.SourceURL == "" || spec.DestURL == "" {
 			return nil, fmt.Errorf("%w: request %d: source and destination URLs are required", ErrInvalidRequest, i)
 		}
 	}
+	ctx, opSpan := obs.StartSpan(ctx, s.currentTracer(), "policy.advise_transfers")
 	start := time.Now()
 	var logSeq uint64
+	var rec *DecisionRecord
 	// Declared before the unlock defer so it runs after the lock is
 	// released: waiting for the WAL's group-commit fsync outside the lock
-	// is what lets concurrent advise calls amortize one fsync.
+	// is what lets concurrent advise calls amortize one fsync. The
+	// decision record commits here too — only acknowledged operations
+	// (synced, about to be returned) produce provenance.
 	defer func() {
-		if serr := s.syncLog(logSeq); serr != nil && err == nil {
+		var syncSpan *obs.Span
+		if logSeq != 0 {
+			_, syncSpan = obs.StartSpan(ctx, s.currentTracer(), "wal.sync")
+		}
+		serr := s.syncLog(logSeq)
+		if syncSpan != nil {
+			syncSpan.Annot.WALSeq = logSeq
+			syncSpan.End()
+		}
+		if serr != nil && err == nil {
 			adv, err = nil, serr
 		}
+		if err == nil && rec != nil {
+			s.decisions.Add(*rec)
+		}
+		opSpan.SetWALSeq(logSeq)
+		opSpan.End()
 	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.beginOp(ctx)()
+	factsBefore := s.session.FactCount()
 	firingsBefore := s.session.Firings()
 	var opErr error
 	defer func() { s.observeOp("advise_transfers", start, firingsBefore, opErr) }()
-	if logSeq, opErr = s.appendLog(OpAdviseTransfers, specs); opErr != nil {
+	var appendSpan *obs.Span
+	if s.mlog != nil {
+		_, appendSpan = obs.StartSpan(ctx, s.tracer, "wal.append")
+	}
+	logSeq, opErr = s.appendLog(OpAdviseTransfers, specs)
+	if appendSpan != nil {
+		appendSpan.Annot.WALSeq = logSeq
+		appendSpan.End()
+	}
+	if opErr != nil {
 		return nil, opErr
 	}
 	// Advising doubles as a liveness signal: the calling workflows' leases
@@ -380,12 +474,16 @@ func (s *Service) AdviseTransfers(specs []TransferSpec) (adv *TransferAdvice, er
 			Priority:   t.Priority,
 		})
 	}
-	if _, err := s.session.FireAll(s.cfg.FireBudget); err != nil {
-		opErr = fmt.Errorf("policy: rule evaluation: %w", err)
+	_, fireSpan := obs.StartSpan(ctx, s.tracer, "rules.fire")
+	_, fireErr := s.session.FireAll(s.cfg.FireBudget)
+	fireSpan.End()
+	if fireErr != nil {
+		opErr = fmt.Errorf("policy: rule evaluation: %w", fireErr)
 		return nil, opErr
 	}
 
 	adv = &TransferAdvice{}
+	lines := make([]DecisionLine, 0, len(batch))
 	for _, t := range batch {
 		switch t.State {
 		case TransferDuplicate:
@@ -394,6 +492,14 @@ func (s *Service) AdviseTransfers(specs []TransferSpec) (adv *TransferAdvice, er
 				SourceURL: t.SourceURL,
 				DestURL:   t.DestURL,
 				Reason:    t.DupReason,
+			})
+			lines = append(lines, DecisionLine{
+				ID:         t.ID,
+				RequestID:  t.RequestID,
+				WorkflowID: t.WorkflowID,
+				FileURL:    t.DestURL,
+				Outcome:    OutcomeSuppressed,
+				Reason:     t.DupReason,
 			})
 			s.suppressed++
 			s.suppressedByReason[t.DupReason]++
@@ -449,12 +555,30 @@ func (s *Service) AdviseTransfers(specs []TransferSpec) (adv *TransferAdvice, er
 				Priority:         t.Priority,
 				RequestedStreams: t.RequestedStreams,
 			})
+			lines = append(lines, DecisionLine{
+				ID:         t.ID,
+				RequestID:  t.RequestID,
+				WorkflowID: t.WorkflowID,
+				FileURL:    t.DestURL,
+				Outcome:    OutcomeAdvised,
+				GroupID:    t.GroupID,
+				Streams:    t.AllocatedStreams,
+			})
 		default:
 			opErr = fmt.Errorf("policy: transfer %s left in unexpected state %v", t.ID, t.State)
 			return nil, opErr
 		}
 	}
 	sortAdvice(adv.Transfers)
+	rec = &DecisionRecord{
+		Op:          OpAdviseTransfers,
+		TraceID:     s.curTrace,
+		WALSeq:      logSeq,
+		FactsBefore: factsBefore,
+		FactsAfter:  s.session.FactCount(),
+		RulesFired:  s.takeFirings(),
+		Lines:       lines,
+	}
 	return adv, nil
 }
 
@@ -504,6 +628,12 @@ func (s *Service) SetObserver(obs TransferObserver) {
 // report after reclamation, a client bug) and were previously dropped
 // silently.
 func (s *Service) ReportTransfers(report CompletionReport) (*ReportAck, error) {
+	return s.ReportTransfersCtx(context.Background(), report)
+}
+
+// ReportTransfersCtx is ReportTransfers with causal-trace propagation;
+// see AdviseTransfersCtx.
+func (s *Service) ReportTransfersCtx(ctx context.Context, report CompletionReport) (*ReportAck, error) {
 	type observation struct {
 		pair    HostPair
 		streams int
@@ -512,12 +642,26 @@ func (s *Service) ReportTransfers(report CompletionReport) (*ReportAck, error) {
 	}
 	var pending []observation
 
+	ctx, opSpan := obs.StartSpan(ctx, s.currentTracer(), "policy.report_transfers")
+	defer opSpan.End()
 	start := time.Now()
 	s.mu.Lock()
+	endOp := s.beginOp(ctx)
+	factsBefore := s.session.FactCount()
 	firingsBefore := s.session.Firings()
+	var appendSpan *obs.Span
+	if s.mlog != nil {
+		_, appendSpan = obs.StartSpan(ctx, s.tracer, "wal.append")
+	}
 	logSeq, logErr := s.appendLog(OpReportTransfers, report)
+	if appendSpan != nil {
+		appendSpan.Annot.WALSeq = logSeq
+		appendSpan.End()
+	}
+	opSpan.SetWALSeq(logSeq)
 	if logErr != nil {
 		s.observeOp("report_transfers", start, firingsBefore, logErr)
+		endOp()
 		s.mu.Unlock()
 		return nil, logErr
 	}
@@ -531,20 +675,36 @@ func (s *Service) ReportTransfers(report CompletionReport) (*ReportAck, error) {
 		}
 	}
 	ack := &ReportAck{}
+	lines := make([]DecisionLine, 0, len(report.TransferIDs)+len(report.FailedIDs))
+	line := func(id, outcome string) DecisionLine {
+		dl := DecisionLine{ID: id, Outcome: outcome}
+		if t, ok := rules.First(s.session, func(t *Transfer) bool { return t.ID == id }); ok {
+			dl.RequestID = t.RequestID
+			dl.WorkflowID = t.WorkflowID
+			dl.FileURL = t.DestURL
+			dl.GroupID = t.GroupID
+			dl.Streams = t.AllocatedStreams
+		}
+		return dl
+	}
 	for _, id := range report.TransferIDs {
 		if live[id] {
 			delete(live, id)
 			ack.Matched++
+			lines = append(lines, line(id, OutcomeCompleted))
 		} else {
 			ack.Unmatched++
+			lines = append(lines, line(id, OutcomeUnmatched))
 		}
 	}
 	for _, id := range report.FailedIDs {
 		if live[id] {
 			delete(live, id)
 			ack.Matched++
+			lines = append(lines, line(id, OutcomeFailed))
 		} else {
 			ack.Unmatched++
+			lines = append(lines, line(id, OutcomeUnmatched))
 		}
 	}
 	if ack.Unmatched > 0 {
@@ -580,17 +740,39 @@ func (s *Service) ReportTransfers(report CompletionReport) (*ReportAck, error) {
 	for _, id := range report.FailedIDs {
 		s.session.Insert(&TransferResult{TransferID: id, Failed: true})
 	}
+	_, fireSpan := obs.StartSpan(ctx, s.tracer, "rules.fire")
 	_, err := s.session.FireAll(s.cfg.FireBudget)
+	fireSpan.End()
+	rec := DecisionRecord{
+		Op:          OpReportTransfers,
+		TraceID:     s.curTrace,
+		WALSeq:      logSeq,
+		FactsBefore: factsBefore,
+		FactsAfter:  s.session.FactCount(),
+		RulesFired:  s.takeFirings(),
+		Lines:       lines,
+	}
 	observer := s.observer
 	s.observeOp("report_transfers", start, firingsBefore, err)
+	endOp()
 	s.mu.Unlock()
 
 	if err != nil {
 		return nil, fmt.Errorf("policy: rule evaluation: %w", err)
 	}
-	if serr := s.syncLog(logSeq); serr != nil {
+	var syncSpan *obs.Span
+	if logSeq != 0 {
+		_, syncSpan = obs.StartSpan(ctx, s.currentTracer(), "wal.sync")
+	}
+	serr := s.syncLog(logSeq)
+	if syncSpan != nil {
+		syncSpan.Annot.WALSeq = logSeq
+		syncSpan.End()
+	}
+	if serr != nil {
 		return nil, serr
 	}
+	s.decisions.Add(rec)
 	if observer != nil {
 		for _, o := range pending {
 			observer(o.pair, o.streams, o.size, o.seconds)
@@ -620,7 +802,13 @@ func (s *Service) emitResults(eventType string, ids []string, seconds map[string
 // AdviseCleanups evaluates a list of file-deletion requests: duplicates and
 // deletions of files still in use by other workflows are removed. Approved
 // cleanups are recorded as in progress until reported via ReportCleanups.
-func (s *Service) AdviseCleanups(specs []CleanupSpec) (adv *CleanupAdvice, err error) {
+func (s *Service) AdviseCleanups(specs []CleanupSpec) (*CleanupAdvice, error) {
+	return s.AdviseCleanupsCtx(context.Background(), specs)
+}
+
+// AdviseCleanupsCtx is AdviseCleanups with causal-trace propagation;
+// see AdviseTransfersCtx.
+func (s *Service) AdviseCleanupsCtx(ctx context.Context, specs []CleanupSpec) (adv *CleanupAdvice, err error) {
 	if len(specs) == 0 {
 		return nil, ErrEmptyRequest
 	}
@@ -631,19 +819,46 @@ func (s *Service) AdviseCleanups(specs []CleanupSpec) (adv *CleanupAdvice, err e
 			return nil, fmt.Errorf("%w: cleanup request %d: file URL is required", ErrInvalidRequest, i)
 		}
 	}
+	ctx, opSpan := obs.StartSpan(ctx, s.currentTracer(), "policy.advise_cleanups")
 	start := time.Now()
 	var logSeq uint64
+	var rec *DecisionRecord
 	defer func() {
-		if serr := s.syncLog(logSeq); serr != nil && err == nil {
+		var syncSpan *obs.Span
+		if logSeq != 0 {
+			_, syncSpan = obs.StartSpan(ctx, s.currentTracer(), "wal.sync")
+		}
+		serr := s.syncLog(logSeq)
+		if syncSpan != nil {
+			syncSpan.Annot.WALSeq = logSeq
+			syncSpan.End()
+		}
+		if serr != nil && err == nil {
 			adv, err = nil, serr
 		}
+		if err == nil && rec != nil {
+			s.decisions.Add(*rec)
+		}
+		opSpan.SetWALSeq(logSeq)
+		opSpan.End()
 	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.beginOp(ctx)()
+	factsBefore := s.session.FactCount()
 	firingsBefore := s.session.Firings()
 	var opErr error
 	defer func() { s.observeOp("advise_cleanups", start, firingsBefore, opErr) }()
-	if logSeq, opErr = s.appendLog(OpAdviseCleanups, specs); opErr != nil {
+	var appendSpan *obs.Span
+	if s.mlog != nil {
+		_, appendSpan = obs.StartSpan(ctx, s.tracer, "wal.append")
+	}
+	logSeq, opErr = s.appendLog(OpAdviseCleanups, specs)
+	if appendSpan != nil {
+		appendSpan.Annot.WALSeq = logSeq
+		appendSpan.End()
+	}
+	if opErr != nil {
 		return nil, opErr
 	}
 	s.renewLeasesLocked(cleanupOwners(specs))
@@ -661,12 +876,16 @@ func (s *Service) AdviseCleanups(specs []CleanupSpec) (adv *CleanupAdvice, err e
 		batch = append(batch, c)
 		s.session.Insert(c)
 	}
-	if _, err := s.session.FireAll(s.cfg.FireBudget); err != nil {
-		opErr = fmt.Errorf("policy: rule evaluation: %w", err)
+	_, fireSpan := obs.StartSpan(ctx, s.tracer, "rules.fire")
+	_, fireErr := s.session.FireAll(s.cfg.FireBudget)
+	fireSpan.End()
+	if fireErr != nil {
+		opErr = fmt.Errorf("policy: rule evaluation: %w", fireErr)
 		return nil, opErr
 	}
 
 	adv = &CleanupAdvice{}
+	lines := make([]DecisionLine, 0, len(batch))
 	for _, c := range batch {
 		switch c.State {
 		case CleanupRemoved:
@@ -674,6 +893,14 @@ func (s *Service) AdviseCleanups(specs []CleanupSpec) (adv *CleanupAdvice, err e
 				RequestID: c.RequestID,
 				FileURL:   c.FileURL,
 				Reason:    c.Reason,
+			})
+			lines = append(lines, DecisionLine{
+				ID:         c.ID,
+				RequestID:  c.RequestID,
+				WorkflowID: c.WorkflowID,
+				FileURL:    c.FileURL,
+				Outcome:    OutcomeSuppressed,
+				Reason:     c.Reason,
 			})
 			if s.metrics != nil {
 				s.metrics.cleanSupp.With(c.Reason).Inc()
@@ -706,10 +933,26 @@ func (s *Service) AdviseCleanups(specs []CleanupSpec) (adv *CleanupAdvice, err e
 				WorkflowID: c.WorkflowID,
 				FileURL:    c.FileURL,
 			})
+			lines = append(lines, DecisionLine{
+				ID:         c.ID,
+				RequestID:  c.RequestID,
+				WorkflowID: c.WorkflowID,
+				FileURL:    c.FileURL,
+				Outcome:    OutcomeAdvised,
+			})
 		default:
 			opErr = fmt.Errorf("policy: cleanup %s left in unexpected state %v", c.ID, c.State)
 			return nil, opErr
 		}
+	}
+	rec = &DecisionRecord{
+		Op:          OpAdviseCleanups,
+		TraceID:     s.curTrace,
+		WALSeq:      logSeq,
+		FactsBefore: factsBefore,
+		FactsAfter:  s.session.FactCount(),
+		RulesFired:  s.takeFirings(),
+		Lines:       lines,
 	}
 	return adv, nil
 }
@@ -718,20 +961,53 @@ func (s *Service) AdviseCleanups(specs []CleanupSpec) (adv *CleanupAdvice, err e
 // deleted files' resources are removed from Policy Memory. The returned
 // ack counts IDs that matched an in-progress cleanup versus matched
 // nothing, mirroring ReportTransfers.
-func (s *Service) ReportCleanups(report CleanupReport) (ack *ReportAck, err error) {
+func (s *Service) ReportCleanups(report CleanupReport) (*ReportAck, error) {
+	return s.ReportCleanupsCtx(context.Background(), report)
+}
+
+// ReportCleanupsCtx is ReportCleanups with causal-trace propagation;
+// see AdviseTransfersCtx.
+func (s *Service) ReportCleanupsCtx(ctx context.Context, report CleanupReport) (ack *ReportAck, err error) {
+	ctx, opSpan := obs.StartSpan(ctx, s.currentTracer(), "policy.report_cleanups")
 	start := time.Now()
 	var logSeq uint64
+	var rec *DecisionRecord
 	defer func() {
-		if serr := s.syncLog(logSeq); serr != nil && err == nil {
+		var syncSpan *obs.Span
+		if logSeq != 0 {
+			_, syncSpan = obs.StartSpan(ctx, s.currentTracer(), "wal.sync")
+		}
+		serr := s.syncLog(logSeq)
+		if syncSpan != nil {
+			syncSpan.Annot.WALSeq = logSeq
+			syncSpan.End()
+		}
+		if serr != nil && err == nil {
 			ack, err = nil, serr
 		}
+		if err == nil && rec != nil {
+			s.decisions.Add(*rec)
+		}
+		opSpan.SetWALSeq(logSeq)
+		opSpan.End()
 	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.beginOp(ctx)()
+	factsBefore := s.session.FactCount()
 	firingsBefore := s.session.Firings()
 	var opErr error
 	defer func() { s.observeOp("report_cleanups", start, firingsBefore, opErr) }()
-	if logSeq, opErr = s.appendLog(OpReportCleanups, report); opErr != nil {
+	var appendSpan *obs.Span
+	if s.mlog != nil {
+		_, appendSpan = obs.StartSpan(ctx, s.tracer, "wal.append")
+	}
+	logSeq, opErr = s.appendLog(OpReportCleanups, report)
+	if appendSpan != nil {
+		appendSpan.Annot.WALSeq = logSeq
+		appendSpan.End()
+	}
+	if opErr != nil {
 		return nil, opErr
 	}
 	live := make(map[string]bool)
@@ -741,23 +1017,29 @@ func (s *Service) ReportCleanups(report CleanupReport) (ack *ReportAck, err erro
 		}
 	}
 	ack = &ReportAck{}
+	lines := make([]DecisionLine, 0, len(report.CleanupIDs))
 	for _, id := range report.CleanupIDs {
+		dl := DecisionLine{ID: id, Outcome: OutcomeCleaned}
 		if live[id] {
 			delete(live, id)
 			ack.Matched++
 		} else {
 			ack.Unmatched++
+			dl.Outcome = OutcomeUnmatched
 		}
-		if s.tracer != nil {
-			e := obs.Event{Type: obs.EventCleaned, TransferID: id}
-			cid := id
-			if c, ok := rules.First(s.session, func(c *Cleanup) bool { return c.ID == cid }); ok {
-				e.RequestID = c.RequestID
-				e.WorkflowID = c.WorkflowID
-				e.FileURL = c.FileURL
+		cid := id
+		if c, ok := rules.First(s.session, func(c *Cleanup) bool { return c.ID == cid }); ok {
+			dl.RequestID = c.RequestID
+			dl.WorkflowID = c.WorkflowID
+			dl.FileURL = c.FileURL
+			if s.tracer != nil {
+				s.emit(obs.Event{Type: obs.EventCleaned, TransferID: id,
+					RequestID: c.RequestID, WorkflowID: c.WorkflowID, FileURL: c.FileURL})
 			}
-			s.emit(e)
+		} else if s.tracer != nil {
+			s.emit(obs.Event{Type: obs.EventCleaned, TransferID: id})
 		}
+		lines = append(lines, dl)
 		s.session.Insert(&CleanupResult{CleanupID: id})
 	}
 	if ack.Unmatched > 0 {
@@ -766,9 +1048,21 @@ func (s *Service) ReportCleanups(report CleanupReport) (ack *ReportAck, err erro
 			s.metrics.reportUnmatch.With("report_cleanups").Add(float64(ack.Unmatched))
 		}
 	}
-	if _, ferr := s.session.FireAll(s.cfg.FireBudget); ferr != nil {
-		opErr = fmt.Errorf("policy: rule evaluation: %w", ferr)
+	_, fireSpan := obs.StartSpan(ctx, s.tracer, "rules.fire")
+	_, fireErr := s.session.FireAll(s.cfg.FireBudget)
+	fireSpan.End()
+	if fireErr != nil {
+		opErr = fmt.Errorf("policy: rule evaluation: %w", fireErr)
 		return nil, opErr
+	}
+	rec = &DecisionRecord{
+		Op:          OpReportCleanups,
+		TraceID:     s.curTrace,
+		WALSeq:      logSeq,
+		FactsBefore: factsBefore,
+		FactsAfter:  s.session.FactCount(),
+		RulesFired:  s.takeFirings(),
+		Lines:       lines,
 	}
 	return ack, nil
 }

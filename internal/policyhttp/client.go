@@ -12,6 +12,8 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -231,11 +233,17 @@ func (c *Client) countFault(path, kind string) {
 // the server applies the mutation at most once even when responses are
 // lost and the call is retried.
 func (c *Client) do(method, path string, in, out any) error {
+	return c.doCtx(c.ctx, method, path, in, out)
+}
+
+// doCtx is do deriving from the caller's context, joining its causal
+// trace (see doKeyedCtx).
+func (c *Client) doCtx(ctx context.Context, method, path string, in, out any) error {
 	var idemKey string
 	if method != http.MethodGet {
 		idemKey = c.newIdempotencyKey()
 	}
-	return c.doKeyed(method, path, idemKey, in, out)
+	return c.doKeyedCtx(ctx, method, path, idemKey, in, out)
 }
 
 // doKeyed is do with a caller-chosen idempotency key: callers that retry a
@@ -243,6 +251,17 @@ func (c *Client) do(method, path string, in, out any) error {
 // degraded-mode backlog) keep the key stable so the server applies the
 // mutation at most once across all of them.
 func (c *Client) doKeyed(method, path, idemKey string, in, out any) error {
+	return c.doKeyedCtx(c.ctx, method, path, idemKey, in, out)
+}
+
+// doKeyedCtx performs one logical call with retries under ctx. A span
+// context is fixed once per logical call — derived from the trace in ctx
+// when there is one, freshly minted otherwise — and sent as the
+// Traceparent header on every attempt, so all retries of one call (and,
+// via ReplicatedClient, all replicas it lands on) share one trace ID and
+// the fault episode is reconstructable end-to-end from the server-side
+// event logs.
+func (c *Client) doKeyedCtx(ctx context.Context, method, path, idemKey string, in, out any) error {
 	var body []byte
 	if in != nil {
 		var err error
@@ -250,6 +269,12 @@ func (c *Client) doKeyed(method, path, idemKey string, in, out any) error {
 		if err != nil {
 			return fmt.Errorf("policyhttp: encode request: %w", err)
 		}
+	}
+	var sc obs.SpanContext
+	if parent, ok := obs.SpanFromContext(ctx); ok {
+		sc = obs.SpanContext{TraceID: parent.TraceID, SpanID: obs.NewSpanID()}
+	} else {
+		sc = obs.NewSpanContext()
 	}
 	if c.metrics != nil {
 		c.metrics.Requests.With(path).Inc()
@@ -265,11 +290,11 @@ func (c *Client) doKeyed(method, path, idemKey string, in, out any) error {
 				c.metrics.Retries.With(path).Inc()
 			}
 			c.sleep(c.backoff(attempt - 1))
-			if err := c.ctx.Err(); err != nil {
+			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("policyhttp: %s %s: %w", method, path, err)
 			}
 		}
-		done, err := c.attempt(method, path, body, idemKey, in != nil, out)
+		done, err := c.attempt(ctx, method, path, body, idemKey, sc, in != nil, out)
 		if done {
 			return err
 		}
@@ -283,12 +308,12 @@ func (c *Client) doKeyed(method, path, idemKey string, in, out any) error {
 
 // attempt performs one HTTP attempt. done=false means the failure is
 // retryable; done=true returns the final result (success or not).
-func (c *Client) attempt(method, path string, body []byte, idemKey string, hasBody bool, out any) (done bool, err error) {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, idemKey string, sc obs.SpanContext, hasBody bool, out any) (done bool, err error) {
 	var rd io.Reader
 	if hasBody {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(c.ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return true, fmt.Errorf("policyhttp: build request: %w", err)
 	}
@@ -298,6 +323,9 @@ func (c *Client) attempt(method, path string, body []byte, idemKey string, hasBo
 	req.Header.Set("Accept", c.contentType())
 	if idemKey != "" {
 		req.Header.Set(IdempotencyKeyHeader, idemKey)
+	}
+	if sc.Valid() {
+		req.Header.Set(obs.TraceparentHeader, sc.Traceparent())
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -372,8 +400,14 @@ func (c *Client) decodeError(resp *http.Response) error {
 
 // AdviseTransfers submits a transfer list and returns the modified list.
 func (c *Client) AdviseTransfers(specs []policy.TransferSpec) (*policy.TransferAdvice, error) {
+	return c.AdviseTransfersCtx(c.ctx, specs)
+}
+
+// AdviseTransfersCtx is AdviseTransfers joining the causal trace carried
+// by ctx (all retry attempts share one trace ID).
+func (c *Client) AdviseTransfersCtx(ctx context.Context, specs []policy.TransferSpec) (*policy.TransferAdvice, error) {
 	var doc TransferAdviceDoc
-	if err := c.do(http.MethodPost, "/v1/transfers", &TransferRequest{Transfers: specs}, &doc); err != nil {
+	if err := c.doCtx(ctx, http.MethodPost, "/v1/transfers", &TransferRequest{Transfers: specs}, &doc); err != nil {
 		return nil, err
 	}
 	return &doc.TransferAdvice, nil
@@ -381,14 +415,26 @@ func (c *Client) AdviseTransfers(specs []policy.TransferSpec) (*policy.TransferA
 
 // ReportTransfers reports completed and failed transfers.
 func (c *Client) ReportTransfers(report policy.CompletionReport) (*policy.ReportAck, error) {
-	return c.ReportTransfersKeyed(c.newIdempotencyKey(), report)
+	return c.ReportTransfersCtx(c.ctx, report)
+}
+
+// ReportTransfersCtx is ReportTransfers joining the causal trace carried
+// by ctx.
+func (c *Client) ReportTransfersCtx(ctx context.Context, report policy.CompletionReport) (*policy.ReportAck, error) {
+	return c.ReportTransfersKeyedCtx(ctx, c.newIdempotencyKey(), report)
 }
 
 // ReportTransfersKeyed is ReportTransfers with a caller-chosen idempotency
 // key (see KeyedReporter in internal/transfer).
 func (c *Client) ReportTransfersKeyed(key string, report policy.CompletionReport) (*policy.ReportAck, error) {
+	return c.ReportTransfersKeyedCtx(c.ctx, key, report)
+}
+
+// ReportTransfersKeyedCtx combines a caller-chosen idempotency key with a
+// caller trace context.
+func (c *Client) ReportTransfersKeyedCtx(ctx context.Context, key string, report policy.CompletionReport) (*policy.ReportAck, error) {
 	var doc ReportAckDoc
-	if err := c.doKeyed(http.MethodPost, "/v1/transfers/completed", key,
+	if err := c.doKeyedCtx(ctx, http.MethodPost, "/v1/transfers/completed", key,
 		&CompletionDoc{CompletionReport: report}, &doc); err != nil {
 		return nil, err
 	}
@@ -397,8 +443,14 @@ func (c *Client) ReportTransfersKeyed(key string, report policy.CompletionReport
 
 // AdviseCleanups submits a cleanup list and returns the modified list.
 func (c *Client) AdviseCleanups(specs []policy.CleanupSpec) (*policy.CleanupAdvice, error) {
+	return c.AdviseCleanupsCtx(c.ctx, specs)
+}
+
+// AdviseCleanupsCtx is AdviseCleanups joining the causal trace carried by
+// ctx.
+func (c *Client) AdviseCleanupsCtx(ctx context.Context, specs []policy.CleanupSpec) (*policy.CleanupAdvice, error) {
 	var doc CleanupAdviceDoc
-	if err := c.do(http.MethodPost, "/v1/cleanups", &CleanupRequest{Cleanups: specs}, &doc); err != nil {
+	if err := c.doCtx(ctx, http.MethodPost, "/v1/cleanups", &CleanupRequest{Cleanups: specs}, &doc); err != nil {
 		return nil, err
 	}
 	return &doc.CleanupAdvice, nil
@@ -406,14 +458,26 @@ func (c *Client) AdviseCleanups(specs []policy.CleanupSpec) (*policy.CleanupAdvi
 
 // ReportCleanups reports completed cleanups.
 func (c *Client) ReportCleanups(report policy.CleanupReport) (*policy.ReportAck, error) {
-	return c.ReportCleanupsKeyed(c.newIdempotencyKey(), report)
+	return c.ReportCleanupsCtx(c.ctx, report)
+}
+
+// ReportCleanupsCtx is ReportCleanups joining the causal trace carried by
+// ctx.
+func (c *Client) ReportCleanupsCtx(ctx context.Context, report policy.CleanupReport) (*policy.ReportAck, error) {
+	return c.ReportCleanupsKeyedCtx(ctx, c.newIdempotencyKey(), report)
 }
 
 // ReportCleanupsKeyed is ReportCleanups with a caller-chosen idempotency
 // key.
 func (c *Client) ReportCleanupsKeyed(key string, report policy.CleanupReport) (*policy.ReportAck, error) {
+	return c.ReportCleanupsKeyedCtx(c.ctx, key, report)
+}
+
+// ReportCleanupsKeyedCtx combines a caller-chosen idempotency key with a
+// caller trace context.
+func (c *Client) ReportCleanupsKeyedCtx(ctx context.Context, key string, report policy.CleanupReport) (*policy.ReportAck, error) {
 	var doc ReportAckDoc
-	if err := c.doKeyed(http.MethodPost, "/v1/cleanups/completed", key,
+	if err := c.doKeyedCtx(ctx, http.MethodPost, "/v1/cleanups/completed", key,
 		&CleanupReportDoc{CleanupReport: report}, &doc); err != nil {
 		return nil, err
 	}
@@ -422,8 +486,12 @@ func (c *Client) ReportCleanupsKeyed(key string, report policy.CleanupReport) (*
 
 // RenewLease registers or extends the workflow's liveness lease.
 func (c *Client) RenewLease(workflowID string) (*policy.LeaseStatus, error) {
+	return c.renewLeaseCtx(c.ctx, workflowID)
+}
+
+func (c *Client) renewLeaseCtx(ctx context.Context, workflowID string) (*policy.LeaseStatus, error) {
 	var doc LeaseStatusDoc
-	if err := c.do(http.MethodPost, "/v1/leases/renew", &LeaseRenewal{WorkflowID: workflowID}, &doc); err != nil {
+	if err := c.doCtx(ctx, http.MethodPost, "/v1/leases/renew", &LeaseRenewal{WorkflowID: workflowID}, &doc); err != nil {
 		return nil, err
 	}
 	return &doc.LeaseStatus, nil
@@ -441,8 +509,12 @@ func (c *Client) Leases() (*policy.LeaseList, error) {
 // AdvanceClock moves the service's logical clock forward, expiring leases
 // whose deadlines have passed and reclaiming their holdings.
 func (c *Client) AdvanceClock(now float64) (*policy.ClockAdvance, error) {
+	return c.advanceClockCtx(c.ctx, now)
+}
+
+func (c *Client) advanceClockCtx(ctx context.Context, now float64) (*policy.ClockAdvance, error) {
 	var doc ClockAdvanceDoc
-	if err := c.do(http.MethodPost, "/v1/clock/advance", &ClockUpdate{Now: now}, &doc); err != nil {
+	if err := c.doCtx(ctx, http.MethodPost, "/v1/clock/advance", &ClockUpdate{Now: now}, &doc); err != nil {
 		return nil, err
 	}
 	return &doc.ClockAdvance, nil
@@ -459,7 +531,11 @@ func (c *Client) State() (*policy.Snapshot, error) {
 
 // SetThreshold sets the stream threshold for a host pair.
 func (c *Client) SetThreshold(sourceHost, destHost string, max int) error {
-	return c.do(http.MethodPut, "/v1/thresholds", &ThresholdUpdate{
+	return c.setThresholdCtx(c.ctx, sourceHost, destHost, max)
+}
+
+func (c *Client) setThresholdCtx(ctx context.Context, sourceHost, destHost string, max int) error {
+	return c.doCtx(ctx, http.MethodPut, "/v1/thresholds", &ThresholdUpdate{
 		SourceHost: sourceHost, DestHost: destHost, Max: max,
 	}, nil)
 }
@@ -484,6 +560,34 @@ func (c *Client) Metrics() (string, error) {
 		return "", fmt.Errorf("policyhttp: read metrics: %w", err)
 	}
 	return string(data), nil
+}
+
+// Decisions fetches recent decision provenance records from
+// /v1/decisions, oldest first. Zero or empty arguments mean no limit or
+// no filter; lfn matches exactly, by path basename, or by suffix.
+func (c *Client) Decisions(n int, op, workflow, lfn string) ([]policy.DecisionRecord, error) {
+	q := url.Values{}
+	if n > 0 {
+		q.Set("n", strconv.Itoa(n))
+	}
+	if op != "" {
+		q.Set("op", op)
+	}
+	if workflow != "" {
+		q.Set("workflow", workflow)
+	}
+	if lfn != "" {
+		q.Set("lfn", lfn)
+	}
+	path := "/v1/decisions"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var doc DecisionListDoc
+	if err := c.do(http.MethodGet, path, nil, &doc); err != nil {
+		return nil, err
+	}
+	return doc.Decisions, nil
 }
 
 // Dump fetches a full Policy Memory snapshot.

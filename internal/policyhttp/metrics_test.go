@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"strconv"
 	"strings"
 	"sync"
@@ -232,6 +233,123 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 	} {
 		if !strings.Contains(text, frag) {
 			t.Errorf("scrape missing %q", frag)
+		}
+	}
+	if t.Failed() {
+		t.Logf("scrape:\n%s", text)
+	}
+}
+
+// metricName is the naming rule every exported family must obey: lowercase
+// words joined by underscores, nothing else.
+var metricName = regexp.MustCompile(`^[a-z_]+$`)
+
+// TestMetricsConformance is the scrape self-check: after traffic has
+// touched every endpoint class, each exported family must carry exactly
+// one HELP and one TYPE line, every family and series name must match
+// ^[a-z_]+$, and no series may be emitted twice. It guards against a
+// hand-rolled exporter drifting out of the Prometheus exposition format
+// as metrics are added.
+func TestMetricsConformance(t *testing.T) {
+	svc, err := policy.New(policy.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	tracer := obs.NewJSONLTracer(io.Discard)
+	// Mirror the cmd/policyserver wiring so the drop counter is scraped.
+	tracer.SetDropCounter(reg.Counter("obs_trace_dropped_total",
+		"Trace events discarded because the JSONL sink failed.").With())
+	ts := httptest.NewServer(NewServerWith(svc, nil, reg, tracer))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	// One request per endpoint class, including an error and a 404, so
+	// every label dimension the server knows materializes in the scrape.
+	adv, err := c.AdviseTransfers([]policy.TransferSpec{testSpec(1, "wf1"), testSpec(2, "wf1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReportTransfers(policy.CompletionReport{
+		TransferIDs: []string{adv.Transfers[0].ID},
+		FailedIDs:   []string{adv.Transfers[1].ID},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cadv, err := c.AdviseCleanups([]policy.CleanupSpec{{RequestID: "c1", WorkflowID: "wf1", FileURL: testSpec(1, "wf1").DestURL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cadv.Cleanups) == 1 {
+		if _, err := c.ReportCleanups(policy.CleanupReport{CleanupIDs: []string{cadv.Cleanups[0].ID}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.SetThreshold("src.example.org", "dst.example.org", 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decisions(0, "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AdviseTransfers(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if resp, err := http.Get(ts.URL + "/nope"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	validatePrometheusFormat(t, text)
+
+	helpCount := map[string]int{}
+	typeCount := map[string]int{}
+	seen := map[string]bool{}
+	for i, line := range strings.Split(text, "\n") {
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "# HELP "):
+			name, _, _ := strings.Cut(strings.TrimPrefix(line, "# HELP "), " ")
+			if !metricName.MatchString(name) {
+				t.Errorf("line %d: family name %q violates [a-z_]+", i+1, name)
+			}
+			helpCount[name]++
+		case strings.HasPrefix(line, "# TYPE "):
+			name, _, _ := strings.Cut(strings.TrimPrefix(line, "# TYPE "), " ")
+			typeCount[name]++
+		default:
+			name := line
+			if j := strings.IndexAny(line, "{ "); j >= 0 {
+				name = line[:j]
+			}
+			if !metricName.MatchString(name) {
+				t.Errorf("line %d: series name %q violates [a-z_]+", i+1, name)
+			}
+			series := line[:strings.LastIndex(line, " ")]
+			if seen[series] {
+				t.Errorf("line %d: series %s emitted twice", i+1, series)
+			}
+			seen[series] = true
+		}
+	}
+	for name, n := range helpCount {
+		if n != 1 {
+			t.Errorf("family %s has %d HELP lines", name, n)
+		}
+		if typeCount[name] != 1 {
+			t.Errorf("family %s has %d TYPE lines", name, typeCount[name])
+		}
+	}
+	for _, fam := range []string{"obs_trace_dropped_total", "http_requests_total", "policy_request_seconds"} {
+		if helpCount[fam] == 0 {
+			t.Errorf("scrape missing family %s", fam)
 		}
 	}
 	if t.Failed() {

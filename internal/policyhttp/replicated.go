@@ -1,10 +1,12 @@
 package policyhttp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 
+	"policyflow/internal/obs"
 	"policyflow/internal/policy"
 )
 
@@ -60,8 +62,13 @@ func (rc *ReplicatedClient) Healthy() []int {
 // — every peer would refuse it identically, so no peer sees it and no
 // state diverges. A rejection AFTER another replica accepted the same
 // call means the rejecting replica has diverged, and it is marked down.
-func apply[T any](rc *ReplicatedClient, op func(*Client) (T, error)) (T, error) {
+//
+// One root span context is minted per logical operation and shared by
+// every replica attempt (and every retry within each attempt), so a
+// fault episode spanning failover is reconstructable under one trace ID.
+func apply[T any](rc *ReplicatedClient, op func(context.Context, *Client) (T, error)) (T, error) {
 	var zero T
+	sc := obs.NewSpanContext()
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	got := false
@@ -71,7 +78,9 @@ func apply[T any](rc *ReplicatedClient, op func(*Client) (T, error)) (T, error) 
 		if rc.down[i] {
 			continue
 		}
-		r, err := op(c)
+		// Each replica keeps its own cancellation context; only the trace
+		// is shared.
+		r, err := op(obs.ContextWithSpan(c.ctx, sc), c)
 		if err != nil {
 			if IsRejection(err) && !got {
 				return zero, err
@@ -95,63 +104,63 @@ func apply[T any](rc *ReplicatedClient, op func(*Client) (T, error)) (T, error) 
 
 // AdviseTransfers implements the Advisor interface with replication.
 func (rc *ReplicatedClient) AdviseTransfers(specs []policy.TransferSpec) (*policy.TransferAdvice, error) {
-	return apply(rc, func(c *Client) (*policy.TransferAdvice, error) {
-		return c.AdviseTransfers(specs)
+	return apply(rc, func(ctx context.Context, c *Client) (*policy.TransferAdvice, error) {
+		return c.AdviseTransfersCtx(ctx, specs)
 	})
 }
 
 // ReportTransfers implements the Advisor interface with replication.
 func (rc *ReplicatedClient) ReportTransfers(report policy.CompletionReport) (*policy.ReportAck, error) {
-	return apply(rc, func(c *Client) (*policy.ReportAck, error) {
-		return c.ReportTransfers(report)
+	return apply(rc, func(ctx context.Context, c *Client) (*policy.ReportAck, error) {
+		return c.ReportTransfersCtx(ctx, report)
 	})
 }
 
 // AdviseCleanups implements the Advisor interface with replication.
 func (rc *ReplicatedClient) AdviseCleanups(specs []policy.CleanupSpec) (*policy.CleanupAdvice, error) {
-	return apply(rc, func(c *Client) (*policy.CleanupAdvice, error) {
-		return c.AdviseCleanups(specs)
+	return apply(rc, func(ctx context.Context, c *Client) (*policy.CleanupAdvice, error) {
+		return c.AdviseCleanupsCtx(ctx, specs)
 	})
 }
 
 // ReportCleanups implements the Advisor interface with replication.
 func (rc *ReplicatedClient) ReportCleanups(report policy.CleanupReport) (*policy.ReportAck, error) {
-	return apply(rc, func(c *Client) (*policy.ReportAck, error) {
-		return c.ReportCleanups(report)
+	return apply(rc, func(ctx context.Context, c *Client) (*policy.ReportAck, error) {
+		return c.ReportCleanupsCtx(ctx, report)
 	})
 }
 
 // RenewLease renews the workflow's lease on every healthy replica.
 func (rc *ReplicatedClient) RenewLease(workflowID string) (*policy.LeaseStatus, error) {
-	return apply(rc, func(c *Client) (*policy.LeaseStatus, error) {
-		return c.RenewLease(workflowID)
+	return apply(rc, func(ctx context.Context, c *Client) (*policy.LeaseStatus, error) {
+		return c.renewLeaseCtx(ctx, workflowID)
 	})
 }
 
 // AdvanceClock advances the logical clock on every healthy replica; being
 // a logged deterministic mutation, each replica expires the same leases.
 func (rc *ReplicatedClient) AdvanceClock(now float64) (*policy.ClockAdvance, error) {
-	return apply(rc, func(c *Client) (*policy.ClockAdvance, error) {
-		return c.AdvanceClock(now)
+	return apply(rc, func(ctx context.Context, c *Client) (*policy.ClockAdvance, error) {
+		return c.advanceClockCtx(ctx, now)
 	})
 }
 
 // Leases lists active leases from the first healthy replica.
 func (rc *ReplicatedClient) Leases() (*policy.LeaseList, error) {
-	return apply(rc, func(c *Client) (*policy.LeaseList, error) { return c.Leases() })
+	return apply(rc, func(_ context.Context, c *Client) (*policy.LeaseList, error) { return c.Leases() })
 }
 
 // SetThreshold applies a threshold change to every healthy replica.
 func (rc *ReplicatedClient) SetThreshold(src, dst string, max int) error {
-	_, err := apply(rc, func(c *Client) (struct{}, error) {
-		return struct{}{}, c.SetThreshold(src, dst, max)
+	_, err := apply(rc, func(ctx context.Context, c *Client) (struct{}, error) {
+		return struct{}{}, c.setThresholdCtx(ctx, src, dst, max)
 	})
 	return err
 }
 
 // State reads the externally visible state from the first healthy replica.
 func (rc *ReplicatedClient) State() (*policy.Snapshot, error) {
-	return apply(rc, func(c *Client) (*policy.Snapshot, error) { return c.State() })
+	return apply(rc, func(_ context.Context, c *Client) (*policy.Snapshot, error) { return c.State() })
 }
 
 // Resync restores replica i from a healthy peer and marks it up again.

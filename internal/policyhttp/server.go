@@ -15,6 +15,7 @@
 //	POST /v1/leases/renew         renew a workflow's liveness lease
 //	GET  /v1/leases               list active leases and their holdings
 //	POST /v1/clock/advance        advance the logical clock (expires leases)
+//	GET  /v1/decisions            recent decision provenance records
 //	GET  /v1/healthz              liveness probe
 //
 // Servers attached to a durable store (SetDurable) additionally serve
@@ -140,6 +141,10 @@ type Server struct {
 	mux *http.ServeMux
 	log *log.Logger
 
+	// tracer receives http.server spans; requests carrying a Traceparent
+	// header join the caller's trace even when tracer is nil.
+	tracer obs.Tracer
+
 	// durable, when set via SetDurable, backs the snapshot and archive
 	// endpoints.
 	durable DurableStore
@@ -172,7 +177,7 @@ func NewServer(svc *policy.Service, logger *log.Logger) *Server {
 // decision lands in reg and, when a tracer is given, in the event log; the
 // registry is what GET /v1/metrics renders.
 func NewServerWith(svc *policy.Service, logger *log.Logger, reg *obs.Registry, tracer obs.Tracer) *Server {
-	s := &Server{svc: svc, mux: http.NewServeMux(), log: logger, reg: reg}
+	s := &Server{svc: svc, mux: http.NewServeMux(), log: logger, reg: reg, tracer: tracer}
 	svc.Instrument(reg, tracer)
 	s.httpReqs = reg.Counter("http_requests_total",
 		"HTTP requests served, by route pattern and status code.", "endpoint", "code")
@@ -205,6 +210,7 @@ func NewServerWith(svc *policy.Service, logger *log.Logger, reg *obs.Registry, t
 	s.mux.HandleFunc("GET /v1/leases", s.handleLeases)
 	s.mux.HandleFunc("POST /v1/clock/advance", s.idempotent(s.handleClockAdvance))
 	s.mux.HandleFunc("GET /v1/config", s.handleConfig)
+	s.mux.HandleFunc("GET /v1/decisions", s.handleDecisions)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -239,6 +245,72 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 // additional endpoints over it (cmd/policyserver's /debug/vars).
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
+// DecisionListDoc wraps the decision records returned by /v1/decisions.
+type DecisionListDoc struct {
+	XMLName   xml.Name                `xml:"decisions" json:"-"`
+	Decisions []policy.DecisionRecord `json:"decisions" xml:"decision"`
+}
+
+// MatchesLFN reports whether a decision line's file URL refers to the
+// given logical file name: exact match, path-basename match, or suffix.
+// The /v1/decisions lfn filter and `policyctl explain` share it.
+func MatchesLFN(fileURL, lfn string) bool {
+	if lfn == "" || fileURL == lfn {
+		return true
+	}
+	base := fileURL
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	return base == lfn || strings.HasSuffix(fileURL, lfn)
+}
+
+// handleDecisions serves the decision provenance ring. Query parameters:
+// n (max records, newest retained), op (logged op name), workflow and
+// lfn (keep only records with a matching line). This is the endpoint
+// `policyctl explain` renders its why-chain from.
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	resf := responseFormat(r, formatJSON)
+	q := r.URL.Query()
+	n := 0
+	if v := q.Get("n"); v != "" {
+		var err error
+		if n, err = strconv.Atoi(v); err != nil || n < 0 {
+			s.writeError(w, resf, http.StatusBadRequest, fmt.Errorf("bad n %q", v))
+			return
+		}
+	}
+	op, workflow, lfn := q.Get("op"), q.Get("workflow"), q.Get("lfn")
+	recs := s.svc.Decisions(0)
+	out := make([]policy.DecisionRecord, 0, len(recs))
+	for _, rec := range recs {
+		if op != "" && rec.Op != op {
+			continue
+		}
+		if workflow != "" || lfn != "" {
+			matched := false
+			for _, ln := range rec.Lines {
+				if workflow != "" && ln.WorkflowID != workflow {
+					continue
+				}
+				if lfn != "" && !MatchesLFN(ln.FileURL, lfn) {
+					continue
+				}
+				matched = true
+				break
+			}
+			if !matched {
+				continue
+			}
+		}
+		out = append(out, rec)
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	s.writeResponse(w, resf, http.StatusOK, &DecisionListDoc{Decisions: out})
+}
+
 // handleMetrics exposes the full metrics registry in the Prometheus text
 // exposition format (no external dependency needed for the text form).
 // State-derived gauges are refreshed from the service snapshot at scrape
@@ -272,6 +344,12 @@ func (w *statusWriter) WriteHeader(code int) {
 // ServeHTTP implements http.Handler. Every request is measured into the
 // per-endpoint request counter and latency histogram, labeled by the
 // matched route pattern so path parameters do not explode the series set.
+// Requests carrying a Traceparent header join the caller's causal trace:
+// the header's span context is installed in the request context (so the
+// policy layer's spans, lifecycle events and decision records carry the
+// caller's trace ID), and — when the server has a tracer — an
+// http.server span covering the full request is emitted around the
+// handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.log != nil {
 		s.log.Printf("%s %s", r.Method, r.URL.Path)
@@ -280,11 +358,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if pattern == "" {
 		pattern = "unmatched"
 	}
+	ctx := r.Context()
+	if sc, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+		ctx = obs.ContextWithSpan(ctx, sc)
+	}
+	ctx, span := obs.StartSpan(ctx, s.tracer, "http.server")
+	if _, ok := obs.SpanFromContext(ctx); ok {
+		r = r.WithContext(ctx)
+	}
 	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 	start := time.Now()
 	s.mux.ServeHTTP(sw, r)
 	s.httpReqs.With(pattern, strconv.Itoa(sw.code)).Inc()
 	s.httpLat.With(pattern).Observe(time.Since(start).Seconds())
+	if span != nil {
+		span.Annot.Endpoint = pattern
+		span.Annot.Status = sw.code
+		span.End()
+	}
 }
 
 // format identifies a wire encoding.
@@ -384,7 +475,7 @@ func (s *Server) handleTransfers(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, resf, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
-	adv, err := s.svc.AdviseTransfers(req.Transfers)
+	adv, err := s.svc.AdviseTransfersCtx(r.Context(), req.Transfers)
 	if err != nil {
 		s.writeError(w, resf, statusFor(err), err)
 		return
@@ -404,7 +495,7 @@ func (s *Server) handleTransfersCompleted(w http.ResponseWriter, r *http.Request
 		s.writeError(w, resf, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
-	ack, err := s.svc.ReportTransfers(doc.CompletionReport)
+	ack, err := s.svc.ReportTransfersCtx(r.Context(), doc.CompletionReport)
 	if err != nil {
 		s.writeError(w, resf, statusFor(err), err)
 		return
@@ -424,7 +515,7 @@ func (s *Server) handleCleanups(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, resf, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
-	adv, err := s.svc.AdviseCleanups(req.Cleanups)
+	adv, err := s.svc.AdviseCleanupsCtx(r.Context(), req.Cleanups)
 	if err != nil {
 		s.writeError(w, resf, statusFor(err), err)
 		return
@@ -444,7 +535,7 @@ func (s *Server) handleCleanupsCompleted(w http.ResponseWriter, r *http.Request)
 		s.writeError(w, resf, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
-	ack, err := s.svc.ReportCleanups(doc.CleanupReport)
+	ack, err := s.svc.ReportCleanupsCtx(r.Context(), doc.CleanupReport)
 	if err != nil {
 		s.writeError(w, resf, statusFor(err), err)
 		return

@@ -45,6 +45,11 @@ type Session struct {
 	firings       int64
 	halted        bool
 	logger        func(format string, args ...any)
+	// observer, when set, is invoked once per rule firing with the rule
+	// name and its salience, in firing (i.e. conflict-resolution) order.
+	// It runs with the session lock held, so it must not call back into
+	// the session.
+	observer func(rule string, salience int)
 	// oldestFirst flips recency-based conflict resolution from Drools'
 	// default LIFO (most recent fact first) to FIFO.
 	oldestFirst bool
@@ -92,6 +97,17 @@ func (s *Session) SetLogger(f func(format string, args ...any)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.logger = f
+}
+
+// SetFiringObserver installs a callback invoked once per rule firing
+// with the rule's name and salience, in the exact order firings occur.
+// The policy layer uses it to record decision provenance. The callback
+// runs under the session lock and must not re-enter the session. Nil
+// disables.
+func (s *Session) SetFiringObserver(f func(rule string, salience int)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observer = f
 }
 
 func (s *Session) logf(format string, args ...any) {
@@ -292,6 +308,9 @@ func (s *Session) FireAll(budget int) (int, error) {
 			s.firedByHandle[h] = append(s.firedByHandle[h], act.key)
 		}
 		s.logf("fire %s %v", act.rule.Name, act.tuple.handles)
+		if s.observer != nil {
+			s.observer(act.rule.Name, act.rule.Salience)
+		}
 		act.rule.Then(&Context{s: s, tuple: act.tuple, rule: act.rule})
 		firings++
 		s.firings++

@@ -8,6 +8,7 @@
 package transfer
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -22,6 +23,27 @@ type Advisor interface {
 	ReportTransfers(policy.CompletionReport) (*policy.ReportAck, error)
 	AdviseCleanups([]policy.CleanupSpec) (*policy.CleanupAdvice, error)
 	ReportCleanups(policy.CleanupReport) (*policy.ReportAck, error)
+}
+
+// ContextAdvisor is the optional Advisor extension for advisors that
+// accept a caller context carrying a causal span context (both
+// *policy.Service and *policyhttp.Client implement it). The PTT mints one
+// trace per advised batch, so the advise call, the rule firings behind
+// it, and the resulting transfer lifecycle events all share one trace ID.
+type ContextAdvisor interface {
+	AdviseTransfersCtx(ctx context.Context, specs []policy.TransferSpec) (*policy.TransferAdvice, error)
+	ReportTransfersCtx(ctx context.Context, report policy.CompletionReport) (*policy.ReportAck, error)
+	AdviseCleanupsCtx(ctx context.Context, specs []policy.CleanupSpec) (*policy.CleanupAdvice, error)
+	ReportCleanupsCtx(ctx context.Context, report policy.CleanupReport) (*policy.ReportAck, error)
+}
+
+// KeyedContextReporter is the optional Advisor extension combining a
+// caller-chosen idempotency key with a caller trace context (the REST
+// client). The PTT prefers it over KeyedReporter so keyed reports keep
+// their batch trace without giving up stable keys across backlog drains.
+type KeyedContextReporter interface {
+	ReportTransfersKeyedCtx(ctx context.Context, key string, report policy.CompletionReport) (*policy.ReportAck, error)
+	ReportCleanupsKeyedCtx(ctx context.Context, key string, report policy.CleanupReport) (*policy.ReportAck, error)
 }
 
 // KeyedReporter is the optional Advisor extension for advisors that accept

@@ -1,6 +1,7 @@
 package transfer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -519,12 +520,23 @@ func (t *PTT) executeWithPolicy(p *simnet.Proc, workflowID, clusterID string, op
 	if t.breakerEnabled() && t.breakerOpen(p.Now()) {
 		return t.executeDegraded(p, ops)
 	}
+	// One trace per advised batch: the advise call, the rule firings
+	// behind it, the completion report and every started event below
+	// share this trace ID.
+	batch := obs.NewSpanContext()
+	ctx := obs.ContextWithSpan(context.Background(), batch)
 	p.Sleep(t.cfg.PolicyCallSeconds)
 	t.bump(func(s *Stats) { s.PolicyCalls++ })
 	if t.metrics != nil {
 		t.metrics.policyCalls.Inc()
 	}
-	adv, err := t.cfg.Advisor.AdviseTransfers(specs)
+	var adv *policy.TransferAdvice
+	var err error
+	if ca, ok := t.cfg.Advisor.(ContextAdvisor); ok {
+		adv, err = ca.AdviseTransfersCtx(ctx, specs)
+	} else {
+		adv, err = t.cfg.Advisor.AdviseTransfers(specs)
+	}
 	if err != nil {
 		if !t.breakerEnabled() {
 			return fmt.Errorf("transfer: policy advice: %w", err)
@@ -554,6 +566,7 @@ func (t *PTT) executeWithPolicy(p *simnet.Proc, workflowID, clusterID string, op
 		if t.cfg.Tracer != nil {
 			t.cfg.Tracer.Emit(obs.Event{
 				Type:       obs.EventStarted,
+				TraceID:    batch.TraceID,
 				TransferID: tr.ID,
 				RequestID:  tr.RequestID,
 				WorkflowID: tr.WorkflowID,
@@ -597,8 +610,12 @@ func (t *PTT) executeWithPolicy(p *simnet.Proc, workflowID, clusterID string, op
 		// after a lost response reuses it and the report applies once.
 		key := t.nextBacklogKey(workflowID)
 		var rerr error
-		if kr, ok := t.cfg.Advisor.(KeyedReporter); ok {
+		if kcr, ok := t.cfg.Advisor.(KeyedContextReporter); ok {
+			_, rerr = kcr.ReportTransfersKeyedCtx(ctx, key, report)
+		} else if kr, ok := t.cfg.Advisor.(KeyedReporter); ok {
 			_, rerr = kr.ReportTransfersKeyed(key, report)
+		} else if ca, ok := t.cfg.Advisor.(ContextAdvisor); ok {
+			_, rerr = ca.ReportTransfersCtx(ctx, report)
 		} else {
 			_, rerr = t.cfg.Advisor.ReportTransfers(report)
 		}
@@ -652,12 +669,20 @@ func (t *PTT) ExecuteCleanups(p *simnet.Proc, workflowID string, urls []string) 
 		t.bump(func(s *Stats) { s.CleanupsDeferred += int64(len(urls)) })
 		return nil
 	}
+	batch := obs.NewSpanContext()
+	ctx := obs.ContextWithSpan(context.Background(), batch)
 	p.Sleep(t.cfg.PolicyCallSeconds)
 	t.bump(func(s *Stats) { s.PolicyCalls++ })
 	if t.metrics != nil {
 		t.metrics.policyCalls.Inc()
 	}
-	adv, err := t.cfg.Advisor.AdviseCleanups(specs)
+	var adv *policy.CleanupAdvice
+	var err error
+	if ca, ok := t.cfg.Advisor.(ContextAdvisor); ok {
+		adv, err = ca.AdviseCleanupsCtx(ctx, specs)
+	} else {
+		adv, err = t.cfg.Advisor.AdviseCleanups(specs)
+	}
 	if err != nil {
 		if !t.breakerEnabled() {
 			return fmt.Errorf("transfer: cleanup advice: %w", err)
@@ -685,8 +710,12 @@ func (t *PTT) ExecuteCleanups(p *simnet.Proc, workflowID string, urls []string) 
 		report := policy.CleanupReport{CleanupIDs: done}
 		key := t.nextBacklogKey(workflowID)
 		var rerr error
-		if kr, ok := t.cfg.Advisor.(KeyedReporter); ok {
+		if kcr, ok := t.cfg.Advisor.(KeyedContextReporter); ok {
+			_, rerr = kcr.ReportCleanupsKeyedCtx(ctx, key, report)
+		} else if kr, ok := t.cfg.Advisor.(KeyedReporter); ok {
 			_, rerr = kr.ReportCleanupsKeyed(key, report)
+		} else if ca, ok := t.cfg.Advisor.(ContextAdvisor); ok {
+			_, rerr = ca.ReportCleanupsCtx(ctx, report)
 		} else {
 			_, rerr = t.cfg.Advisor.ReportCleanups(report)
 		}

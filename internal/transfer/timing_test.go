@@ -1,6 +1,7 @@
 package transfer
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -22,6 +23,14 @@ func (r *recordingAdvisor) ReportTransfers(rep policy.CompletionReport) (*policy
 	r.reports = append(r.reports, rep)
 	r.mu.Unlock()
 	return r.Service.ReportTransfers(rep)
+}
+
+// ReportTransfersCtx intercepts the ContextAdvisor path the PTT prefers.
+func (r *recordingAdvisor) ReportTransfersCtx(ctx context.Context, rep policy.CompletionReport) (*policy.ReportAck, error) {
+	r.mu.Lock()
+	r.reports = append(r.reports, rep)
+	r.mu.Unlock()
+	return r.Service.ReportTransfersCtx(ctx, rep)
 }
 
 func TestTimingsReportedAccurately(t *testing.T) {
