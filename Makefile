@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci build test race vet fmt fmt-check bench-smoke bench-json bench-json-check cover fuzz-smoke test-liveness
+.PHONY: ci build test race vet fmt fmt-check bench-smoke bench-json bench-json-check bundle-check cover fuzz-smoke test-liveness
 
 # The full gate: what a PR must pass.
-ci: fmt-check vet build race test-liveness bench-smoke bench-json-check cover fuzz-smoke
+ci: fmt-check vet build race test-liveness bundle-check bench-smoke bench-json-check cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,12 @@ fmt-check:
 # cycle.
 test-liveness:
 	$(GO) test -race -run 'Lease|Clock|Degraded|Breaker' ./internal/policy/ ./internal/faultsim/ ./internal/transfer/
+
+# bundle-check validates every example policy bundle offline (parse,
+# schema, value ranges, checksum) with the same code the server runs, so
+# a committed example can never drift from the bundle schema.
+bundle-check:
+	$(GO) run ./cmd/policyctl bundle validate examples/*.bundle.json
 
 # bench-smoke compiles and runs every WAL benchmark exactly once, so the
 # durability benchmarks cannot rot without failing CI. The lease benchmarks

@@ -73,12 +73,16 @@ type group struct {
 
 // groups lists the benchmarks that make up the trajectory: the advise
 // hot path at batch size 20, advise cost against a loaded Policy Memory,
-// the lease expiry scan, and the WAL commit path with and without fsync.
+// the lease expiry scan, the WAL commit path with and without fsync, and
+// the bundle subsystem (activation cost, and the advise round trip under
+// an activated bundle's tunables snapshot).
 var groups = []group{
 	{pkg: ".", pattern: "^BenchmarkPolicyAdvise$", benchtime: "20x"},
 	{pkg: "./internal/policy", pattern: "^BenchmarkAdviseFactsResident$", benchtime: "10x"},
 	{pkg: "./internal/policy", pattern: "^BenchmarkLeaseScan$", benchtime: "2000x"},
 	{pkg: "./internal/durable", pattern: "^BenchmarkWALAdviseNoFsync$|^BenchmarkWALAdviseFsync$", benchtime: "1000x"},
+	{pkg: "./internal/policy", pattern: "^BenchmarkBundleActivate$", benchtime: "200x"},
+	{pkg: "./internal/policy", pattern: "^BenchmarkAdviseUnderBundleSnapshot$", benchtime: "200x"},
 }
 
 // benchLine matches one benchmark result line from `go test -bench`.

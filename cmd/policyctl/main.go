@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"policyflow/internal/bundle"
 	"policyflow/internal/policy"
 	"policyflow/internal/policyhttp"
 )
@@ -95,6 +96,11 @@ func main() {
 			usage()
 		}
 		err = explain(client, os.Stdout, args[1], args[2])
+	case "bundle":
+		if len(args) < 2 {
+			usage()
+		}
+		err = bundleCmd(client, os.Stdout, args[1:])
 	case "metrics":
 		err = metrics(client, os.Stdout)
 	case "dump":
@@ -125,6 +131,11 @@ commands:
   complete <transfer-id>...              report completed transfers
   cleanup <workflow-id> <file-url>...    request file deletions
   explain <workflow-id> <lfn>            show the decision provenance for a file
+  bundle push <bundle.json>              stage a policy bundle without activating it
+  bundle activate <version|bundle.json>  activate a staged version or an inline document
+  bundle status                          show active, previous, and staged bundles
+  bundle rollback                        re-activate the previously active bundle
+  bundle validate <bundle.json>...       validate bundle files locally (no server)
   leases                                 list active workflow leases
   renew-lease <workflow-id>              register or extend a workflow lease
   advance-clock <seconds>                advance the logical clock (expires leases)
@@ -150,7 +161,7 @@ func complete(c *policyhttp.Client, ids []string) error {
 // per-file outcome — the granted stream count, the suppression reason, or
 // the completion/cleanup result.
 func explain(c *policyhttp.Client, w io.Writer, workflowID, lfn string) error {
-	recs, err := c.Decisions(0, "", workflowID, lfn)
+	recs, err := c.Decisions(0, "", workflowID, lfn, "")
 	if err != nil {
 		return err
 	}
@@ -169,6 +180,9 @@ func explain(c *policyhttp.Client, w io.Writer, workflowID, lfn string) error {
 		}
 		if r.TraceID != "" {
 			fmt.Fprintf(w, "  trace %s", r.TraceID)
+		}
+		if r.Bundle != "" {
+			fmt.Fprintf(w, "  bundle %s", r.Bundle)
 		}
 		fmt.Fprintln(w)
 		fmt.Fprintf(w, "  matched against %d fact(s), %d after\n", r.FactsBefore, r.FactsAfter)
@@ -193,6 +207,112 @@ func explain(c *policyhttp.Client, w io.Writer, workflowID, lfn string) error {
 				fmt.Fprintf(w, "    -> %s (%s)\n", ln.Outcome, ln.ID)
 			}
 		}
+	}
+	return nil
+}
+
+// bundleCmd dispatches the bundle subcommands. All but validate talk to
+// the server; validate parses and checks the files locally, so it can
+// gate a commit (make bundle-check) without a running service.
+func bundleCmd(c *policyhttp.Client, w io.Writer, args []string) error {
+	switch args[0] {
+	case "push":
+		if len(args) != 2 {
+			usage()
+		}
+		data, err := os.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		info, err := c.PushBundle(data)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "staged bundle %s (checksum %.12s)\n", info.Version, info.Checksum)
+		fmt.Fprintf(w, "activate with: policyctl bundle activate %s\n", info.Version)
+		return nil
+	case "activate":
+		if len(args) != 2 {
+			usage()
+		}
+		// A readable file activates by inline document; anything else is
+		// taken as a previously pushed version.
+		var info *policy.BundleInfo
+		var err error
+		if data, rerr := os.ReadFile(args[1]); rerr == nil {
+			info, err = c.ActivateBundleDoc(data)
+		} else {
+			info, err = c.ActivateBundle(args[1])
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "bundle %s active (checksum %.12s, algorithm %s)\n",
+			info.Version, info.Checksum, info.Algorithm)
+		return nil
+	case "status":
+		st, err := c.Bundles()
+		if err != nil {
+			return err
+		}
+		printBundleInfo(w, "active  ", st.Active)
+		if st.Previous != nil {
+			printBundleInfo(w, "previous", *st.Previous)
+		}
+		for _, b := range st.Staged {
+			printBundleInfo(w, "staged  ", b)
+		}
+		return nil
+	case "rollback":
+		info, err := c.RollbackBundle()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "rolled back to bundle %s (checksum %.12s, algorithm %s)\n",
+			info.Version, info.Checksum, info.Algorithm)
+		return nil
+	case "validate":
+		if len(args) < 2 {
+			usage()
+		}
+		return validateBundles(w, args[1:])
+	default:
+		usage()
+	}
+	return nil
+}
+
+func printBundleInfo(w io.Writer, label string, b policy.BundleInfo) {
+	fmt.Fprintf(w, "%s %-12s checksum %.12s  algorithm %s", label, b.Version, b.Checksum, b.Algorithm)
+	if b.Description != "" {
+		fmt.Fprintf(w, "  (%s)", b.Description)
+	}
+	fmt.Fprintln(w)
+}
+
+// validateBundles parses and validates each bundle file locally and
+// prints its version and checksum; any invalid file makes the command
+// fail after all files have been reported.
+func validateBundles(w io.Writer, paths []string) error {
+	bad := 0
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fmt.Fprintf(w, "%s: %v\n", p, err)
+			bad++
+			continue
+		}
+		b, err := bundle.Parse(data)
+		if err != nil {
+			fmt.Fprintf(w, "%s: INVALID: %v\n", p, err)
+			bad++
+			continue
+		}
+		fmt.Fprintf(w, "%s: ok (version %s, checksum %.12s, algorithm %s)\n",
+			p, b.Version, b.Checksum(), b.Algorithm)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d bundle file(s) failed validation", bad, len(paths))
 	}
 	return nil
 }

@@ -62,6 +62,7 @@ func main() {
 		faultSeed      = flag.Int64("fault-seed", 1, "TEST ONLY: seed for the -fault-inject-wal generator")
 		leaseTTL       = flag.Float64("lease-ttl", 0, "workflow lease TTL in seconds; 0 disables lease-based orphan reclamation")
 		leaseScanEvery = flag.Duration("lease-scan-every", 5*time.Second, "lease expiry scan period when -lease-ttl is set")
+		bundlePath     = flag.String("bundle", "", "policy bundle (JSON) to activate on boot; flag-derived tunables apply until it takes effect")
 	)
 	flag.Parse()
 
@@ -155,6 +156,24 @@ func main() {
 		}
 		log.Printf("recovered policy memory from %s (snapshot seq %d, %d WAL records replayed, log at seq %d, fsync=%v)",
 			*dataDir, stats.SnapshotSeq, stats.Replayed, stats.LastSeq, *fsync)
+	}
+
+	// Activate the boot bundle after recovery: if the WAL already replayed
+	// this exact bundle (same checksum) the activation is a no-op and
+	// appends nothing, so repeated boots with the same -bundle file do not
+	// grow the log.
+	if *bundlePath != "" {
+		data, err := os.ReadFile(*bundlePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "policyserver: read bundle %s: %v\n", *bundlePath, err)
+			os.Exit(1)
+		}
+		info, err := svc.ActivateBundle(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "policyserver: activate bundle %s: %v\n", *bundlePath, err)
+			os.Exit(1)
+		}
+		log.Printf("policy bundle %s active (checksum %.12s, algorithm=%s)", info.Version, info.Checksum, info.Algorithm)
 	}
 
 	// A typed-nil *JSONLTracer must not reach the interface parameter.

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"policyflow/internal/bundle"
 	"policyflow/internal/durable"
 	"policyflow/internal/obs"
 	"policyflow/internal/policy"
@@ -98,6 +99,10 @@ func NewHarness(baseDir string, sched Schedule) (*Harness, error) {
 		seed:        sched.Seed,
 	}
 	h.ClientMetrics = obs.NewClientMetrics(h.ClientReg)
+	// The compiled-in v0 bundle's checksum is internal to the service; the
+	// model learns it from the fault-free oracle so it can tell
+	// state-changing activations from idempotent no-ops.
+	h.model.SetActiveChecksum(oracle.Tunables().Checksum)
 	for i := 0; i < numReplicas; i++ {
 		host := fmt.Sprintf("replica%d", i)
 		dir := filepath.Join(baseDir, host)
@@ -210,6 +215,10 @@ func (h *Harness) Step(op Op) error {
 		err = h.stepCleanupReport(op)
 	case OpSetThreshold:
 		err = h.stepSetThreshold(op)
+	case OpActivateBundle:
+		err = h.stepActivateBundle(op)
+	case OpRollbackBundle:
+		err = h.stepRollbackBundle(op)
 	case OpRenewLease:
 		err = h.stepRenewLease(op)
 	case OpAdvanceClock:
@@ -424,6 +433,66 @@ func (h *Harness) stepSetThreshold(op Op) error {
 		})
 }
 
+// stepActivateBundle activates a bundle document on the replica group and
+// the oracle. The replicated client carries the full document, so the call
+// is self-contained even against crash-recovered replicas. The model only
+// advances — and the provenance counter only increments — when the
+// document's checksum differs from the active one: re-activation is an
+// idempotent no-op that appends nothing and records nothing.
+func (h *Harness) stepActivateBundle(op Op) error {
+	info, err := h.rc.ActivateBundleDoc(op.BundleDoc)
+	return h.clientOutcome(err,
+		func() error {
+			oinfo, oerr := h.oracle.ActivateBundle(op.BundleDoc)
+			if oerr != nil {
+				return fmt.Errorf("replicas activated bundle the oracle rejects: %v", oerr)
+			}
+			if !reflect.DeepEqual(info, oinfo) {
+				return fmt.Errorf("bundle info diverges from oracle:\n  got  %+v\n  want %+v", info, oinfo)
+			}
+			b, perr := bundle.Parse(op.BundleDoc)
+			if perr != nil {
+				return fmt.Errorf("accepted bundle fails to parse: %v", perr)
+			}
+			if b.Checksum() != h.model.ActiveChecksum() {
+				h.acked[policy.OpActivateBundle]++
+				h.model.ApplyActivateBundle(b)
+			}
+			return nil
+		},
+		func() error {
+			if _, oerr := h.oracle.ActivateBundle(op.BundleDoc); oerr == nil {
+				return fmt.Errorf("replicas rejected bundle the oracle accepts: %v", err)
+			}
+			return nil
+		})
+}
+
+// stepRollbackBundle re-activates the previous bundle everywhere. A
+// rollback is never a no-op (the previous checksum differs by
+// construction), so an acknowledged rollback always logs one activation.
+func (h *Harness) stepRollbackBundle(op Op) error {
+	info, err := h.rc.RollbackBundle()
+	return h.clientOutcome(err,
+		func() error {
+			oinfo, oerr := h.oracle.RollbackBundle()
+			if oerr != nil {
+				return fmt.Errorf("replicas rolled back bundle the oracle rejects: %v", oerr)
+			}
+			if !reflect.DeepEqual(info, oinfo) {
+				return fmt.Errorf("rollback info diverges from oracle:\n  got  %+v\n  want %+v", info, oinfo)
+			}
+			h.acked[policy.OpActivateBundle]++
+			return h.model.ApplyRollbackBundle()
+		},
+		func() error {
+			if _, oerr := h.oracle.RollbackBundle(); oerr == nil {
+				return fmt.Errorf("replicas rejected rollback the oracle accepts: %v", err)
+			}
+			return nil
+		})
+}
+
 // stepCrash kills replica i (optionally tearing the WAL tail, simulating a
 // crash mid-write) and recovers it from disk. Recovery must reproduce the
 // exact pre-crash Policy Memory.
@@ -560,9 +629,24 @@ func (h *Harness) checkDecisions() error {
 	for _, op := range []string{
 		policy.OpAdviseTransfers, policy.OpReportTransfers,
 		policy.OpAdviseCleanups, policy.OpReportCleanups,
+		policy.OpActivateBundle,
 	} {
 		if got, want := h.oracle.DecisionCount(op), h.acked[op]; got != want {
 			return fmt.Errorf("decision records for %s: %d committed, %d operations acknowledged", op, got, want)
+		}
+	}
+	// Bundle-stamped provenance: every record carries the version of the
+	// bundle that produced it, and the newest record must have been
+	// produced under the currently active version.
+	recs := h.oracle.Decisions(0)
+	for _, r := range recs {
+		if r.Bundle == "" {
+			return fmt.Errorf("decision record %s/%d carries no bundle version", r.Op, r.Seq)
+		}
+	}
+	if len(recs) > 0 {
+		if got, want := recs[len(recs)-1].Bundle, h.model.ActiveVersion(); got != want {
+			return fmt.Errorf("newest decision record stamped with bundle %q, active bundle is %q", got, want)
 		}
 	}
 	return nil
@@ -578,6 +662,7 @@ func RunSchedule(baseDir string, sched Schedule) ([]Op, map[string]int, error) {
 	}
 	defer h.Close()
 	g := &gen{rng: rand.New(rand.NewSource(sched.Seed)), h: h, dead: make(map[string]bool)}
+	g.initBundles(sched.Config)
 	var trace []Op
 	for i := 0; i < sched.Config.OpCount; i++ {
 		op := g.next(sched.Config)

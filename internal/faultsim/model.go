@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"sort"
 
+	"policyflow/internal/bundle"
 	"policyflow/internal/policy"
 )
 
@@ -41,6 +42,36 @@ type modelCleanup struct {
 	workflow string
 }
 
+// modelBundle is the model's mirror of one policy bundle's tunables —
+// the values the active bundle imposes on every subsequent operation.
+type modelBundle struct {
+	version          string
+	checksum         string
+	algorithm        policy.Algorithm
+	defaultStreams   int
+	minStreams       int
+	defaultThreshold int
+	clusterFactor    int
+	pairTh           map[policy.HostPair]int
+}
+
+func modelBundleOf(b *bundle.Bundle) modelBundle {
+	mb := modelBundle{
+		version:          b.Version,
+		checksum:         b.Checksum(),
+		algorithm:        policy.Algorithm(b.Algorithm),
+		defaultStreams:   b.DefaultStreams,
+		minStreams:       b.MinStreams,
+		defaultThreshold: b.DefaultThreshold,
+		clusterFactor:    b.ClusterFactor,
+		pairTh:           make(map[policy.HostPair]int, len(b.PairThresholds)),
+	}
+	for _, pt := range b.PairThresholds {
+		mb.pairTh[policy.HostPair{Src: pt.SourceHost, Dst: pt.DestHost}] = pt.Max
+	}
+	return mb
+}
+
 // Model predicts, per operation, which requests are suppressed and why,
 // which IDs are assigned, and how reference counts, stream ledgers and
 // thresholds evolve. It is fed only the request and the service's reply.
@@ -56,11 +87,16 @@ type Model struct {
 	resources  map[string]*modelResource // dest URL -> staged-file resource
 	cleanups   map[string]*modelCleanup  // cleanup ID -> in-progress cleanup
 
-	pairsSeen   map[policy.HostPair]bool // pairs with group/threshold/ledger facts
-	explicitTh  map[policy.HostPair]int  // SetThreshold overrides
+	pairsSeen   map[policy.HostPair]bool // pairs with group/ledger facts
+	thFacts     map[policy.HostPair]int  // mirror of the Threshold fact set
 	ledger      map[policy.HostPair]int
 	clusterTh   map[policy.HostPair]int // balanced: per-cluster share, fixed at creation
 	clusterLedg map[pairCluster]int     // balanced: per-(pair, cluster) allocation
+
+	// active mirrors the tunables imposed by the active policy bundle;
+	// prev is the rollback target (nil until the first activation).
+	active modelBundle
+	prev   *modelBundle
 
 	clock  float64            // mirrors the service's logical clock
 	leases map[string]float64 // workflow -> lease deadline (LeaseTTL > 0 only)
@@ -74,25 +110,54 @@ type Model struct {
 // NewModel builds a model for a service running with cfg (cfg must carry
 // explicit DefaultStreams, MinStreams, DefaultThreshold and ClusterFactor).
 func NewModel(cfg policy.Config) *Model {
-	return &Model{
+	m := &Model{
 		cfg:         cfg,
 		inProgress:  make(map[string]*modelTransfer),
 		resources:   make(map[string]*modelResource),
 		cleanups:    make(map[string]*modelCleanup),
 		pairsSeen:   make(map[policy.HostPair]bool),
-		explicitTh:  make(map[policy.HostPair]int),
+		thFacts:     make(map[policy.HostPair]int),
 		ledger:      make(map[policy.HostPair]int),
 		clusterTh:   make(map[policy.HostPair]int),
 		clusterLedg: make(map[pairCluster]int),
 		leases:      make(map[string]float64),
+		active: modelBundle{
+			version:          policy.BootstrapBundleVersion,
+			algorithm:        cfg.Algorithm,
+			defaultStreams:   cfg.DefaultStreams,
+			minStreams:       cfg.MinStreams,
+			defaultThreshold: cfg.DefaultThreshold,
+			clusterFactor:    cfg.ClusterFactor,
+			pairTh:           make(map[policy.HostPair]int, len(cfg.PairThresholds)),
+		},
 	}
+	for p, v := range cfg.PairThresholds {
+		m.active.pairTh[p] = v
+		m.thFacts[p] = v
+	}
+	return m
 }
 
+// SetActiveChecksum records the checksum of the service's bootstrap bundle
+// (the model cannot derive it: the v0 document is compiled into the
+// service). The harness reads it from the fault-free oracle's tunables.
+func (m *Model) SetActiveChecksum(sum string) { m.active.checksum = sum }
+
+// ActiveChecksum returns the checksum of the bundle the model believes is
+// active — used to predict whether an activation is a state-changing
+// transition or a logged-nowhere no-op.
+func (m *Model) ActiveChecksum() string { return m.active.checksum }
+
+// ActiveVersion returns the version of the bundle the model believes is
+// active. Every decision record the service emits from here on must carry
+// this version.
+func (m *Model) ActiveVersion() string { return m.active.version }
+
 func (m *Model) threshold(p policy.HostPair) int {
-	if v, ok := m.explicitTh[p]; ok {
+	if v, ok := m.thFacts[p]; ok {
 		return v
 	}
-	return m.cfg.DefaultThreshold
+	return m.active.defaultThreshold
 }
 
 // InFlightIDs returns the IDs of in-flight transfers, sorted (the schedule
@@ -245,14 +310,14 @@ func (m *Model) ApplyAdvice(specs []policy.TransferSpec, adv *policy.TransferAdv
 		}
 		requested := spec.RequestedStreams
 		if requested <= 0 {
-			requested = m.cfg.DefaultStreams
+			requested = m.active.defaultStreams
 		}
-		grantCap := maxInt(requested, m.cfg.MinStreams)
-		if e.Streams < m.cfg.MinStreams || e.Streams > grantCap {
+		grantCap := maxInt(requested, m.active.minStreams)
+		if e.Streams < m.active.minStreams || e.Streams > grantCap {
 			return fmt.Errorf("model: transfer %s granted %d streams, outside [%d, %d]",
-				e.ID, e.Streams, m.cfg.MinStreams, grantCap)
+				e.ID, e.Streams, m.active.minStreams, grantCap)
 		}
-		if m.cfg.Algorithm == policy.AlgoNone && e.Streams != grantCap {
+		if m.active.algorithm == policy.AlgoNone && e.Streams != grantCap {
 			return fmt.Errorf("model: algorithm none granted %d streams, want %d", e.Streams, grantCap)
 		}
 	}
@@ -263,7 +328,7 @@ func (m *Model) ApplyAdvice(specs []policy.TransferSpec, adv *policy.TransferAdv
 	// Threshold bounds. Greedy: a pair's ledger may pass the threshold only
 	// through the min-stream floor, once per grant. Balanced: the same
 	// bound applies per (pair, cluster) against the frozen cluster share.
-	if m.cfg.Algorithm == policy.AlgoGreedy {
+	if m.active.algorithm == policy.AlgoGreedy {
 		sums := make(map[policy.HostPair]int)
 		counts := make(map[policy.HostPair]int)
 		for _, e := range adv.Transfers {
@@ -274,21 +339,21 @@ func (m *Model) ApplyAdvice(specs []policy.TransferSpec, adv *policy.TransferAdv
 		for p, s := range sums {
 			before := m.ledger[p]
 			after := before + s
-			bound := maxInt(before, m.threshold(p)) + counts[p]*m.cfg.MinStreams
+			bound := maxInt(before, m.threshold(p)) + counts[p]*m.active.minStreams
 			if after > bound {
 				return fmt.Errorf("model: pair %s->%s ledger %d exceeds threshold bound %d (threshold %d, %d grants)",
 					p.Src, p.Dst, after, bound, m.threshold(p), counts[p])
 			}
 		}
 	}
-	if m.cfg.Algorithm == policy.AlgoBalanced {
+	if m.active.algorithm == policy.AlgoBalanced {
 		// Freeze cluster shares for pairs seen for the first time, using
 		// the pair threshold in force now (the service never updates the
 		// share afterwards, even when SetThreshold changes the threshold).
 		for _, e := range adv.Transfers {
 			p := policy.PairOf(e.SourceURL, e.DestURL)
 			if _, ok := m.clusterTh[p]; !ok {
-				m.clusterTh[p] = maxInt(1, m.threshold(p)/m.cfg.ClusterFactor)
+				m.clusterTh[p] = maxInt(1, m.threshold(p)/m.active.clusterFactor)
 			}
 		}
 		sums := make(map[pairCluster]int)
@@ -301,7 +366,7 @@ func (m *Model) ApplyAdvice(specs []policy.TransferSpec, adv *policy.TransferAdv
 		for pc, s := range sums {
 			before := m.clusterLedg[pc]
 			after := before + s
-			bound := maxInt(before, m.clusterTh[pc.pair]) + counts[pc]*m.cfg.MinStreams
+			bound := maxInt(before, m.clusterTh[pc.pair]) + counts[pc]*m.active.minStreams
 			if after > bound {
 				return fmt.Errorf("model: pair %s->%s cluster %q ledger %d exceeds share bound %d",
 					pc.pair.Src, pc.pair.Dst, pc.cluster, after, bound)
@@ -345,6 +410,12 @@ func (m *Model) ApplyAdvice(specs []policy.TransferSpec, adv *policy.TransferAdv
 	for _, e := range adv.Transfers {
 		p := policy.PairOf(e.SourceURL, e.DestURL)
 		m.pairsSeen[p] = true
+		// The service materializes a Threshold fact at the current default
+		// the first time a pair is advised without one (bundle activation
+		// may have retracted an earlier fact for the same pair).
+		if _, ok := m.thFacts[p]; !ok {
+			m.thFacts[p] = m.active.defaultThreshold
+		}
 		if _, ok := m.ledger[p]; !ok {
 			m.ledger[p] = 0
 		}
@@ -356,7 +427,7 @@ func (m *Model) ApplyAdvice(specs []policy.TransferSpec, adv *policy.TransferAdv
 			pair:     p,
 			streams:  e.Streams,
 		}
-		if m.cfg.Algorithm == policy.AlgoBalanced {
+		if m.active.algorithm == policy.AlgoBalanced {
 			pc := pairCluster{p, e.ClusterID}
 			if _, ok := m.clusterLedg[pc]; !ok {
 				m.clusterLedg[pc] = 0
@@ -386,7 +457,7 @@ func (m *Model) ApplyReport(rep policy.CompletionReport) {
 		if m.ledger[t.pair] < 0 {
 			m.ledger[t.pair] = 0
 		}
-		if m.cfg.Algorithm == policy.AlgoBalanced {
+		if m.active.algorithm == policy.AlgoBalanced {
 			pc := pairCluster{t.pair, t.cluster}
 			m.clusterLedg[pc] -= t.streams
 			if m.clusterLedg[pc] < 0 {
@@ -496,9 +567,52 @@ func (m *Model) ApplyCleanupReport(rep policy.CleanupReport) {
 	}
 }
 
-// ApplySetThreshold records an explicit per-pair threshold.
+// ApplySetThreshold records an explicit per-pair threshold: the service
+// creates or updates the pair's Threshold fact in place.
 func (m *Model) ApplySetThreshold(src, dst string, max int) {
-	m.explicitTh[policy.HostPair{Src: src, Dst: dst}] = max
+	m.thFacts[policy.HostPair{Src: src, Dst: dst}] = max
+}
+
+// ApplyActivateBundle advances the model for a state-changing bundle
+// activation: the active bundle's tunables are swapped, the previous
+// bundle becomes the rollback target, and the bundle-owned fact families
+// are rebuilt the way the service's applyBundleLocked rebuilds them.
+func (m *Model) ApplyActivateBundle(b *bundle.Bundle) {
+	prev := m.active
+	m.prev = &prev
+	m.active = modelBundleOf(b)
+	m.resetBundleFacts()
+}
+
+// ApplyRollbackBundle advances the model for a rollback: active and
+// previous swap, with the same fact rebuild as a forward activation.
+func (m *Model) ApplyRollbackBundle() error {
+	if m.prev == nil {
+		return fmt.Errorf("model: rollback accepted with no previous bundle")
+	}
+	m.active, *m.prev = *m.prev, m.active
+	m.resetBundleFacts()
+	return nil
+}
+
+// resetBundleFacts rebuilds the fact families a bundle activation owns:
+// Threshold facts are replaced wholesale by the bundle's pair list,
+// cluster shares are dropped (re-frozen lazily on the next balanced
+// advise), and cluster ledgers are re-materialized from in-flight
+// transfers when the incoming algorithm is balanced. Pair ledgers, group
+// counters, resources and leases survive untouched.
+func (m *Model) resetBundleFacts() {
+	m.thFacts = make(map[policy.HostPair]int, len(m.active.pairTh))
+	for p, v := range m.active.pairTh {
+		m.thFacts[p] = v
+	}
+	m.clusterTh = make(map[policy.HostPair]int)
+	m.clusterLedg = make(map[pairCluster]int)
+	if m.active.algorithm == policy.AlgoBalanced {
+		for _, t := range m.inProgress {
+			m.clusterLedg[pairCluster{t.pair, t.cluster}] += t.streams
+		}
+	}
 }
 
 // renewLease registers or extends owner's lease at clock + TTL, mirroring
@@ -557,7 +671,7 @@ func (m *Model) ApplyAdvanceClock(now float64, adv *policy.ClockAdvance) error {
 			if m.ledger[t.pair] < 0 {
 				m.ledger[t.pair] = 0
 			}
-			if m.cfg.Algorithm == policy.AlgoBalanced {
+			if m.active.algorithm == policy.AlgoBalanced {
 				pc := pairCluster{t.pair, t.cluster}
 				m.clusterLedg[pc] -= t.streams
 				if m.clusterLedg[pc] < 0 {
@@ -680,12 +794,11 @@ func (m *Model) CheckDump(d *policy.StateDump) error {
 		return fmt.Errorf("model: %d cleanups in progress, predicted %d", len(d.Cleanups), len(m.cleanups))
 	}
 
-	// Thresholds: one fact per pair seen or explicitly configured.
-	wantTh := make(map[policy.HostPair]int)
-	for p := range m.pairsSeen {
-		wantTh[p] = m.threshold(p)
-	}
-	for p, v := range m.explicitTh {
+	// Thresholds: the model mirrors the Threshold fact set directly
+	// (bundle activation replaces it wholesale, so it cannot be derived
+	// from pairs seen plus overrides).
+	wantTh := make(map[policy.HostPair]int, len(m.thFacts))
+	for p, v := range m.thFacts {
 		wantTh[p] = v
 	}
 	gotTh := make(map[policy.HostPair]int, len(d.Thresholds))
@@ -767,9 +880,9 @@ func (m *Model) CheckDump(d *policy.StateDump) error {
 	}
 
 	// Cluster accounting (balanced only; absent otherwise).
-	if m.cfg.Algorithm != policy.AlgoBalanced {
+	if m.active.algorithm != policy.AlgoBalanced {
 		if len(d.ClusterThresholds) != 0 || len(d.ClusterLedgers) != 0 {
-			return fmt.Errorf("model: cluster facts present under algorithm %q", m.cfg.Algorithm)
+			return fmt.Errorf("model: cluster facts present under algorithm %q", m.active.algorithm)
 		}
 		return nil
 	}

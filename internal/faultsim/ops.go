@@ -1,28 +1,32 @@
 package faultsim
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 
+	"policyflow/internal/bundle"
 	"policyflow/internal/policy"
 )
 
 // Op kinds. Every schedule is a flat list of Ops, serializable to JSON so
 // a failing trace can be printed, shrunk and replayed byte-for-byte.
 const (
-	OpAdvise        = "advise"
-	OpReport        = "report"
-	OpCleanup       = "cleanup"
-	OpCleanupReport = "cleanupReport"
-	OpSetThreshold  = "setThreshold"
-	OpCrash         = "crash"        // close a replica's store, reopen, compare state
-	OpTornCrash     = "tornCrash"    // crash + append a torn record to the WAL tail first
-	OpDiskFault     = "diskFault"    // arm N injected WAL append failures on a replica
-	OpResync        = "resync"       // resync every downed replica from a healthy peer
-	OpSnapshot      = "snapshot"     // force a snapshot on a replica
-	OpRenewLease    = "renewLease"   // explicitly renew a workflow's lease
-	OpAdvanceClock  = "advanceClock" // advance the logical clock, expiring stale leases
-	OpClientCrash   = "clientCrash"  // a client dies: it stops issuing ops, holdings stay pinned
+	OpAdvise         = "advise"
+	OpReport         = "report"
+	OpCleanup        = "cleanup"
+	OpCleanupReport  = "cleanupReport"
+	OpSetThreshold   = "setThreshold"
+	OpCrash          = "crash"          // close a replica's store, reopen, compare state
+	OpTornCrash      = "tornCrash"      // crash + append a torn record to the WAL tail first
+	OpDiskFault      = "diskFault"      // arm N injected WAL append failures on a replica
+	OpResync         = "resync"         // resync every downed replica from a healthy peer
+	OpSnapshot       = "snapshot"       // force a snapshot on a replica
+	OpRenewLease     = "renewLease"     // explicitly renew a workflow's lease
+	OpAdvanceClock   = "advanceClock"   // advance the logical clock, expiring stale leases
+	OpClientCrash    = "clientCrash"    // a client dies: it stops issuing ops, holdings stay pinned
+	OpActivateBundle = "activateBundle" // activate a policy bundle document on every replica
+	OpRollbackBundle = "rollbackBundle" // re-activate the previously active bundle
 )
 
 // Op is one step of a schedule.
@@ -45,6 +49,8 @@ type Op struct {
 
 	Workflow string  `json:"workflow,omitempty"` // renewLease/clientCrash
 	Now      float64 `json:"now,omitempty"`      // advanceClock
+
+	BundleDoc json.RawMessage `json:"bundleDoc,omitempty"` // activateBundle
 }
 
 // ScheduleConfig fixes the service configuration a schedule runs under.
@@ -102,6 +108,13 @@ type gen struct {
 	// issuing operations on their behalf — no advises, no reports — so
 	// their holdings stay pinned until a lease expiry reclaims them.
 	dead map[string]bool
+	// variants are pre-drawn bundle documents the schedule activates;
+	// activeVar/prevVar track which variant the generator believes is
+	// active (-1 = the compiled-in v0) so rollbacks are drawn sensibly.
+	variants  [][]byte
+	activeVar int
+	prevVar   int
+	hasPrev   bool
 }
 
 var (
@@ -172,6 +185,55 @@ func (g *gen) faults(prob float64) []FaultSpec {
 	return fs
 }
 
+// initBundles pre-draws the bundle variants a schedule activates. Every
+// random choice goes through the single rng before any op is drawn, so
+// the variant set is part of the (seed, config) determinism contract.
+func (g *gen) initBundles(sc ScheduleConfig) {
+	g.activeVar = -1 // compiled-in v0
+	algos := []string{bundle.AlgoGreedy, bundle.AlgoBalanced, bundle.AlgoPassthrough}
+	pairCandidates := [][2]string{{"hostA", "hostB"}, {"hostB", "hostC"}}
+	for i := 0; i < 3; i++ {
+		b := bundle.Bundle{
+			SchemaVersion:    bundle.SchemaVersion,
+			Version:          fmt.Sprintf("sim-v%d", i+1),
+			Description:      "fault-schedule variant",
+			Algorithm:        algos[g.rng.Intn(len(algos))],
+			DefaultStreams:   1 + g.rng.Intn(4),
+			MinStreams:       1,
+			DefaultThreshold: 2 + g.rng.Intn(8),
+			ClusterFactor:    1 + g.rng.Intn(3),
+		}
+		for _, pc := range pairCandidates {
+			if g.rng.Intn(2) == 0 {
+				b.PairThresholds = append(b.PairThresholds, bundle.PairThreshold{
+					SourceHost: pc[0], DestHost: pc[1], Max: 1 + g.rng.Intn(8),
+				})
+			}
+		}
+		doc, err := json.Marshal(&b)
+		if err != nil {
+			panic(fmt.Sprintf("faultsim: marshal bundle variant: %v", err))
+		}
+		g.variants = append(g.variants, doc)
+	}
+}
+
+// genBundleOp draws a bundle activation or — when a previous bundle
+// exists — occasionally a rollback. Re-activating the current variant is
+// allowed: the service must treat it as an idempotent no-op.
+func (g *gen) genBundleOp(sc ScheduleConfig) Op {
+	if g.hasPrev && g.rng.Float64() < 0.35 {
+		g.activeVar, g.prevVar = g.prevVar, g.activeVar
+		return Op{Kind: OpRollbackBundle, Faults: g.faults(sc.FaultProb)}
+	}
+	vi := g.rng.Intn(len(g.variants))
+	if vi != g.activeVar {
+		g.prevVar, g.hasPrev = g.activeVar, true
+		g.activeVar = vi
+	}
+	return Op{Kind: OpActivateBundle, BundleDoc: g.variants[vi], Faults: g.faults(sc.FaultProb)}
+}
+
 // next draws the next operation given the harness's current model state.
 func (g *gen) next(sc ScheduleConfig) Op {
 	if sc.LeaseTTL > 0 && g.rng.Float64() < 0.18 {
@@ -195,16 +257,18 @@ func (g *gen) next(sc ScheduleConfig) Op {
 			DstHost: genHosts[g.rng.Intn(len(genHosts))],
 			Max:     1 + g.rng.Intn(8), // statusFor maps max<1 to 500, so stay valid
 		}
-	case roll < 0.86:
+	case roll < 0.84:
+		return g.genBundleOp(sc)
+	case roll < 0.89:
 		torn := g.rng.Intn(3) == 0
 		kind := OpCrash
 		if torn {
 			kind = OpTornCrash
 		}
 		return Op{Kind: kind, Replica: g.rng.Intn(numReplicas)}
-	case roll < 0.91:
+	case roll < 0.93:
 		return Op{Kind: OpDiskFault, Replica: g.rng.Intn(numReplicas), Count: 1}
-	case roll < 0.96:
+	case roll < 0.97:
 		return Op{Kind: OpResync}
 	default:
 		return Op{Kind: OpSnapshot, Replica: g.rng.Intn(numReplicas)}

@@ -10,7 +10,11 @@ import "policyflow/internal/rules"
 // on that cluster fall back to a single stream. Because each cluster has a
 // reserved share, a cluster whose requests arrive late is not starved by
 // earlier clusters.
-func balancedRules(cfg Config) []*rules.Rule {
+//
+// Gated on the active bundle selecting balanced allocation (see
+// greedyRules for the gating scheme).
+func balancedRules(tun func() *Tunables) []*rules.Rule {
+	gate := func() bool { return tun().Algorithm == AlgoBalanced }
 	return []*rules.Rule{
 		// "Retrieve the parallel streams threshold defined for a single
 		// cluster between a source and destination host": derive the
@@ -18,6 +22,7 @@ func balancedRules(cfg Config) []*rules.Rule {
 		{
 			Name:     "balanced-create-cluster-threshold",
 			Salience: salClusterSetup,
+			Gate:     gate,
 			When: []rules.Pattern{
 				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
 					return t.State == TransferSubmitted
@@ -49,6 +54,7 @@ func balancedRules(cfg Config) []*rules.Rule {
 		{
 			Name:     "balanced-create-cluster-ledger",
 			Salience: salClusterLedger,
+			Gate:     gate,
 			When: []rules.Pattern{
 				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
 					return t.State == TransferSubmitted
@@ -71,6 +77,7 @@ func balancedRules(cfg Config) []*rules.Rule {
 			Name:     "balanced-allocate",
 			Salience: salAllocate,
 			NoLoop:   true,
+			Gate:     gate,
 			When: []rules.Pattern{
 				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
 					return t.State == TransferSubmitted && t.AllocatedStreams == 0 && t.RequestedStreams > 0
@@ -91,7 +98,7 @@ func balancedRules(cfg Config) []*rules.Rule {
 				ct := ctx.Get("ct").(*ClusterThreshold)
 				cl := ctx.Get("cl").(*ClusterLedger)
 				l := ctx.Get("l").(*StreamLedger)
-				t.AllocatedStreams = greedyGrant(t.RequestedStreams, ct.Max, cl.Allocated, cfg.MinStreams)
+				t.AllocatedStreams = greedyGrant(t.RequestedStreams, ct.Max, cl.Allocated, tun().MinStreams)
 				t.State = TransferAdvised
 				cl.Allocated += t.AllocatedStreams
 				l.Allocated += t.AllocatedStreams
@@ -107,6 +114,7 @@ func balancedRules(cfg Config) []*rules.Rule {
 			Name:     "balanced-release-cluster",
 			Salience: salClusterRelease,
 			NoLoop:   true,
+			Gate:     gate,
 			When: []rules.Pattern{
 				rules.Match[*TransferResult]("e", nil),
 				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {

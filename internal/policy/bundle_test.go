@@ -1,0 +1,245 @@
+package policy
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"policyflow/internal/bundle"
+)
+
+// bundleDoc marshals a bundle for activation in tests.
+func bundleDoc(t *testing.T, b bundle.Bundle) []byte {
+	t.Helper()
+	doc, err := json.Marshal(&b)
+	if err != nil {
+		t.Fatalf("marshal bundle: %v", err)
+	}
+	return doc
+}
+
+// TestBootstrapBundleGolden pins the no-bundle behavior: a service that
+// never sees a bundle document runs under the embedded v0 bundle, whose
+// effect is byte-identical to the compiled defaults — same grants, same
+// thresholds — and whose version stamps every decision record.
+func TestBootstrapBundleGolden(t *testing.T) {
+	s := newGreedy(t, 50, 4)
+	tun := s.Tunables()
+	if tun.Version != BootstrapBundleVersion {
+		t.Fatalf("boot version %q, want %q", tun.Version, BootstrapBundleVersion)
+	}
+	if tun.Checksum == "" {
+		t.Fatal("boot bundle has no checksum")
+	}
+	if tun.Algorithm != AlgoGreedy || tun.DefaultStreams != 4 || tun.DefaultThreshold != 50 {
+		t.Fatalf("boot tunables %+v diverge from config", tun)
+	}
+	adv, err := s.AdviseTransfers([]TransferSpec{spec(1, "wf1"), spec(2, "wf1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range adv.Transfers {
+		if tr.Streams != 4 {
+			t.Errorf("grant %d streams under v0, want compiled default 4", tr.Streams)
+		}
+	}
+	for _, rec := range s.Decisions(0) {
+		if rec.Bundle != BootstrapBundleVersion {
+			t.Errorf("decision %s stamped %q, want %q", rec.Op, rec.Bundle, BootstrapBundleVersion)
+		}
+	}
+	st := s.Bundles()
+	if !st.Active.Active || st.Active.Version != BootstrapBundleVersion || st.Previous != nil {
+		t.Fatalf("boot bundle status %+v", st)
+	}
+}
+
+// TestBundleEquivalentToDefaultsIsBehaviorPreserving activates a bundle
+// carrying exactly the compiled default tunables (under a new version
+// name) and requires the grants to stay byte-identical to an untouched
+// service — policy-as-data must not perturb policy-as-code.
+func TestBundleEquivalentToDefaultsIsBehaviorPreserving(t *testing.T) {
+	plain := newGreedy(t, 50, 4)
+	bundled := newGreedy(t, 50, 4)
+	if _, err := bundled.ActivateBundle(bundleDoc(t, bundle.Bundle{
+		SchemaVersion:    bundle.SchemaVersion,
+		Version:          "defaults-as-data",
+		Algorithm:        bundle.AlgoGreedy,
+		DefaultStreams:   4,
+		MinStreams:       1,
+		DefaultThreshold: 50,
+		ClusterFactor:    1,
+	})); err != nil {
+		t.Fatalf("ActivateBundle: %v", err)
+	}
+	specs := []TransferSpec{spec(1, "wf1"), spec(2, "wf1"), spec(1, "wf2")}
+	a1, err := plain.AdviseTransfers(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := bundled.AdviseTransfers(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatalf("advice diverges under equivalent bundle:\n plain   %+v\n bundled %+v", a1, a2)
+	}
+	recs := bundled.Decisions(0)
+	if got := recs[len(recs)-1].Bundle; got != "defaults-as-data" {
+		t.Fatalf("decision stamped %q, want defaults-as-data", got)
+	}
+}
+
+// TestActivateBundleSwapsThresholdFacts verifies the fact rewrite: the
+// bundle's pair thresholds replace the existing Threshold facts wholesale,
+// and subsequent grants obey the new bounds.
+func TestActivateBundleSwapsThresholdFacts(t *testing.T) {
+	s := newGreedy(t, 50, 4)
+	if _, err := s.AdviseTransfers([]TransferSpec{spec(1, "wf1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetThreshold("other.example.org", "dst.example.org", 9); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.ActivateBundle(bundleDoc(t, bundle.Bundle{
+		SchemaVersion:    bundle.SchemaVersion,
+		Version:          "tight",
+		Algorithm:        bundle.AlgoGreedy,
+		DefaultStreams:   2,
+		MinStreams:       1,
+		DefaultThreshold: 3,
+		ClusterFactor:    1,
+		PairThresholds: []bundle.PairThreshold{
+			{SourceHost: "futuregrid.tacc.example.org", DestHost: "obelix.isi.example.org", Max: 6},
+		},
+	}))
+	if err != nil {
+		t.Fatalf("ActivateBundle: %v", err)
+	}
+	if !info.Active || info.Version != "tight" {
+		t.Fatalf("activation info %+v", info)
+	}
+	d := s.ExportState()
+	if len(d.Thresholds) != 1 {
+		t.Fatalf("threshold facts after activation: %+v, want exactly the bundle's pair", d.Thresholds)
+	}
+	th := d.Thresholds[0]
+	if th.Src != "futuregrid.tacc.example.org" || th.Dst != "obelix.isi.example.org" || th.Max != 6 {
+		t.Fatalf("threshold fact %+v", th)
+	}
+	tun := s.Tunables()
+	if tun.Version != "tight" || tun.DefaultThreshold != 3 || tun.DefaultStreams != 2 {
+		t.Fatalf("tunables after activation %+v", tun)
+	}
+}
+
+// TestRollbackRestoresPriorTunablesWithoutRestart is the rollback
+// acceptance check: activating a bundle and rolling it back returns the
+// tunables and threshold facts to their pre-activation values in place,
+// with no process restart.
+func TestRollbackRestoresPriorTunablesWithoutRestart(t *testing.T) {
+	s := newGreedy(t, 50, 4)
+	if _, err := s.AdviseTransfers([]TransferSpec{spec(1, "wf1")}); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Tunables()
+	if _, err := s.ActivateBundle(bundleDoc(t, bundle.Bundle{
+		SchemaVersion:    bundle.SchemaVersion,
+		Version:          "experiment",
+		Algorithm:        bundle.AlgoBalanced,
+		DefaultStreams:   1,
+		MinStreams:       1,
+		DefaultThreshold: 2,
+		ClusterFactor:    2,
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tunables().Version != "experiment" {
+		t.Fatal("activation did not take effect")
+	}
+	info, err := s.RollbackBundle()
+	if err != nil {
+		t.Fatalf("RollbackBundle: %v", err)
+	}
+	if info.Version != BootstrapBundleVersion {
+		t.Fatalf("rollback landed on %q, want %q", info.Version, BootstrapBundleVersion)
+	}
+	after := s.Tunables()
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("tunables after rollback:\n before %+v\n after  %+v", before, after)
+	}
+	// The pair advised under v0 regains its default-threshold fact on the
+	// next advise; new grants run under the restored defaults.
+	adv, err := s.AdviseTransfers([]TransferSpec{spec(2, "wf1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Transfers[0].Streams != 4 {
+		t.Fatalf("grant %d streams after rollback, want restored default 4", adv.Transfers[0].Streams)
+	}
+	st := s.Bundles()
+	if st.Previous == nil || st.Previous.Version != "experiment" {
+		t.Fatalf("rollback target after rollback: %+v, want experiment", st.Previous)
+	}
+}
+
+// TestRollbackWithoutHistoryIsRejected pins the error contract: rolling
+// back before any activation is a deterministic 4xx-class rejection.
+func TestRollbackWithoutHistoryIsRejected(t *testing.T) {
+	s := newGreedy(t, 50, 4)
+	if _, err := s.RollbackBundle(); !errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("RollbackBundle with no history: %v, want ErrInvalidRequest", err)
+	}
+}
+
+// TestActivateBundleRejectsVersionReuse pins immutability: a version name,
+// once activated, cannot be reused for a different document.
+func TestActivateBundleRejectsVersionReuse(t *testing.T) {
+	s := newGreedy(t, 50, 4)
+	mk := func(streams int) []byte {
+		return bundleDoc(t, bundle.Bundle{
+			SchemaVersion:    bundle.SchemaVersion,
+			Version:          "pinned",
+			Algorithm:        bundle.AlgoGreedy,
+			DefaultStreams:   streams,
+			MinStreams:       1,
+			DefaultThreshold: 10,
+			ClusterFactor:    1,
+		})
+	}
+	if _, err := s.ActivateBundle(mk(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ActivateBundle(mk(3)); !errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("version reuse: %v, want ErrInvalidRequest", err)
+	}
+	// Re-activating the identical document is a no-op, not a conflict.
+	info, err := s.ActivateBundle(mk(2))
+	if err != nil || !info.Active {
+		t.Fatalf("idempotent re-activation: info %+v err %v", info, err)
+	}
+}
+
+// TestActivateBundleRejectsMalformedDocuments maps every validation
+// failure to ErrInvalidRequest so the HTTP layer answers 400, never 500.
+func TestActivateBundleRejectsMalformedDocuments(t *testing.T) {
+	s := newGreedy(t, 50, 4)
+	cases := map[string][]byte{
+		"syntax":         []byte(`{"schemaVersion": 1,`),
+		"unknown-field":  []byte(`{"schemaVersion": 1, "version": "x", "algorithm": "greedy", "defaultStreams": 1, "minStreams": 1, "defaultThreshold": 1, "clusterFactor": 1, "surprise": true}`),
+		"unknown-schema": []byte(`{"schemaVersion": 99, "version": "x", "algorithm": "greedy", "defaultStreams": 1, "minStreams": 1, "defaultThreshold": 1, "clusterFactor": 1}`),
+		"bad-algorithm":  []byte(`{"schemaVersion": 1, "version": "x", "algorithm": "psychic", "defaultStreams": 1, "minStreams": 1, "defaultThreshold": 1, "clusterFactor": 1}`),
+	}
+	for name, doc := range cases {
+		if _, err := s.ActivateBundle(doc); !errors.Is(err, ErrInvalidRequest) {
+			t.Errorf("%s: ActivateBundle = %v, want ErrInvalidRequest", name, err)
+		}
+		if _, err := s.StageBundle(doc); !errors.Is(err, ErrInvalidRequest) {
+			t.Errorf("%s: StageBundle = %v, want ErrInvalidRequest", name, err)
+		}
+	}
+	if got := s.Tunables().Version; got != BootstrapBundleVersion {
+		t.Fatalf("rejected documents changed the active bundle to %q", got)
+	}
+}

@@ -37,8 +37,11 @@ const (
 // transfers"): duplicate suppression, resource creation and association,
 // default stream assignment, group-ID generation and assignment, threshold
 // and ledger bootstrap, completion processing, and the minimum-one-stream
-// guard. newGroupID must return a fresh unique group identifier.
-func commonTransferRules(cfg Config, newGroupID func() string) []*rules.Rule {
+// guard. newGroupID must return a fresh unique group identifier. tun
+// returns the active tunables snapshot; it is evaluated inside rule
+// bodies (not captured at construction) so bundle activations apply to
+// every subsequent firing.
+func commonTransferRules(tun func() *Tunables, newGroupID func() string) []*rules.Rule {
 	return []*rules.Rule{
 		// "Remove duplicate transfers from the transfer list" (already
 		// staged by this or another workflow).
@@ -218,7 +221,7 @@ func commonTransferRules(cfg Config, newGroupID func() string) []*rules.Rule {
 			},
 			Then: func(ctx *rules.Context) {
 				t := ctx.Get("t").(*Transfer)
-				ctx.Insert(&Threshold{Pair: t.Pair, Max: cfg.DefaultThreshold})
+				ctx.Insert(&Threshold{Pair: t.Pair, Max: tun().DefaultThreshold})
 			},
 		},
 		// Bootstrap the stream ledger that records allocations against the
@@ -245,7 +248,7 @@ func commonTransferRules(cfg Config, newGroupID func() string) []*rules.Rule {
 			Salience: salMinOneStream,
 			When: []rules.Pattern{
 				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
-					return t.State == TransferAdvised && t.AllocatedStreams < cfg.MinStreams
+					return t.State == TransferAdvised && t.AllocatedStreams < tun().MinStreams
 				}),
 				rules.Match("l", func(b rules.Bindings, l *StreamLedger) bool {
 					return l.Pair == b.Get("t").(*Transfer).Pair
@@ -254,8 +257,9 @@ func commonTransferRules(cfg Config, newGroupID func() string) []*rules.Rule {
 			Then: func(ctx *rules.Context) {
 				t := ctx.Get("t").(*Transfer)
 				l := ctx.Get("l").(*StreamLedger)
-				l.Allocated += cfg.MinStreams - t.AllocatedStreams
-				t.AllocatedStreams = cfg.MinStreams
+				min := tun().MinStreams
+				l.Allocated += min - t.AllocatedStreams
+				t.AllocatedStreams = min
 				ctx.Update(t)
 				ctx.Update(l)
 			},

@@ -73,6 +73,10 @@ type DecisionRecord struct {
 	// under; 0 when no log was attached (or the record was rebuilt by
 	// replay).
 	WALSeq uint64 `json:"walSeq,omitempty" xml:"walSeq,omitempty"`
+	// Bundle is the version of the policy bundle that was active when the
+	// decision was produced — the provenance link from a decision back to
+	// the exact policy data that shaped it.
+	Bundle string `json:"bundle,omitempty" xml:"bundle,omitempty"`
 	// FactsBefore/FactsAfter are the Policy Memory fact counts around
 	// rule evaluation — the facts the decision was matched against.
 	FactsBefore int `json:"factsBefore" xml:"factsBefore"`

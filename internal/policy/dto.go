@@ -130,8 +130,10 @@ type PairState struct {
 
 // Snapshot is the externally visible state of the policy service.
 type Snapshot struct {
-	Algorithm       string      `json:"algorithm" xml:"algorithm"`
-	DefaultStreams  int         `json:"defaultStreams" xml:"defaultStreams"`
+	Algorithm      string `json:"algorithm" xml:"algorithm"`
+	DefaultStreams int    `json:"defaultStreams" xml:"defaultStreams"`
+	// Bundle is the active policy bundle version.
+	Bundle          string      `json:"bundle,omitempty" xml:"bundle,omitempty"`
 	InFlight        int         `json:"inFlight" xml:"inFlight"`
 	StagedResources int         `json:"stagedResources" xml:"stagedResources"`
 	TrackedFiles    int         `json:"trackedFiles" xml:"trackedFiles"`

@@ -9,7 +9,13 @@ import "policyflow/internal/rules"
 // reached, each new transfer receives a single stream so it is never
 // starved. Streams freed by completed transfers become available to new
 // transfers (but are not granted retroactively to ongoing ones).
-func greedyRules(cfg Config) []*rules.Rule {
+//
+// The rules are gated on the active bundle selecting greedy allocation:
+// all algorithm rule sets are installed up front and the gate picks one
+// per firing cycle, so activating a bundle switches algorithms without
+// rebuilding the session.
+func greedyRules(tun func() *Tunables) []*rules.Rule {
+	gate := func() bool { return tun().Algorithm == AlgoGreedy }
 	return []*rules.Rule{
 		{
 			// "Enforce the maximum number of parallel streams on a
@@ -18,6 +24,7 @@ func greedyRules(cfg Config) []*rules.Rule {
 			Name:     "greedy-allocate",
 			Salience: salAllocate,
 			NoLoop:   true,
+			Gate:     gate,
 			When: []rules.Pattern{
 				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
 					return t.State == TransferSubmitted && t.AllocatedStreams == 0 && t.RequestedStreams > 0
@@ -33,7 +40,7 @@ func greedyRules(cfg Config) []*rules.Rule {
 				t := ctx.Get("t").(*Transfer)
 				th := ctx.Get("th").(*Threshold)
 				l := ctx.Get("l").(*StreamLedger)
-				t.AllocatedStreams = greedyGrant(t.RequestedStreams, th.Max, l.Allocated, cfg.MinStreams)
+				t.AllocatedStreams = greedyGrant(t.RequestedStreams, th.Max, l.Allocated, tun().MinStreams)
 				t.State = TransferAdvised
 				l.Allocated += t.AllocatedStreams
 				ctx.Update(t)
@@ -84,13 +91,15 @@ func GreedyMaxStreams(threshold, defaultStreams, concurrentJobs int) int {
 // transfer is granted exactly what it asked for (subject to the minimum of
 // one stream). This models default Pegasus behaviour with the policy
 // service acting only as bookkeeper, and is the "no policy" baseline of the
-// paper's evaluation when the service is consulted at all.
-func passthroughRules(cfg Config) []*rules.Rule {
+// paper's evaluation when the service is consulted at all. Gated on the
+// active bundle selecting "none".
+func passthroughRules(tun func() *Tunables) []*rules.Rule {
 	return []*rules.Rule{
 		{
 			Name:     "passthrough-allocate",
 			Salience: salAllocate,
 			NoLoop:   true,
+			Gate:     func() bool { return tun().Algorithm == AlgoNone },
 			When: []rules.Pattern{
 				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
 					return t.State == TransferSubmitted && t.AllocatedStreams == 0 && t.RequestedStreams > 0
@@ -103,8 +112,8 @@ func passthroughRules(cfg Config) []*rules.Rule {
 				t := ctx.Get("t").(*Transfer)
 				l := ctx.Get("l").(*StreamLedger)
 				t.AllocatedStreams = t.RequestedStreams
-				if t.AllocatedStreams < cfg.MinStreams {
-					t.AllocatedStreams = cfg.MinStreams
+				if min := tun().MinStreams; t.AllocatedStreams < min {
+					t.AllocatedStreams = min
 				}
 				t.State = TransferAdvised
 				l.Allocated += t.AllocatedStreams

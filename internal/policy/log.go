@@ -1,8 +1,11 @@
 package policy
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+
+	"policyflow/internal/bundle"
 )
 
 // Logged operation names. The policy service is deterministic, so a log of
@@ -19,6 +22,7 @@ const (
 	OpImportState     = "import_state"
 	OpRenewLease      = "renew_lease"
 	OpAdvanceClock    = "advance_clock"
+	OpActivateBundle  = "activate_bundle"
 )
 
 // ThresholdOp is the logged payload of a SetThreshold call.
@@ -26,6 +30,13 @@ type ThresholdOp struct {
 	SourceHost string `json:"sourceHost"`
 	DestHost   string `json:"destHost"`
 	Max        int    `json:"max"`
+}
+
+// BundleOp is the logged payload of an ActivateBundle mutation. The full
+// bundle document is embedded so replay is self-contained: recovery needs
+// no access to the file or push that originally supplied the bundle.
+type BundleOp struct {
+	Bundle *bundle.Bundle `json:"bundle"`
 }
 
 // MutationLog receives every Policy Memory mutation command, in
@@ -139,6 +150,15 @@ func (s *Service) ApplyLogged(op string, payload []byte) error {
 			return fmt.Errorf("policy: replay %s: %w", op, err)
 		}
 		s.AdvanceClock(c.Now)
+	case OpActivateBundle:
+		var b BundleOp
+		if err := json.Unmarshal(payload, &b); err != nil {
+			return fmt.Errorf("policy: replay %s: %w", op, err)
+		}
+		if b.Bundle == nil {
+			return fmt.Errorf("policy: replay %s: record carries no bundle", op)
+		}
+		s.activateBundle(context.Background(), b.Bundle)
 	default:
 		return fmt.Errorf("policy: replay: unknown logged op %q", op)
 	}

@@ -39,13 +39,20 @@ func DefaultPriorityWeighting() PriorityWeighting {
 
 // priorityRules implements the stream-weighting policy. It fires once per
 // submitted transfer that carries a non-zero priority, comparing it to
-// the median priority of all currently submitted transfers.
-func priorityRules(cfg Config, w PriorityWeighting) []*rules.Rule {
+// the median priority of all currently submitted transfers. The rule is
+// gated on the active bundle's weighting factors being enabled, and reads
+// them per firing, so a bundle can switch weighting on, off, or to new
+// factors at activation.
+func priorityRules(tun func() *Tunables) []*rules.Rule {
+	enabled := func(w PriorityWeighting) bool {
+		return w.BoostFactor > 1 || (w.ReduceFactor > 0 && w.ReduceFactor < 1)
+	}
 	return []*rules.Rule{
 		{
 			Name:     "priority-weight-streams",
 			Salience: salPriorityWeight,
 			NoLoop:   true,
+			Gate:     func() bool { return enabled(tun().Priority) },
 			When: []rules.Pattern{
 				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
 					return t.State == TransferSubmitted && t.Priority != 0 &&
@@ -54,6 +61,8 @@ func priorityRules(cfg Config, w PriorityWeighting) []*rules.Rule {
 			},
 			Then: func(ctx *rules.Context) {
 				t := ctx.Get("t").(*Transfer)
+				cur := tun()
+				w := cur.Priority
 				med := medianSubmittedPriority(ctx)
 				switch {
 				case w.BoostFactor > 1 && t.Priority > med:
@@ -64,8 +73,8 @@ func priorityRules(cfg Config, w PriorityWeighting) []*rules.Rule {
 					}
 				case w.ReduceFactor > 0 && w.ReduceFactor < 1 && t.Priority < med:
 					reduced := int(float64(t.RequestedStreams) * w.ReduceFactor)
-					if reduced < cfg.MinStreams {
-						reduced = cfg.MinStreams
+					if reduced < cur.MinStreams {
+						reduced = cur.MinStreams
 					}
 					if reduced < t.RequestedStreams {
 						t.RequestedStreams = reduced

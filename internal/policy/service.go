@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"policyflow/internal/bundle"
 	"policyflow/internal/obs"
 	"policyflow/internal/rules"
 )
@@ -145,6 +146,24 @@ type Service struct {
 	// applied (write-ahead). Nil keeps the service purely in-memory.
 	mlog MutationLog
 
+	// tun is the immutable tunables snapshot of the active bundle. The
+	// pointer is swapped only under s.mu; rule gates and bodies read it
+	// through an accessor while FireAll runs (always under s.mu), so one
+	// operation sees exactly one snapshot.
+	tun *Tunables
+	// activeBundle/prevBundle are the active bundle document and its
+	// predecessor (the rollback target). Both are durable: they ride in
+	// state dumps and are reconstructed by WAL replay of activations.
+	activeBundle *bundle.Bundle
+	prevBundle   *bundle.Bundle
+	// installed holds v0 plus every bundle ever activated, by version.
+	installed map[string]*bundle.Bundle
+	// staged holds pushed-but-unactivated bundles. Deliberately
+	// non-durable: excluded from dumps, lost on restart.
+	staged map[string]*bundle.Bundle
+	// bundleActsByResult counts activation attempts for metric backfill.
+	bundleActsByResult map[string]int
+
 	// decisions is the bounded decision-provenance ring, always present.
 	decisions *DecisionLog
 	// pendingFirings collects rule activations of the operation in
@@ -173,6 +192,9 @@ type svcMetrics struct {
 	leasesExpired *obs.Counter    // policy_leases_expired_total
 	reclaimed     *obs.Counter    // policy_reclaimed_transfers_total
 	reportUnmatch *obs.CounterVec // policy_report_unmatched_total{op}
+
+	bundleInfo *obs.GaugeVec   // policy_bundle_active_info{version}
+	bundleActs *obs.CounterVec // policy_bundle_activations_total{result}
 }
 
 // Instrument attaches a metrics registry and an event tracer (either may
@@ -215,6 +237,10 @@ func (s *Service) Instrument(reg *obs.Registry, tracer obs.Tracer) {
 			"In-progress transfers reclaimed from expired leases.").With(),
 		reportUnmatch: reg.Counter("policy_report_unmatched_total",
 			"Reported IDs that matched nothing in Policy Memory.", "op"),
+		bundleInfo: reg.Gauge("policy_bundle_active_info",
+			"Active policy bundle (1 on the active version's label).", "version"),
+		bundleActs: reg.Counter("policy_bundle_activations_total",
+			"Bundle activation attempts by result.", "result"),
 	}
 	m.advised.Add(float64(s.advised))
 	m.suppressed.Add(float64(s.suppressed))
@@ -227,6 +253,10 @@ func (s *Service) Instrument(reg *obs.Registry, tracer obs.Tracer) {
 	m.reclaimed.Add(float64(s.reclaimedTransfers))
 	for op, n := range s.reportUnmatchedByOp {
 		m.reportUnmatch.With(op).Add(float64(n))
+	}
+	m.bundleInfo.With(s.tun.Version).Set(1)
+	for result, n := range s.bundleActsByResult {
+		m.bundleActs.With(result).Add(float64(n))
 	}
 	s.metrics = m
 }
@@ -305,7 +335,18 @@ func New(cfg Config) (*Service, error) {
 	s := &Service{cfg: cfg, session: rules.NewSession(),
 		suppressedByReason:  make(map[string]int),
 		reportUnmatchedByOp: make(map[string]int),
+		installed:           make(map[string]*bundle.Bundle),
+		staged:              make(map[string]*bundle.Bundle),
+		bundleActsByResult:  make(map[string]int),
 		decisions:           NewDecisionLog(cfg.DecisionRing)}
+	// The compiled-in configuration is itself a bundle: v0, active from
+	// birth, never WAL-logged. Activating a real bundle later swaps the
+	// snapshot; until then behavior is bit-identical to the pre-bundle
+	// engine.
+	v0 := bundleFromConfig(cfg)
+	s.activeBundle = v0
+	s.installed[v0.Version] = v0
+	s.tun = tunablesFrom(v0, cfg.Priority)
 	// FIFO fairness: within a batch, the first submitted transfer is
 	// allocated first.
 	s.session.SetOldestFirst(true)
@@ -320,19 +361,20 @@ func New(cfg Config) (*Service, error) {
 		s.nextGroup++
 		return fmt.Sprintf("g-%04d", s.nextGroup)
 	}
-	s.session.MustAddRules(commonTransferRules(cfg, newGroupID)...)
+	// Every rule set is installed up front; algorithm and priority rules
+	// carry gates over the active tunables, so activating a bundle can
+	// switch allocation policy without rebuilding the session. The accessor
+	// reads s.tun without locking: the pointer is only written under s.mu
+	// and FireAll only runs under s.mu.
+	tun := func() *Tunables { return s.tun }
+	s.session.MustAddRules(commonTransferRules(tun, newGroupID)...)
 	s.session.MustAddRules(cleanupRules()...)
-	if cfg.Priority.BoostFactor > 1 || (cfg.Priority.ReduceFactor > 0 && cfg.Priority.ReduceFactor < 1) {
-		s.session.MustAddRules(priorityRules(cfg, cfg.Priority)...)
-	}
-	switch cfg.Algorithm {
-	case AlgoGreedy:
-		s.session.MustAddRules(greedyRules(cfg)...)
-	case AlgoBalanced:
-		s.session.MustAddRules(balancedRules(cfg)...)
-	case AlgoNone:
-		s.session.MustAddRules(passthroughRules(cfg)...)
-	}
+	s.session.MustAddRules(priorityRules(tun)...)
+	s.session.MustAddRules(greedyRules(tun)...)
+	s.session.MustAddRules(balancedRules(tun)...)
+	s.session.MustAddRules(passthroughRules(tun)...)
+	// LeaseTTL is deployment wiring, not policy: it stays outside the
+	// bundle surface, so the lease rules remain conditionally installed.
 	if cfg.LeaseTTL > 0 {
 		s.session.MustAddRules(leaseRules()...)
 	}
@@ -340,8 +382,8 @@ func New(cfg Config) (*Service, error) {
 	// Configuration facts.
 	s.session.Insert(&Defaults{DefaultStreams: cfg.DefaultStreams, MinStreams: cfg.MinStreams})
 	s.session.Insert(&ClusterFactor{N: cfg.ClusterFactor})
-	for pair, max := range cfg.PairThresholds {
-		s.session.Insert(&Threshold{Pair: pair, Max: max})
+	for _, pt := range v0.PairThresholds {
+		s.session.Insert(&Threshold{Pair: HostPair{Src: pt.SourceHost, Dst: pt.DestHost}, Max: pt.Max})
 	}
 	return s, nil
 }
@@ -574,6 +616,7 @@ func (s *Service) AdviseTransfersCtx(ctx context.Context, specs []TransferSpec) 
 		Op:          OpAdviseTransfers,
 		TraceID:     s.curTrace,
 		WALSeq:      logSeq,
+		Bundle:      s.tun.Version,
 		FactsBefore: factsBefore,
 		FactsAfter:  s.session.FactCount(),
 		RulesFired:  s.takeFirings(),
@@ -747,6 +790,7 @@ func (s *Service) ReportTransfersCtx(ctx context.Context, report CompletionRepor
 		Op:          OpReportTransfers,
 		TraceID:     s.curTrace,
 		WALSeq:      logSeq,
+		Bundle:      s.tun.Version,
 		FactsBefore: factsBefore,
 		FactsAfter:  s.session.FactCount(),
 		RulesFired:  s.takeFirings(),
@@ -949,6 +993,7 @@ func (s *Service) AdviseCleanupsCtx(ctx context.Context, specs []CleanupSpec) (a
 		Op:          OpAdviseCleanups,
 		TraceID:     s.curTrace,
 		WALSeq:      logSeq,
+		Bundle:      s.tun.Version,
 		FactsBefore: factsBefore,
 		FactsAfter:  s.session.FactCount(),
 		RulesFired:  s.takeFirings(),
@@ -1059,6 +1104,7 @@ func (s *Service) ReportCleanupsCtx(ctx context.Context, report CleanupReport) (
 		Op:          OpReportCleanups,
 		TraceID:     s.curTrace,
 		WALSeq:      logSeq,
+		Bundle:      s.tun.Version,
 		FactsBefore: factsBefore,
 		FactsAfter:  s.session.FactCount(),
 		RulesFired:  s.takeFirings(),
@@ -1101,8 +1147,9 @@ func (s *Service) Snapshot() Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap := Snapshot{
-		Algorithm:      string(s.cfg.Algorithm),
-		DefaultStreams: s.cfg.DefaultStreams,
+		Algorithm:      string(s.tun.Algorithm),
+		DefaultStreams: s.tun.DefaultStreams,
+		Bundle:         s.tun.Version,
 	}
 	inFlightByPair := make(map[HostPair]int)
 	for _, t := range rules.FactsOf[*Transfer](s.session) {

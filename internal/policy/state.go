@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"policyflow/internal/bundle"
 	"policyflow/internal/rules"
 )
 
@@ -24,6 +25,12 @@ type StateDump struct {
 	Suppressed   int `json:"suppressed" xml:"suppressed"`
 	// Clock is the logical clock driving lease expiry.
 	Clock float64 `json:"clock,omitempty" xml:"clock,omitempty"`
+	// Bundle carries the active and previous policy bundles, so a replica
+	// importing the dump adopts the exact tunables — not its own compiled
+	// defaults — and retains the rollback target. Staged (pushed but never
+	// activated) bundles are deliberately absent: they carry no applied
+	// policy and must not make replica dumps diverge.
+	Bundle *BundleStateDump `json:"bundleState,omitempty" xml:"bundleState,omitempty"`
 
 	Transfers         []TransferDump    `json:"transfers,omitempty" xml:"transfers>transfer,omitempty"`
 	Resources         []ResourceDump    `json:"resources,omitempty" xml:"resources>resource,omitempty"`
@@ -34,6 +41,12 @@ type StateDump struct {
 	Ledgers           []LedgerDump      `json:"ledgers,omitempty" xml:"ledgers>ledger,omitempty"`
 	ClusterLedgers    []ClusterLedgDump `json:"clusterLedgers,omitempty" xml:"clusterLedgers>ledger,omitempty"`
 	Leases            []LeaseDump       `json:"leases,omitempty" xml:"leases>lease,omitempty"`
+}
+
+// BundleStateDump serializes the bundle subsystem's durable state.
+type BundleStateDump struct {
+	Active   *bundle.Bundle `json:"active,omitempty" xml:"active,omitempty"`
+	Previous *bundle.Bundle `json:"previous,omitempty" xml:"previous,omitempty"`
 }
 
 // LeaseDump serializes one Lease fact.
@@ -149,6 +162,7 @@ func (s *Service) exportStateLocked() *StateDump {
 		Advised:      s.advised,
 		Suppressed:   s.suppressed,
 		Clock:        s.clock,
+		Bundle:       &BundleStateDump{Active: s.activeBundle, Previous: s.prevBundle},
 	}
 	for _, t := range rules.FactsOf[*Transfer](s.session) {
 		d.Transfers = append(d.Transfers, TransferDump{
@@ -225,9 +239,17 @@ func (s *Service) ImportState(d *StateDump) (err error) {
 	s.suppressed = d.Suppressed
 	s.clock = d.Clock
 
-	// Configuration facts come from this service's own config.
-	s.session.Insert(&Defaults{DefaultStreams: s.cfg.DefaultStreams, MinStreams: s.cfg.MinStreams})
-	s.session.Insert(&ClusterFactor{N: s.cfg.ClusterFactor})
+	// Adopt the dump's bundle state (falling back to this service's own
+	// compiled-in bundle for dumps that predate bundles), then derive the
+	// configuration facts from the adopted tunables — never from s.cfg,
+	// which may disagree with the exporter's active bundle.
+	if d.Bundle != nil && d.Bundle.Active != nil {
+		s.adoptBundleLocked(d.Bundle.Active, d.Bundle.Previous)
+	} else {
+		s.adoptBundleLocked(bundleFromConfig(s.cfg), nil)
+	}
+	s.session.Insert(&Defaults{DefaultStreams: s.tun.DefaultStreams, MinStreams: s.tun.MinStreams})
+	s.session.Insert(&ClusterFactor{N: s.tun.ClusterFactor})
 
 	for _, td := range d.Transfers {
 		s.session.Insert(&Transfer{

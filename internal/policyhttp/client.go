@@ -540,6 +540,83 @@ func (c *Client) setThresholdCtx(ctx context.Context, sourceHost, destHost strin
 	}, nil)
 }
 
+// PushBundle stages a policy bundle document without activating it. The
+// argument is the raw bundle JSON; it is sent verbatim, because the
+// bundle checksum is defined over the document's canonical JSON form.
+// XML-mode clients cannot push bundles.
+func (c *Client) PushBundle(doc []byte) (*policy.BundleInfo, error) {
+	return c.PushBundleCtx(c.ctx, doc)
+}
+
+// PushBundleCtx is PushBundle joining the causal trace carried by ctx.
+func (c *Client) PushBundleCtx(ctx context.Context, doc []byte) (*policy.BundleInfo, error) {
+	if c.useXML {
+		return nil, errors.New("policyhttp: bundle documents are JSON-only; use a JSON-mode client")
+	}
+	var out BundleInfoDoc
+	if err := c.doCtx(ctx, http.MethodPut, "/v1/bundles", json.RawMessage(doc), &out); err != nil {
+		return nil, err
+	}
+	return &out.BundleInfo, nil
+}
+
+// ActivateBundle activates a previously pushed bundle by version through
+// the WAL-logged activation path.
+func (c *Client) ActivateBundle(version string) (*policy.BundleInfo, error) {
+	return c.ActivateBundleCtx(c.ctx, version)
+}
+
+// ActivateBundleCtx is ActivateBundle joining the causal trace carried by
+// ctx.
+func (c *Client) ActivateBundleCtx(ctx context.Context, version string) (*policy.BundleInfo, error) {
+	return c.activateBundleReq(ctx, &BundleActivateRequest{Version: version})
+}
+
+// ActivateBundleDoc pushes and activates a bundle document in one call:
+// the document rides inside the activation request, so the operation does
+// not depend on previously staged (non-durable) state. XML-mode clients
+// cannot carry bundle documents.
+func (c *Client) ActivateBundleDoc(doc []byte) (*policy.BundleInfo, error) {
+	return c.ActivateBundleDocCtx(c.ctx, doc)
+}
+
+// ActivateBundleDocCtx is ActivateBundleDoc joining the causal trace
+// carried by ctx.
+func (c *Client) ActivateBundleDocCtx(ctx context.Context, doc []byte) (*policy.BundleInfo, error) {
+	if c.useXML {
+		return nil, errors.New("policyhttp: bundle documents are JSON-only; use a JSON-mode client")
+	}
+	return c.activateBundleReq(ctx, &BundleActivateRequest{Bundle: json.RawMessage(doc)})
+}
+
+// RollbackBundle re-activates the previously active bundle.
+func (c *Client) RollbackBundle() (*policy.BundleInfo, error) {
+	return c.RollbackBundleCtx(c.ctx)
+}
+
+// RollbackBundleCtx is RollbackBundle joining the causal trace carried by
+// ctx.
+func (c *Client) RollbackBundleCtx(ctx context.Context) (*policy.BundleInfo, error) {
+	return c.activateBundleReq(ctx, &BundleActivateRequest{Rollback: true})
+}
+
+func (c *Client) activateBundleReq(ctx context.Context, req *BundleActivateRequest) (*policy.BundleInfo, error) {
+	var out BundleInfoDoc
+	if err := c.doCtx(ctx, http.MethodPost, "/v1/bundles/activate", req, &out); err != nil {
+		return nil, err
+	}
+	return &out.BundleInfo, nil
+}
+
+// Bundles reports the active, previous, and staged policy bundles.
+func (c *Client) Bundles() (*policy.BundleStatus, error) {
+	var doc BundleStatusDoc
+	if err := c.do(http.MethodGet, "/v1/bundles", nil, &doc); err != nil {
+		return nil, err
+	}
+	return &doc.BundleStatus, nil
+}
+
 // Healthz probes the service.
 func (c *Client) Healthz() error {
 	return c.do(http.MethodGet, "/v1/healthz", nil, nil)
@@ -564,8 +641,9 @@ func (c *Client) Metrics() (string, error) {
 
 // Decisions fetches recent decision provenance records from
 // /v1/decisions, oldest first. Zero or empty arguments mean no limit or
-// no filter; lfn matches exactly, by path basename, or by suffix.
-func (c *Client) Decisions(n int, op, workflow, lfn string) ([]policy.DecisionRecord, error) {
+// no filter; lfn matches exactly, by path basename, or by suffix; bundle
+// keeps only decisions produced under that bundle version.
+func (c *Client) Decisions(n int, op, workflow, lfn, bundle string) ([]policy.DecisionRecord, error) {
 	q := url.Values{}
 	if n > 0 {
 		q.Set("n", strconv.Itoa(n))
@@ -578,6 +656,9 @@ func (c *Client) Decisions(n int, op, workflow, lfn string) ([]policy.DecisionRe
 	}
 	if lfn != "" {
 		q.Set("lfn", lfn)
+	}
+	if bundle != "" {
+		q.Set("bundle", bundle)
 	}
 	path := "/v1/decisions"
 	if len(q) > 0 {

@@ -288,7 +288,7 @@ func TestMetricsConformance(t *testing.T) {
 	if err := c.SetThreshold("src.example.org", "dst.example.org", 16); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Decisions(0, "", "", ""); err != nil {
+	if _, err := c.Decisions(0, "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.AdviseTransfers(nil); err == nil {

@@ -158,6 +158,25 @@ func (rc *ReplicatedClient) SetThreshold(src, dst string, max int) error {
 	return err
 }
 
+// ActivateBundleDoc activates a policy bundle document on every healthy
+// replica through the WAL-logged activation path. Carrying the full
+// document (rather than a staged version name) keeps the call
+// self-contained: a replica that crashed after the push still applies it.
+func (rc *ReplicatedClient) ActivateBundleDoc(doc []byte) (*policy.BundleInfo, error) {
+	return apply(rc, func(ctx context.Context, c *Client) (*policy.BundleInfo, error) {
+		return c.ActivateBundleDocCtx(ctx, doc)
+	})
+}
+
+// RollbackBundle re-activates the previously active bundle on every
+// healthy replica. The previous-bundle pointer is WAL-replayed state, so
+// identical replicas roll back to the identical version.
+func (rc *ReplicatedClient) RollbackBundle() (*policy.BundleInfo, error) {
+	return apply(rc, func(ctx context.Context, c *Client) (*policy.BundleInfo, error) {
+		return c.RollbackBundleCtx(ctx)
+	})
+}
+
 // State reads the externally visible state from the first healthy replica.
 func (rc *ReplicatedClient) State() (*policy.Snapshot, error) {
 	return apply(rc, func(_ context.Context, c *Client) (*policy.Snapshot, error) { return c.State() })

@@ -206,6 +206,9 @@ func NewServerWith(svc *policy.Service, logger *log.Logger, reg *obs.Registry, t
 	s.mux.HandleFunc("POST /v1/state/snapshot", s.idempotent(s.handleSnapshot))
 	s.mux.HandleFunc("GET /v1/state/archive", s.handleArchive)
 	s.mux.HandleFunc("PUT /v1/thresholds", s.idempotent(s.handleThreshold))
+	s.mux.HandleFunc("PUT /v1/bundles", s.idempotent(s.handleBundlePush))
+	s.mux.HandleFunc("POST /v1/bundles/activate", s.idempotent(s.handleBundleActivate))
+	s.mux.HandleFunc("GET /v1/bundles", s.handleBundles)
 	s.mux.HandleFunc("POST /v1/leases/renew", s.idempotent(s.handleLeaseRenew))
 	s.mux.HandleFunc("GET /v1/leases", s.handleLeases)
 	s.mux.HandleFunc("POST /v1/clock/advance", s.idempotent(s.handleClockAdvance))
@@ -219,9 +222,11 @@ func NewServerWith(svc *policy.Service, logger *log.Logger, reg *obs.Registry, t
 	return s
 }
 
-// ConfigDoc is the wire form of the service configuration.
+// ConfigDoc is the wire form of the effective service configuration —
+// the tunables of the active policy bundle, stamped with its version.
 type ConfigDoc struct {
 	XMLName          xml.Name `json:"-" xml:"config"`
+	Bundle           string   `json:"bundle" xml:"bundle"`
 	Algorithm        string   `json:"algorithm" xml:"algorithm"`
 	DefaultStreams   int      `json:"defaultStreams" xml:"defaultStreams"`
 	MinStreams       int      `json:"minStreams" xml:"minStreams"`
@@ -231,13 +236,14 @@ type ConfigDoc struct {
 
 func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 	resf := responseFormat(r, formatJSON)
-	cfg := s.svc.Config()
+	tun := s.svc.Tunables()
 	s.writeResponse(w, resf, http.StatusOK, &ConfigDoc{
-		Algorithm:        string(cfg.Algorithm),
-		DefaultStreams:   cfg.DefaultStreams,
-		MinStreams:       cfg.MinStreams,
-		DefaultThreshold: cfg.DefaultThreshold,
-		ClusterFactor:    cfg.ClusterFactor,
+		Bundle:           tun.Version,
+		Algorithm:        string(tun.Algorithm),
+		DefaultStreams:   tun.DefaultStreams,
+		MinStreams:       tun.MinStreams,
+		DefaultThreshold: tun.DefaultThreshold,
+		ClusterFactor:    tun.ClusterFactor,
 	})
 }
 
@@ -266,9 +272,10 @@ func MatchesLFN(fileURL, lfn string) bool {
 }
 
 // handleDecisions serves the decision provenance ring. Query parameters:
-// n (max records, newest retained), op (logged op name), workflow and
-// lfn (keep only records with a matching line). This is the endpoint
-// `policyctl explain` renders its why-chain from.
+// n (max records, newest retained), op (logged op name), bundle (policy
+// bundle version that produced the decision), workflow and lfn (keep only
+// records with a matching line). This is the endpoint `policyctl explain`
+// renders its why-chain from.
 func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 	resf := responseFormat(r, formatJSON)
 	q := r.URL.Query()
@@ -281,10 +288,14 @@ func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	op, workflow, lfn := q.Get("op"), q.Get("workflow"), q.Get("lfn")
+	bundleVersion := q.Get("bundle")
 	recs := s.svc.Decisions(0)
 	out := make([]policy.DecisionRecord, 0, len(recs))
 	for _, rec := range recs {
 		if op != "" && rec.Op != op {
+			continue
+		}
+		if bundleVersion != "" && rec.Bundle != bundleVersion {
 			continue
 		}
 		if workflow != "" || lfn != "" {
@@ -642,6 +653,116 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// BundleInfoDoc is the wire form of a single bundle's metadata, returned
+// by the push and activate endpoints.
+type BundleInfoDoc struct {
+	XMLName xml.Name `json:"-" xml:"bundle"`
+	policy.BundleInfo
+}
+
+// BundleStatusDoc is the wire form of GET /v1/bundles: the active bundle,
+// the previous one (rollback target), and any staged-but-inactive pushes.
+type BundleStatusDoc struct {
+	XMLName xml.Name `json:"-" xml:"bundles"`
+	policy.BundleStatus
+}
+
+// BundleActivateRequest selects what POST /v1/bundles/activate switches
+// to. Exactly one of the three modes must be set: a previously pushed
+// version, an inline bundle document, or a rollback to the previously
+// active bundle.
+type BundleActivateRequest struct {
+	XMLName  xml.Name        `json:"-" xml:"activateBundle"`
+	Version  string          `json:"version,omitempty" xml:"version,omitempty"`
+	Bundle   json.RawMessage `json:"bundle,omitempty" xml:"-"`
+	Rollback bool            `json:"rollback,omitempty" xml:"rollback,omitempty"`
+}
+
+// handleBundlePush stages a policy bundle without activating it. The body
+// is the bundle document itself, always JSON (the bundle encoding is
+// JSON-canonical; its checksum is defined over that form), so unlike the
+// other endpoints an XML Content-Type is rejected outright.
+func (s *Server) handleBundlePush(w http.ResponseWriter, r *http.Request) {
+	resf := responseFormat(r, formatJSON)
+	if reqf, err := requestFormat(r); err != nil || reqf != formatJSON {
+		s.writeError(w, resf, http.StatusUnsupportedMediaType,
+			errors.New("bundle documents must be application/json"))
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		s.writeError(w, resf, http.StatusBadRequest, fmt.Errorf("read bundle: %w", err))
+		return
+	}
+	info, err := s.svc.StageBundle(data)
+	if err != nil {
+		s.writeError(w, resf, statusFor(err), err)
+		return
+	}
+	s.writeResponse(w, resf, http.StatusOK, &BundleInfoDoc{BundleInfo: *info})
+}
+
+// handleBundleActivate switches the active bundle through the WAL-logged
+// activation path, so durable replicas and crash replay converge on the
+// same version.
+func (s *Server) handleBundleActivate(w http.ResponseWriter, r *http.Request) {
+	reqf, err := requestFormat(r)
+	resf := responseFormat(r, reqf)
+	if err != nil {
+		s.writeError(w, resf, http.StatusUnsupportedMediaType, err)
+		return
+	}
+	var req BundleActivateRequest
+	if err := decode(r, reqf, &req); err != nil {
+		s.writeError(w, resf, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	modes := 0
+	if req.Version != "" {
+		modes++
+	}
+	if len(req.Bundle) > 0 {
+		modes++
+	}
+	if req.Rollback {
+		modes++
+	}
+	if modes != 1 {
+		s.writeError(w, resf, http.StatusBadRequest,
+			errors.New("exactly one of version, bundle, or rollback is required"))
+		return
+	}
+	var info *policy.BundleInfo
+	switch {
+	case req.Rollback:
+		info, err = s.svc.RollbackBundleCtx(r.Context())
+	case len(req.Bundle) > 0:
+		info, err = s.svc.ActivateBundleCtx(r.Context(), req.Bundle)
+	default:
+		info, err = s.svc.ActivateBundleVersionCtx(r.Context(), req.Version)
+	}
+	if err != nil {
+		s.writeError(w, resf, statusFor(err), err)
+		return
+	}
+	s.writeResponse(w, resf, http.StatusOK, &BundleInfoDoc{BundleInfo: *info})
+}
+
+// handleBundles reports bundle status. The ETag is the active bundle's
+// checksum, so pollers can cheaply watch for activations with
+// If-None-Match.
+func (s *Server) handleBundles(w http.ResponseWriter, r *http.Request) {
+	resf := responseFormat(r, formatJSON)
+	st := s.svc.Bundles()
+	etag := `"` + st.Active.Checksum + `"`
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	s.writeResponse(w, resf, http.StatusOK, &BundleStatusDoc{BundleStatus: *st})
 }
 
 func statusFor(err error) int {

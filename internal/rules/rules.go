@@ -99,6 +99,14 @@ type Rule struct {
 	// NoLoop prevents the rule from ever firing twice on the same tuple
 	// of fact handles, even if the facts are updated.
 	NoLoop bool
+	// Gate, when non-nil, is consulted before the rule's patterns are
+	// matched; a false return removes the rule from the agenda without
+	// scanning any facts. It lets a caller install every rule set up front
+	// and select among them per firing cycle (e.g. by the active policy
+	// bundle) at the cost of one closure call instead of a fact join. The
+	// gate runs with the session lock held and must not re-enter the
+	// session.
+	Gate func() bool
 	// When is the sequence of patterns joined left to right.
 	When []Pattern
 	// Then is the right-hand side, run when the rule fires.

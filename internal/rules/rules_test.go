@@ -416,3 +416,35 @@ func TestRecencyConflictResolution(t *testing.T) {
 		t.Fatalf("order = %v, want [second first]", order)
 	}
 }
+
+func TestGateSelectsRules(t *testing.T) {
+	s := NewSession()
+	active := "a"
+	var fired []string
+	mk := func(name, gate string) *Rule {
+		return &Rule{
+			Name: name,
+			Gate: func() bool { return active == gate },
+			When: []Pattern{Match[*item]("it", nil)},
+			Then: func(ctx *Context) { fired = append(fired, name) },
+		}
+	}
+	s.MustAddRules(mk("rule-a", "a"), mk("rule-b", "b"))
+	s.Insert(&item{name: "x"})
+	if _, err := s.FireAll(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != "rule-a" {
+		t.Fatalf("fired = %v, want [rule-a]", fired)
+	}
+	// Flipping the gate re-enables the other rule on the same fact: gating
+	// never consumed a refraction entry for rule-b.
+	active = "b"
+	fired = nil
+	if _, err := s.FireAll(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != "rule-b" {
+		t.Fatalf("fired = %v, want [rule-b]", fired)
+	}
+}

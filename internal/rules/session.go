@@ -366,6 +366,9 @@ func (s *Session) bestActivation() *activation {
 // matchRule appends every unfired activation of r to agenda.
 // Called with s.mu held.
 func (s *Session) matchRule(r *Rule, ruleIndex int, agenda *[]*activation) {
+	if r.Gate != nil && !r.Gate() {
+		return
+	}
 	var join func(depth int, t *tuple)
 	join = func(depth int, t *tuple) {
 		if depth == len(r.When) {
