@@ -78,11 +78,26 @@ type group struct {
 // an activated bundle's tunables snapshot).
 var groups = []group{
 	{pkg: ".", pattern: "^BenchmarkPolicyAdvise$", benchtime: "20x"},
-	{pkg: "./internal/policy", pattern: "^BenchmarkAdviseFactsResident$", benchtime: "10x"},
+	// A measured advise/report round trip is ~50µs under the incremental
+	// matcher, so these need a few thousand iterations for the window to
+	// dominate GC and scheduler noise; fixture setup is excluded by
+	// ResetTimer.
+	{pkg: "./internal/policy", pattern: "^BenchmarkAdviseFactsResident$", benchtime: "2000x"},
+	// Anchored so BenchmarkAdviseHotPathReference (the naive engine's
+	// "before" curve) stays out of the trajectory — it exists for
+	// EXPERIMENTS.md, not as a CI gate.
+	{pkg: "./internal/policy", pattern: "^BenchmarkAdviseHotPath$", benchtime: "2000x"},
 	{pkg: "./internal/policy", pattern: "^BenchmarkLeaseScan$", benchtime: "2000x"},
 	{pkg: "./internal/durable", pattern: "^BenchmarkWALAdviseNoFsync$|^BenchmarkWALAdviseFsync$", benchtime: "1000x"},
 	{pkg: "./internal/policy", pattern: "^BenchmarkBundleActivate$", benchtime: "200x"},
 	{pkg: "./internal/policy", pattern: "^BenchmarkAdviseUnderBundleSnapshot$", benchtime: "200x"},
+}
+
+// seriesRename maps sub-benchmark paths onto stable series keys where
+// the raw path would be unwieldy as a trajectory name.
+var seriesRename = map[string]string{
+	"AdviseHotPath/facts=10000":  "rules_advise_facts_10k",
+	"AdviseHotPath/facts=100000": "rules_advise_facts_100k",
 }
 
 // benchLine matches one benchmark result line from `go test -bench`.
@@ -192,8 +207,12 @@ func runGroup(g group, benchtime string, count int) ([]Series, error) {
 		}
 		bench := m[1]
 		ns, _ := strconv.ParseFloat(m[2], 64)
+		name := strings.TrimPrefix(bench, "Benchmark")
+		if renamed, ok := seriesRename[name]; ok {
+			name = renamed
+		}
 		s := &Series{
-			Name:    strings.TrimPrefix(bench, "Benchmark"),
+			Name:    name,
 			Bench:   bench,
 			Package: pkgPath,
 			NsPerOp: ns,

@@ -24,14 +24,14 @@ func balancedRules(tun func() *Tunables) []*rules.Rule {
 			Salience: salClusterSetup,
 			Gate:     gate,
 			When: []rules.Pattern{
-				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
+				rules.MatchOn("t", "state", keyConst(TransferSubmitted), func(b rules.Bindings, t *Transfer) bool {
 					return t.State == TransferSubmitted
 				}),
-				rules.Match("th", func(b rules.Bindings, th *Threshold) bool {
+				rules.MatchOn("th", "pair", keyTransferPair, func(b rules.Bindings, th *Threshold) bool {
 					return th.Pair == b.Get("t").(*Transfer).Pair
 				}),
 				rules.Match[*ClusterFactor]("cf", nil),
-				rules.Not(func(b rules.Bindings, ct *ClusterThreshold) bool {
+				rules.NotOn("pair", keyTransferPair, func(b rules.Bindings, ct *ClusterThreshold) bool {
 					return ct.Pair == b.Get("t").(*Transfer).Pair
 				}),
 			},
@@ -56,10 +56,10 @@ func balancedRules(tun func() *Tunables) []*rules.Rule {
 			Salience: salClusterLedger,
 			Gate:     gate,
 			When: []rules.Pattern{
-				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
+				rules.MatchOn("t", "state", keyConst(TransferSubmitted), func(b rules.Bindings, t *Transfer) bool {
 					return t.State == TransferSubmitted
 				}),
-				rules.Not(func(b rules.Bindings, cl *ClusterLedger) bool {
+				rules.NotOn("paircluster", keyTransferCluster, func(b rules.Bindings, cl *ClusterLedger) bool {
 					t := b.Get("t").(*Transfer)
 					return cl.Pair == t.Pair && cl.ClusterID == t.ClusterID
 				}),
@@ -79,17 +79,17 @@ func balancedRules(tun func() *Tunables) []*rules.Rule {
 			NoLoop:   true,
 			Gate:     gate,
 			When: []rules.Pattern{
-				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
+				rules.MatchOn("t", "state", keyConst(TransferSubmitted), func(b rules.Bindings, t *Transfer) bool {
 					return t.State == TransferSubmitted && t.AllocatedStreams == 0 && t.RequestedStreams > 0
 				}),
-				rules.Match("ct", func(b rules.Bindings, ct *ClusterThreshold) bool {
+				rules.MatchOn("ct", "pair", keyTransferPair, func(b rules.Bindings, ct *ClusterThreshold) bool {
 					return ct.Pair == b.Get("t").(*Transfer).Pair
 				}),
-				rules.Match("cl", func(b rules.Bindings, cl *ClusterLedger) bool {
+				rules.MatchOn("cl", "paircluster", keyTransferCluster, func(b rules.Bindings, cl *ClusterLedger) bool {
 					t := b.Get("t").(*Transfer)
 					return cl.Pair == t.Pair && cl.ClusterID == t.ClusterID
 				}),
-				rules.Match("l", func(b rules.Bindings, l *StreamLedger) bool {
+				rules.MatchOn("l", "pair", keyTransferPair, func(b rules.Bindings, l *StreamLedger) bool {
 					return l.Pair == b.Get("t").(*Transfer).Pair
 				}),
 			},
@@ -117,10 +117,10 @@ func balancedRules(tun func() *Tunables) []*rules.Rule {
 			Gate:     gate,
 			When: []rules.Pattern{
 				rules.Match[*TransferResult]("e", nil),
-				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
+				rules.MatchOn("t", "id", keyResultTransferID, func(b rules.Bindings, t *Transfer) bool {
 					return t.ID == b.Get("e").(*TransferResult).TransferID
 				}),
-				rules.Match("cl", func(b rules.Bindings, cl *ClusterLedger) bool {
+				rules.MatchOn("cl", "paircluster", keyTransferCluster, func(b rules.Bindings, cl *ClusterLedger) bool {
 					t := b.Get("t").(*Transfer)
 					return cl.Pair == t.Pair && cl.ClusterID == t.ClusterID
 				}),

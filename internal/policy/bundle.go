@@ -397,6 +397,10 @@ func (s *Service) applyBundleLocked(b *bundle.Bundle) {
 			s.session.Insert(cl)
 		}
 	}
+	// Rule gates and guards read the tunables snapshot directly (e.g.
+	// transfer-min-one-stream reads MinStreams), so the incremental matcher
+	// must re-join every rule against the new snapshot.
+	s.session.Invalidate()
 	if s.metrics != nil {
 		s.metrics.bundleInfo.With(old.Version).Set(0)
 		s.metrics.bundleInfo.With(s.tun.Version).Set(1)
@@ -414,6 +418,9 @@ func (s *Service) adoptBundleLocked(active, prev *bundle.Bundle) {
 		s.installed[prev.Version] = prev
 	}
 	s.tun = tunablesFrom(active, s.cfg.Priority)
+	// Same contract as applyBundleLocked: guards reading the snapshot must
+	// be re-evaluated even though no facts changed.
+	s.session.Invalidate()
 	if s.metrics != nil && oldVersion != s.tun.Version {
 		s.metrics.bundleInfo.With(oldVersion).Set(0)
 		s.metrics.bundleInfo.With(s.tun.Version).Set(1)

@@ -49,10 +49,10 @@ func commonTransferRules(tun func() *Tunables, newGroupID func() string) []*rule
 			Name:     "transfer-duplicate-already-staged",
 			Salience: salDupStaged,
 			When: []rules.Pattern{
-				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
+				rules.MatchOn("t", "state", keyConst(TransferSubmitted), func(b rules.Bindings, t *Transfer) bool {
 					return t.State == TransferSubmitted
 				}),
-				rules.Match("r", func(b rules.Bindings, r *Resource) bool {
+				rules.MatchOn("r", "dest", keyTransferDest, func(b rules.Bindings, r *Resource) bool {
 					t := b.Get("t").(*Transfer)
 					return r.Staged && r.DestURL == t.DestURL
 				}),
@@ -70,10 +70,10 @@ func commonTransferRules(tun func() *Tunables, newGroupID func() string) []*rule
 			Name:     "transfer-duplicate-in-progress",
 			Salience: salDupInProgress,
 			When: []rules.Pattern{
-				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
+				rules.MatchOn("t", "state", keyConst(TransferSubmitted), func(b rules.Bindings, t *Transfer) bool {
 					return t.State == TransferSubmitted
 				}),
-				rules.Match("u", func(b rules.Bindings, u *Transfer) bool {
+				rules.MatchOn("u", "dest", keyTransferDest, func(b rules.Bindings, u *Transfer) bool {
 					t := b.Get("t").(*Transfer)
 					return u.State == TransferInProgress && u.DestURL == t.DestURL
 				}),
@@ -91,10 +91,10 @@ func commonTransferRules(tun func() *Tunables, newGroupID func() string) []*rule
 			Name:     "transfer-duplicate-in-batch",
 			Salience: salDupInBatch,
 			When: []rules.Pattern{
-				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
+				rules.MatchOn("t", "state", keyConst(TransferSubmitted), func(b rules.Bindings, t *Transfer) bool {
 					return t.State == TransferSubmitted
 				}),
-				rules.Match("u", func(b rules.Bindings, u *Transfer) bool {
+				rules.MatchOn("u", "dest", keyTransferDest, func(b rules.Bindings, u *Transfer) bool {
 					t := b.Get("t").(*Transfer)
 					return u.DestURL == t.DestURL && u.ID < t.ID &&
 						(u.State == TransferSubmitted || u.State == TransferAdvised)
@@ -113,10 +113,10 @@ func commonTransferRules(tun func() *Tunables, newGroupID func() string) []*rule
 			Name:     "transfer-create-resource",
 			Salience: salCreateResource,
 			When: []rules.Pattern{
-				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
+				rules.MatchOn("t", "state", keyConst(TransferSubmitted), func(b rules.Bindings, t *Transfer) bool {
 					return t.State == TransferSubmitted
 				}),
-				rules.Not(func(b rules.Bindings, r *Resource) bool {
+				rules.NotOn("dest", keyTransferDest, func(b rules.Bindings, r *Resource) bool {
 					return r.DestURL == b.Get("t").(*Transfer).DestURL
 				}),
 			},
@@ -138,10 +138,10 @@ func commonTransferRules(tun func() *Tunables, newGroupID func() string) []*rule
 			Salience: salAssociate,
 			NoLoop:   true,
 			When: []rules.Pattern{
-				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
+				rules.MatchOn("t", "pending", keyConst(true), func(b rules.Bindings, t *Transfer) bool {
 					return t.State == TransferSubmitted || t.State == TransferDuplicate
 				}),
-				rules.Match("r", func(b rules.Bindings, r *Resource) bool {
+				rules.MatchOn("r", "dest", keyTransferDest, func(b rules.Bindings, r *Resource) bool {
 					return r.DestURL == b.Get("t").(*Transfer).DestURL
 				}),
 			},
@@ -157,7 +157,7 @@ func commonTransferRules(tun func() *Tunables, newGroupID func() string) []*rule
 			Name:     "transfer-default-streams",
 			Salience: salDefaultStreams,
 			When: []rules.Pattern{
-				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
+				rules.MatchOn("t", "state", keyConst(TransferSubmitted), func(b rules.Bindings, t *Transfer) bool {
 					return t.State == TransferSubmitted && t.RequestedStreams <= 0
 				}),
 				rules.Match[*Defaults]("d", nil),
@@ -174,10 +174,10 @@ func commonTransferRules(tun func() *Tunables, newGroupID func() string) []*rule
 			Name:     "transfer-create-group",
 			Salience: salCreateGroup,
 			When: []rules.Pattern{
-				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
+				rules.MatchOn("t", "state", keyConst(TransferSubmitted), func(b rules.Bindings, t *Transfer) bool {
 					return t.State == TransferSubmitted
 				}),
-				rules.Not(func(b rules.Bindings, g *Group) bool {
+				rules.NotOn("pair", keyTransferPair, func(b rules.Bindings, g *Group) bool {
 					return g.Pair == b.Get("t").(*Transfer).Pair
 				}),
 			},
@@ -192,10 +192,10 @@ func commonTransferRules(tun func() *Tunables, newGroupID func() string) []*rule
 			Name:     "transfer-assign-group",
 			Salience: salAssignGroup,
 			When: []rules.Pattern{
-				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
+				rules.MatchOn("t", "state", keyConst(TransferSubmitted), func(b rules.Bindings, t *Transfer) bool {
 					return t.State == TransferSubmitted && t.GroupID == ""
 				}),
-				rules.Match("g", func(b rules.Bindings, g *Group) bool {
+				rules.MatchOn("g", "pair", keyTransferPair, func(b rules.Bindings, g *Group) bool {
 					return g.Pair == b.Get("t").(*Transfer).Pair
 				}),
 			},
@@ -212,10 +212,10 @@ func commonTransferRules(tun func() *Tunables, newGroupID func() string) []*rule
 			Name:     "transfer-create-threshold",
 			Salience: salCreateThreshold,
 			When: []rules.Pattern{
-				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
+				rules.MatchOn("t", "state", keyConst(TransferSubmitted), func(b rules.Bindings, t *Transfer) bool {
 					return t.State == TransferSubmitted
 				}),
-				rules.Not(func(b rules.Bindings, th *Threshold) bool {
+				rules.NotOn("pair", keyTransferPair, func(b rules.Bindings, th *Threshold) bool {
 					return th.Pair == b.Get("t").(*Transfer).Pair
 				}),
 			},
@@ -230,10 +230,10 @@ func commonTransferRules(tun func() *Tunables, newGroupID func() string) []*rule
 			Name:     "transfer-create-ledger",
 			Salience: salCreateLedger,
 			When: []rules.Pattern{
-				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
+				rules.MatchOn("t", "state", keyConst(TransferSubmitted), func(b rules.Bindings, t *Transfer) bool {
 					return t.State == TransferSubmitted
 				}),
-				rules.Not(func(b rules.Bindings, l *StreamLedger) bool {
+				rules.NotOn("pair", keyTransferPair, func(b rules.Bindings, l *StreamLedger) bool {
 					return l.Pair == b.Get("t").(*Transfer).Pair
 				}),
 			},
@@ -247,10 +247,10 @@ func commonTransferRules(tun func() *Tunables, newGroupID func() string) []*rule
 			Name:     "transfer-min-one-stream",
 			Salience: salMinOneStream,
 			When: []rules.Pattern{
-				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
+				rules.MatchOn("t", "state", keyConst(TransferAdvised), func(b rules.Bindings, t *Transfer) bool {
 					return t.State == TransferAdvised && t.AllocatedStreams < tun().MinStreams
 				}),
-				rules.Match("l", func(b rules.Bindings, l *StreamLedger) bool {
+				rules.MatchOn("l", "pair", keyTransferPair, func(b rules.Bindings, l *StreamLedger) bool {
 					return l.Pair == b.Get("t").(*Transfer).Pair
 				}),
 			},
@@ -274,10 +274,10 @@ func commonTransferRules(tun func() *Tunables, newGroupID func() string) []*rule
 				rules.Match("e", func(b rules.Bindings, e *TransferResult) bool {
 					return !e.Failed
 				}),
-				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
+				rules.MatchOn("t", "id", keyResultTransferID, func(b rules.Bindings, t *Transfer) bool {
 					return t.ID == b.Get("e").(*TransferResult).TransferID
 				}),
-				rules.Match("l", func(b rules.Bindings, l *StreamLedger) bool {
+				rules.MatchOn("l", "pair", keyTransferPair, func(b rules.Bindings, l *StreamLedger) bool {
 					return l.Pair == b.Get("t").(*Transfer).Pair
 				}),
 			},
@@ -288,7 +288,7 @@ func commonTransferRules(tun func() *Tunables, newGroupID func() string) []*rule
 				if l.Allocated < 0 {
 					l.Allocated = 0
 				}
-				if r, ok := rules.CtxFirst(ctx, func(r *Resource) bool { return r.DestURL == t.DestURL }); ok {
+				if r, ok := rules.CtxFirstBy[*Resource](ctx, "dest", t.DestURL, nil); ok {
 					r.Staged = true
 					ctx.Update(r)
 				}
@@ -306,10 +306,10 @@ func commonTransferRules(tun func() *Tunables, newGroupID func() string) []*rule
 				rules.Match("e", func(b rules.Bindings, e *TransferResult) bool {
 					return e.Failed
 				}),
-				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
+				rules.MatchOn("t", "id", keyResultTransferID, func(b rules.Bindings, t *Transfer) bool {
 					return t.ID == b.Get("e").(*TransferResult).TransferID
 				}),
-				rules.Match("l", func(b rules.Bindings, l *StreamLedger) bool {
+				rules.MatchOn("l", "pair", keyTransferPair, func(b rules.Bindings, l *StreamLedger) bool {
 					return l.Pair == b.Get("t").(*Transfer).Pair
 				}),
 			},
@@ -320,7 +320,7 @@ func commonTransferRules(tun func() *Tunables, newGroupID func() string) []*rule
 				if l.Allocated < 0 {
 					l.Allocated = 0
 				}
-				if r, ok := rules.CtxFirst(ctx, func(r *Resource) bool { return r.DestURL == t.DestURL }); ok {
+				if r, ok := rules.CtxFirstBy[*Resource](ctx, "dest", t.DestURL, nil); ok {
 					if r.Users[t.WorkflowID] > 0 {
 						r.Users[t.WorkflowID]--
 						if r.Users[t.WorkflowID] == 0 {
@@ -341,7 +341,7 @@ func commonTransferRules(tun func() *Tunables, newGroupID func() string) []*rule
 			Salience: salEventGC,
 			When: []rules.Pattern{
 				rules.Match[*TransferResult]("e", nil),
-				rules.Not(func(b rules.Bindings, t *Transfer) bool {
+				rules.NotOn("id", keyResultTransferID, func(b rules.Bindings, t *Transfer) bool {
 					return t.ID == b.Get("e").(*TransferResult).TransferID
 				}),
 			},
@@ -362,10 +362,10 @@ func cleanupRules() []*rules.Rule {
 			Name:     "cleanup-duplicate",
 			Salience: salCleanupDup,
 			When: []rules.Pattern{
-				rules.Match("c", func(b rules.Bindings, c *Cleanup) bool {
+				rules.MatchOn("c", "state", keyConst(CleanupSubmitted), func(b rules.Bindings, c *Cleanup) bool {
 					return c.State == CleanupSubmitted
 				}),
-				rules.Match("d", func(b rules.Bindings, d *Cleanup) bool {
+				rules.MatchOn("d", "file", keyCleanupFile, func(b rules.Bindings, d *Cleanup) bool {
 					c := b.Get("c").(*Cleanup)
 					if d.FileURL != c.FileURL {
 						return false
@@ -389,10 +389,10 @@ func cleanupRules() []*rules.Rule {
 			Salience: salCleanupDetach,
 			NoLoop:   true,
 			When: []rules.Pattern{
-				rules.Match("c", func(b rules.Bindings, c *Cleanup) bool {
+				rules.MatchOn("c", "state", keyConst(CleanupSubmitted), func(b rules.Bindings, c *Cleanup) bool {
 					return c.State == CleanupSubmitted
 				}),
-				rules.Match("r", func(b rules.Bindings, r *Resource) bool {
+				rules.MatchOn("r", "dest", keyCleanupFile, func(b rules.Bindings, r *Resource) bool {
 					c := b.Get("c").(*Cleanup)
 					_, uses := r.Users[c.WorkflowID]
 					return r.DestURL == c.FileURL && uses
@@ -411,10 +411,10 @@ func cleanupRules() []*rules.Rule {
 			Name:     "cleanup-file-in-use",
 			Salience: salCleanupInUse,
 			When: []rules.Pattern{
-				rules.Match("c", func(b rules.Bindings, c *Cleanup) bool {
+				rules.MatchOn("c", "state", keyConst(CleanupSubmitted), func(b rules.Bindings, c *Cleanup) bool {
 					return c.State == CleanupSubmitted
 				}),
-				rules.Match("r", func(b rules.Bindings, r *Resource) bool {
+				rules.MatchOn("r", "dest", keyCleanupFile, func(b rules.Bindings, r *Resource) bool {
 					c := b.Get("c").(*Cleanup)
 					return r.DestURL == c.FileURL && r.UsedByOther(c.WorkflowID)
 				}),
@@ -433,7 +433,7 @@ func cleanupRules() []*rules.Rule {
 			Name:     "cleanup-approve",
 			Salience: salCleanupApprove,
 			When: []rules.Pattern{
-				rules.Match("c", func(b rules.Bindings, c *Cleanup) bool {
+				rules.MatchOn("c", "state", keyConst(CleanupSubmitted), func(b rules.Bindings, c *Cleanup) bool {
 					return c.State == CleanupSubmitted
 				}),
 			},
@@ -450,13 +450,13 @@ func cleanupRules() []*rules.Rule {
 			Salience: salCleanupCompleted,
 			When: []rules.Pattern{
 				rules.Match[*CleanupResult]("e", nil),
-				rules.Match("c", func(b rules.Bindings, c *Cleanup) bool {
+				rules.MatchOn("c", "id", keyCleanupResultID, func(b rules.Bindings, c *Cleanup) bool {
 					return c.ID == b.Get("e").(*CleanupResult).CleanupID
 				}),
 			},
 			Then: func(ctx *rules.Context) {
 				c := ctx.Get("c").(*Cleanup)
-				if r, ok := rules.CtxFirst(ctx, func(r *Resource) bool { return r.DestURL == c.FileURL }); ok {
+				if r, ok := rules.CtxFirstBy[*Resource](ctx, "dest", c.FileURL, nil); ok {
 					ctx.Retract(r)
 				}
 				ctx.Retract(c)
@@ -469,7 +469,7 @@ func cleanupRules() []*rules.Rule {
 			Salience: salEventGC,
 			When: []rules.Pattern{
 				rules.Match[*CleanupResult]("e", nil),
-				rules.Not(func(b rules.Bindings, c *Cleanup) bool {
+				rules.NotOn("id", keyCleanupResultID, func(b rules.Bindings, c *Cleanup) bool {
 					return c.ID == b.Get("e").(*CleanupResult).CleanupID
 				}),
 			},

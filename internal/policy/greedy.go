@@ -26,13 +26,13 @@ func greedyRules(tun func() *Tunables) []*rules.Rule {
 			NoLoop:   true,
 			Gate:     gate,
 			When: []rules.Pattern{
-				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
+				rules.MatchOn("t", "state", keyConst(TransferSubmitted), func(b rules.Bindings, t *Transfer) bool {
 					return t.State == TransferSubmitted && t.AllocatedStreams == 0 && t.RequestedStreams > 0
 				}),
-				rules.Match("th", func(b rules.Bindings, th *Threshold) bool {
+				rules.MatchOn("th", "pair", keyTransferPair, func(b rules.Bindings, th *Threshold) bool {
 					return th.Pair == b.Get("t").(*Transfer).Pair
 				}),
-				rules.Match("l", func(b rules.Bindings, l *StreamLedger) bool {
+				rules.MatchOn("l", "pair", keyTransferPair, func(b rules.Bindings, l *StreamLedger) bool {
 					return l.Pair == b.Get("t").(*Transfer).Pair
 				}),
 			},
@@ -101,10 +101,10 @@ func passthroughRules(tun func() *Tunables) []*rules.Rule {
 			NoLoop:   true,
 			Gate:     func() bool { return tun().Algorithm == AlgoNone },
 			When: []rules.Pattern{
-				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
+				rules.MatchOn("t", "state", keyConst(TransferSubmitted), func(b rules.Bindings, t *Transfer) bool {
 					return t.State == TransferSubmitted && t.AllocatedStreams == 0 && t.RequestedStreams > 0
 				}),
-				rules.Match("l", func(b rules.Bindings, l *StreamLedger) bool {
+				rules.MatchOn("l", "pair", keyTransferPair, func(b rules.Bindings, l *StreamLedger) bool {
 					return l.Pair == b.Get("t").(*Transfer).Pair
 				}),
 			},

@@ -114,11 +114,11 @@ func leaseRules() []*rules.Rule {
 			NoLoop:   true,
 			When: []rules.Pattern{
 				rules.Match[*LeaseExpired]("e", nil),
-				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
+				rules.MatchOn("t", "owner", keyExpiredOwner, func(b rules.Bindings, t *Transfer) bool {
 					e := b.Get("e").(*LeaseExpired)
 					return t.State == TransferInProgress && t.WorkflowID == e.Owner
 				}),
-				rules.Match("cl", func(b rules.Bindings, cl *ClusterLedger) bool {
+				rules.MatchOn("cl", "paircluster", keyTransferCluster, func(b rules.Bindings, cl *ClusterLedger) bool {
 					t := b.Get("t").(*Transfer)
 					return cl.Pair == t.Pair && cl.ClusterID == t.ClusterID
 				}),
@@ -143,11 +143,11 @@ func leaseRules() []*rules.Rule {
 			Salience: salLeaseFailTransfer,
 			When: []rules.Pattern{
 				rules.Match[*LeaseExpired]("e", nil),
-				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
+				rules.MatchOn("t", "owner", keyExpiredOwner, func(b rules.Bindings, t *Transfer) bool {
 					e := b.Get("e").(*LeaseExpired)
 					return t.State == TransferInProgress && t.WorkflowID == e.Owner
 				}),
-				rules.Match("l", func(b rules.Bindings, l *StreamLedger) bool {
+				rules.MatchOn("l", "pair", keyTransferPair, func(b rules.Bindings, l *StreamLedger) bool {
 					return l.Pair == b.Get("t").(*Transfer).Pair
 				}),
 			},
@@ -195,7 +195,7 @@ func leaseRules() []*rules.Rule {
 			Salience: salLeaseDropCleanup,
 			When: []rules.Pattern{
 				rules.Match[*LeaseExpired]("e", nil),
-				rules.Match("c", func(b rules.Bindings, c *Cleanup) bool {
+				rules.MatchOn("c", "owner", keyExpiredOwner, func(b rules.Bindings, c *Cleanup) bool {
 					e := b.Get("e").(*LeaseExpired)
 					return c.State == CleanupInProgress && c.WorkflowID == e.Owner
 				}),

@@ -54,7 +54,7 @@ func priorityRules(tun func() *Tunables) []*rules.Rule {
 			NoLoop:   true,
 			Gate:     func() bool { return enabled(tun().Priority) },
 			When: []rules.Pattern{
-				rules.Match("t", func(b rules.Bindings, t *Transfer) bool {
+				rules.MatchOn("t", "state", keyConst(TransferSubmitted), func(b rules.Bindings, t *Transfer) bool {
 					return t.State == TransferSubmitted && t.Priority != 0 &&
 						t.RequestedStreams > 0 && t.AllocatedStreams == 0
 				}),

@@ -62,6 +62,10 @@ type Config struct {
 	// reads wall time) passes a lease's deadline, the owner is presumed
 	// crashed and its holdings are reclaimed. Zero disables leases.
 	LeaseTTL float64
+	// referenceMatcher selects the naive full-rejoin rule matcher instead
+	// of the incremental one. Test/benchmark hook only: semantics are
+	// identical, cost per firing is O(rules × facts^joins).
+	referenceMatcher bool
 }
 
 // DefaultConfig returns the configuration used in the paper's experiments:
@@ -332,7 +336,11 @@ func New(cfg Config) (*Service, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	s := &Service{cfg: cfg, session: rules.NewSession(),
+	session := rules.NewSession()
+	if cfg.referenceMatcher {
+		session = rules.NewReferenceSession()
+	}
+	s := &Service{cfg: cfg, session: session,
 		suppressedByReason:  make(map[string]int),
 		reportUnmatchedByOp: make(map[string]int),
 		installed:           make(map[string]*bundle.Bundle),
@@ -356,6 +364,8 @@ func New(cfg Config) (*Service, error) {
 	s.session.SetFiringObserver(func(rule string, salience int) {
 		s.pendingFirings = append(s.pendingFirings, RuleFiring{Rule: rule, Salience: salience})
 	})
+
+	registerIndexes(s.session)
 
 	newGroupID := func() string {
 		s.nextGroup++
@@ -708,20 +718,24 @@ func (s *Service) ReportTransfersCtx(ctx context.Context, report CompletionRepor
 		s.mu.Unlock()
 		return nil, logErr
 	}
-	// Count matches against the transfers still present, consuming each
-	// fact on match so a duplicate ID within one report counts unmatched —
+	// Count matches against the transfers still present, consuming each ID
+	// on match so a duplicate ID within one report counts unmatched —
 	// exactly the IDs the transfer-result-unknown rule will garbage-collect.
-	live := make(map[string]bool)
-	for _, t := range rules.FactsOf[*Transfer](s.session) {
-		if t.State == TransferInProgress {
-			live[t.ID] = true
+	// Point queries against the "id" alpha index keep this O(report), not
+	// O(resident transfers).
+	consumed := make(map[string]bool, len(report.TransferIDs)+len(report.FailedIDs))
+	live := func(id string) bool {
+		if consumed[id] {
+			return false
 		}
+		t, ok := transferByID(s.session, id)
+		return ok && t.State == TransferInProgress
 	}
 	ack := &ReportAck{}
 	lines := make([]DecisionLine, 0, len(report.TransferIDs)+len(report.FailedIDs))
 	line := func(id, outcome string) DecisionLine {
 		dl := DecisionLine{ID: id, Outcome: outcome}
-		if t, ok := rules.First(s.session, func(t *Transfer) bool { return t.ID == id }); ok {
+		if t, ok := transferByID(s.session, id); ok {
 			dl.RequestID = t.RequestID
 			dl.WorkflowID = t.WorkflowID
 			dl.FileURL = t.DestURL
@@ -731,8 +745,8 @@ func (s *Service) ReportTransfersCtx(ctx context.Context, report CompletionRepor
 		return dl
 	}
 	for _, id := range report.TransferIDs {
-		if live[id] {
-			delete(live, id)
+		if live(id) {
+			consumed[id] = true
 			ack.Matched++
 			lines = append(lines, line(id, OutcomeCompleted))
 		} else {
@@ -741,8 +755,8 @@ func (s *Service) ReportTransfersCtx(ctx context.Context, report CompletionRepor
 		}
 	}
 	for _, id := range report.FailedIDs {
-		if live[id] {
-			delete(live, id)
+		if live(id) {
+			consumed[id] = true
 			ack.Matched++
 			lines = append(lines, line(id, OutcomeFailed))
 		} else {
@@ -761,8 +775,7 @@ func (s *Service) ReportTransfersCtx(ctx context.Context, report CompletionRepor
 		// observer itself runs after the lock is released so it may call
 		// back into the service (e.g. SetThreshold from a tuner).
 		for _, tm := range report.Timings {
-			id := tm.TransferID
-			if t, ok := rules.First(s.session, func(t *Transfer) bool { return t.ID == id }); ok {
+			if t, ok := transferByID(s.session, tm.TransferID); ok {
 				pending = append(pending, observation{t.Pair, t.AllocatedStreams, t.SizeBytes, tm.Seconds})
 			}
 		}
@@ -830,7 +843,7 @@ func (s *Service) ReportTransfersCtx(ctx context.Context, report CompletionRepor
 func (s *Service) emitResults(eventType string, ids []string, seconds map[string]float64) {
 	for _, id := range ids {
 		e := obs.Event{Type: eventType, TransferID: id, Seconds: seconds[id]}
-		if t, ok := rules.First(s.session, func(t *Transfer) bool { return t.ID == id }); ok {
+		if t, ok := transferByID(s.session, id); ok {
 			e.RequestID = t.RequestID
 			e.WorkflowID = t.WorkflowID
 			e.GroupID = t.GroupID
@@ -1055,25 +1068,26 @@ func (s *Service) ReportCleanupsCtx(ctx context.Context, report CleanupReport) (
 	if opErr != nil {
 		return nil, opErr
 	}
-	live := make(map[string]bool)
-	for _, c := range rules.FactsOf[*Cleanup](s.session) {
-		if c.State == CleanupInProgress {
-			live[c.ID] = true
+	consumed := make(map[string]bool, len(report.CleanupIDs))
+	live := func(id string) bool {
+		if consumed[id] {
+			return false
 		}
+		c, ok := firstByKey[*Cleanup](s.session, "id", id)
+		return ok && c.State == CleanupInProgress
 	}
 	ack = &ReportAck{}
 	lines := make([]DecisionLine, 0, len(report.CleanupIDs))
 	for _, id := range report.CleanupIDs {
 		dl := DecisionLine{ID: id, Outcome: OutcomeCleaned}
-		if live[id] {
-			delete(live, id)
+		if live(id) {
+			consumed[id] = true
 			ack.Matched++
 		} else {
 			ack.Unmatched++
 			dl.Outcome = OutcomeUnmatched
 		}
-		cid := id
-		if c, ok := rules.First(s.session, func(c *Cleanup) bool { return c.ID == cid }); ok {
+		if c, ok := firstByKey[*Cleanup](s.session, "id", id); ok {
 			dl.RequestID = c.RequestID
 			dl.WorkflowID = c.WorkflowID
 			dl.FileURL = c.FileURL
@@ -1133,7 +1147,7 @@ func (s *Service) SetThreshold(srcHost, dstHost string, max int) (err error) {
 		return err
 	}
 	pair := HostPair{Src: srcHost, Dst: dstHost}
-	if th, ok := rules.First(s.session, func(th *Threshold) bool { return th.Pair == pair }); ok {
+	if th, ok := firstByKey[*Threshold](s.session, "pair", pair); ok {
 		th.Max = max
 		s.session.Update(th)
 		return nil

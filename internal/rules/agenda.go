@@ -1,0 +1,89 @@
+package rules
+
+// activation is a rule ready to fire on a specific tuple.
+type activation struct {
+	rule      *Rule
+	ruleIndex int
+	tuple     *tuple
+	recency   int64 // max recency across tuple facts
+	key       refKey
+}
+
+// better reports whether a wins conflict resolution over b: salience
+// descending, then fact recency (LIFO by default, FIFO when oldestFirst),
+// then rule declaration order, then lexicographic tuple handles. Distinct
+// activations always differ at some level (same rule + same handles + same
+// recency state is the same activation), so this is a total order and the
+// agenda's enumeration order never affects which activation fires.
+func (s *Session) better(a, b *activation) bool {
+	if a.rule.Salience != b.rule.Salience {
+		return a.rule.Salience > b.rule.Salience
+	}
+	if a.recency != b.recency {
+		if s.oldestFirst {
+			return a.recency < b.recency
+		}
+		return a.recency > b.recency
+	}
+	if a.ruleIndex != b.ruleIndex {
+		return a.ruleIndex < b.ruleIndex
+	}
+	// Deterministic final tie-break: earlier handles first.
+	for k := range a.tuple.handles {
+		if k >= len(b.tuple.handles) {
+			break
+		}
+		if a.tuple.handles[k] != b.tuple.handles[k] {
+			return a.tuple.handles[k] < b.tuple.handles[k]
+		}
+	}
+	return false
+}
+
+// nextActivation repairs the persistent agenda and returns the winner of
+// conflict resolution, or nil if the agenda is empty. Per rule: the gate is
+// re-evaluated (a flip to on dirties the rule, a flip to off clears its
+// activations); a dirty rule is re-joined from the alpha memories; a clean
+// rule only lazily prunes activations fired since the last pick. Called
+// with s.mu held.
+func (s *Session) nextActivation() *activation {
+	var best *activation
+	for i, r := range s.rules {
+		rt := s.rt[i]
+		on := r.Gate == nil || r.Gate()
+		if on != rt.gateOn {
+			rt.gateOn = on
+			if on {
+				rt.dirty = true
+			} else {
+				rt.acts = rt.acts[:0]
+			}
+		}
+		if !on {
+			continue
+		}
+		if rt.dirty {
+			rt.acts = rt.acts[:0]
+			s.matchRule(r, i, true, func(a *activation) {
+				rt.acts = append(rt.acts, a)
+				if best == nil || s.better(a, best) {
+					best = a
+				}
+			})
+			rt.dirty = false
+			continue
+		}
+		live := rt.acts[:0]
+		for _, a := range rt.acts {
+			if s.fired[a.key] {
+				continue
+			}
+			live = append(live, a)
+			if best == nil || s.better(a, best) {
+				best = a
+			}
+		}
+		rt.acts = live
+	}
+	return best
+}

@@ -1,0 +1,241 @@
+package rules
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Alpha memories. Every fact type gets a handleList (the type's alpha node:
+// all live facts of the type in insertion order), and callers may register
+// named alphaIndexes that bucket a type's facts by a join key so indexed
+// patterns probe one bucket instead of scanning the whole type extent.
+
+// handleList is an insertion-ordered set of fact handles with O(1) add and
+// remove. Removal tombstones the slot (handle 0 is never issued) and the
+// slice is compacted when more than half the slots are dead, so iteration
+// stays O(live + dead) with dead bounded by live.
+type handleList struct {
+	items []FactHandle // 0 = tombstone
+	pos   map[FactHandle]int
+	dead  int
+}
+
+func newHandleList() *handleList {
+	return &handleList{pos: make(map[FactHandle]int)}
+}
+
+func (l *handleList) add(h FactHandle) {
+	l.pos[h] = len(l.items)
+	l.items = append(l.items, h)
+}
+
+func (l *handleList) remove(h FactHandle) {
+	i, ok := l.pos[h]
+	if !ok {
+		return
+	}
+	l.items[i] = 0
+	delete(l.pos, h)
+	l.dead++
+	if l.dead*2 > len(l.items) {
+		l.compact()
+	}
+}
+
+func (l *handleList) compact() {
+	live := l.items[:0]
+	for _, h := range l.items {
+		if h != 0 {
+			l.pos[h] = len(live)
+			live = append(live, h)
+		}
+	}
+	l.items = live
+	l.dead = 0
+}
+
+func (l *handleList) size() int { return len(l.pos) }
+
+// indexID identifies a registered index: names are scoped per fact type.
+type indexID struct {
+	typ  reflect.Type
+	name string
+}
+
+// alphaIndex buckets one fact type's handles by a caller-supplied key
+// function. Keys must be comparable; empty buckets are deleted so negated
+// probes on absent keys are a single map miss.
+type alphaIndex struct {
+	id      indexID
+	key     func(v any) any
+	buckets map[any]*handleList
+	keyOf   map[FactHandle]any
+}
+
+func (ix *alphaIndex) insert(h FactHandle, v any) {
+	k := ix.key(v)
+	ix.keyOf[h] = k
+	b := ix.buckets[k]
+	if b == nil {
+		b = newHandleList()
+		ix.buckets[k] = b
+	}
+	b.add(h)
+}
+
+// update re-buckets the fact if its key changed.
+func (ix *alphaIndex) update(h FactHandle, v any) {
+	old, ok := ix.keyOf[h]
+	if !ok {
+		return
+	}
+	k := ix.key(v)
+	if k == old {
+		return
+	}
+	ix.removeFrom(old, h)
+	ix.keyOf[h] = k
+	b := ix.buckets[k]
+	if b == nil {
+		b = newHandleList()
+		ix.buckets[k] = b
+	}
+	b.add(h)
+}
+
+func (ix *alphaIndex) retract(h FactHandle) {
+	k, ok := ix.keyOf[h]
+	if !ok {
+		return
+	}
+	ix.removeFrom(k, h)
+	delete(ix.keyOf, h)
+}
+
+func (ix *alphaIndex) removeFrom(k any, h FactHandle) {
+	b := ix.buckets[k]
+	if b == nil {
+		return
+	}
+	b.remove(h)
+	if b.size() == 0 {
+		delete(ix.buckets, k)
+	}
+}
+
+// AddIndex registers a named alpha index over facts of exemplar's dynamic
+// type. The key function must return a comparable value and must depend
+// only on the fact (facts mutated in place must be re-keyed via Update,
+// exactly like guard re-evaluation). Indexes must be registered before
+// rules that reference them are added; registering over a populated
+// working memory back-fills the buckets.
+func (s *Session) AddIndex(exemplar any, name string, key func(v any) any) error {
+	t := reflect.TypeOf(exemplar)
+	if t == nil {
+		return fmt.Errorf("rules: AddIndex with untyped nil exemplar")
+	}
+	if name == "" {
+		return fmt.Errorf("rules: AddIndex with empty name")
+	}
+	if key == nil {
+		return fmt.Errorf("rules: AddIndex %q with nil key function", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := indexID{typ: t, name: name}
+	if _, dup := s.indexes[id]; dup {
+		return fmt.Errorf("rules: duplicate index %q on %v", name, t)
+	}
+	ix := &alphaIndex{
+		id:      id,
+		key:     key,
+		buckets: make(map[any]*handleList),
+		keyOf:   make(map[FactHandle]any),
+	}
+	if l := s.byType[t]; l != nil {
+		for _, h := range l.items {
+			if h == 0 {
+				continue
+			}
+			if rec := s.facts[h]; rec != nil {
+				ix.insert(h, rec.value)
+			}
+		}
+	}
+	s.indexes[id] = ix
+	s.typeIndexes[t] = append(s.typeIndexes[t], ix)
+	return nil
+}
+
+// AddIndexOf registers a typed alpha index over facts of type T.
+func AddIndexOf[T any, K comparable](s *Session, name string, key func(v T) K) error {
+	var zero T
+	return s.AddIndex(zero, name, func(v any) any { return key(v.(T)) })
+}
+
+// FactsBy returns the facts of exemplar's dynamic type in the named
+// index's bucket for key, in insertion order. It is a point query against
+// the alpha memory — O(bucket), not O(type extent).
+func (s *Session) FactsBy(exemplar any, index string, key any) []any {
+	t := reflect.TypeOf(exemplar)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ix := s.indexes[indexID{typ: t, name: index}]
+	if ix == nil {
+		return nil
+	}
+	b := ix.buckets[key]
+	if b == nil {
+		return nil
+	}
+	out := make([]any, 0, b.size())
+	for _, h := range b.items {
+		if h == 0 {
+			continue
+		}
+		if rec := s.facts[h]; rec != nil {
+			out = append(out, rec.value)
+		}
+	}
+	return out
+}
+
+// CtxFirstBy returns the first fact of type T in the named index's
+// bucket for key that matches pred (nil pred = any). It probes the alpha
+// memory directly — O(bucket) and allocation-free — and is the indexed
+// counterpart of CtxFirst for rule actions, where a full type-extent scan
+// would put O(facts) work inside a single firing.
+func CtxFirstBy[T any](c *Context, index string, key any, pred func(T) bool) (T, bool) {
+	var zero T
+	ix := c.s.indexes[indexID{typ: reflect.TypeOf(zero), name: index}]
+	if ix == nil {
+		return zero, false
+	}
+	b := ix.buckets[key]
+	if b == nil {
+		return zero, false
+	}
+	for _, h := range b.items {
+		if h == 0 {
+			continue
+		}
+		if rec := c.s.facts[h]; rec != nil {
+			if v, ok := rec.value.(T); ok && (pred == nil || pred(v)) {
+				return v, true
+			}
+		}
+	}
+	return zero, false
+}
+
+// FactsByKey returns the facts of type T in the named index's bucket for
+// key, in insertion order.
+func FactsByKey[T any](s *Session, index string, key any) []T {
+	var zero T
+	vals := s.FactsBy(zero, index, key)
+	out := make([]T, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, v.(T))
+	}
+	return out
+}

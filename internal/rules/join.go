@@ -1,0 +1,113 @@
+package rules
+
+// refKey is the refraction key: a comparable struct instead of a built
+// string, so the leaf of every join allocates nothing. The recency state of
+// a tuple is identified by the maximum recency across its facts: the global
+// clock is strictly monotonic and a fact's recency only increases, so two
+// distinct recency vectors over the same handles always differ in their
+// maximum. maxRec is zero for NoLoop rules (updates never re-arm them).
+type refKey struct {
+	rule    int32
+	maxRec  int64
+	handles [maxPatterns]FactHandle
+}
+
+// matchRule emits every unfired activation of r. useIndex selects whether
+// index hints are honoured (the reference matcher ignores them, so the
+// differential harness also validates hint soundness). Gates are the
+// caller's responsibility. Called with s.mu held.
+func (s *Session) matchRule(r *Rule, ruleIndex int, useIndex bool, emit func(*activation)) {
+	rt := s.rt[ruleIndex]
+	var join func(depth int, t *tuple)
+	join = func(depth int, t *tuple) {
+		if depth == len(r.When) {
+			var maxRec int64
+			for _, h := range t.handles {
+				if rec := s.facts[h]; rec != nil && rec.recency > maxRec {
+					maxRec = rec.recency
+				}
+			}
+			key := refKey{rule: int32(ruleIndex)}
+			copy(key.handles[:], t.handles)
+			if !r.NoLoop {
+				key.maxRec = maxRec
+			}
+			if s.fired[key] {
+				return
+			}
+			cp := &tuple{
+				names:   append([]string(nil), t.names...),
+				handles: append([]FactHandle(nil), t.handles...),
+				values:  append([]any(nil), t.values...),
+			}
+			emit(&activation{rule: r, ruleIndex: ruleIndex, tuple: cp, recency: maxRec, key: key})
+			return
+		}
+		p := &r.When[depth]
+		var src *handleList
+		if useIndex && rt.indexes[depth] != nil {
+			src = rt.indexes[depth].buckets[p.lookup(t)]
+		} else {
+			src = s.byType[p.typ]
+		}
+		if src == nil {
+			// No candidates: negation succeeds vacuously, anything else fails.
+			if p.negated {
+				join(depth+1, t)
+			}
+			return
+		}
+		if p.negated || p.existential {
+			found := false
+			for _, h := range src.items {
+				if h == 0 {
+					continue
+				}
+				rec, ok := s.facts[h]
+				if !ok {
+					continue
+				}
+				if p.where == nil || p.where(t, rec.value) {
+					found = true
+					break
+				}
+			}
+			if found != p.negated {
+				// Negation succeeds when nothing matched; existence
+				// succeeds when something did.
+				join(depth+1, t)
+			}
+			return
+		}
+		for _, h := range src.items {
+			if h == 0 {
+				continue
+			}
+			rec, ok := s.facts[h]
+			if !ok {
+				continue
+			}
+			// A fact may satisfy at most one pattern position in a tuple.
+			dup := false
+			for _, used := range t.handles {
+				if used == h {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			t.names = append(t.names, p.Name)
+			t.handles = append(t.handles, h)
+			t.values = append(t.values, rec.value)
+			if p.where == nil || p.where(t, rec.value) {
+				join(depth+1, t)
+			}
+			t.names = t.names[:depth]
+			t.handles = t.handles[:depth]
+			t.values = t.values[:depth]
+		}
+	}
+	join(0, &tuple{})
+}

@@ -1,0 +1,87 @@
+package rules
+
+// Benchmarks the refraction-key hot path: the engine used to build a
+// string per candidate tuple per firing (rule name + handles + recencies);
+// it now builds a comparable refKey struct. legacyRecencyKey reproduces
+// the old code so the allocation drop stays measurable.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func legacyActivationKey(r *Rule, t *tuple) string {
+	var sb strings.Builder
+	sb.WriteString(r.Name)
+	for _, h := range t.handles {
+		fmt.Fprintf(&sb, "|%d", h)
+	}
+	return sb.String()
+}
+
+func legacyRecencyKey(s *Session, r *Rule, t *tuple) string {
+	base := legacyActivationKey(r, t)
+	if r.NoLoop {
+		return base
+	}
+	var sb strings.Builder
+	sb.WriteString(base)
+	for _, h := range t.handles {
+		if rec := s.facts[h]; rec != nil {
+			fmt.Fprintf(&sb, "~%d", rec.recency)
+		}
+	}
+	return sb.String()
+}
+
+func benchKeySession() (*Session, *Rule, *tuple) {
+	s := NewSession()
+	r := &Rule{Name: "bench-refraction-key"}
+	t := &tuple{}
+	for i := 0; i < 3; i++ {
+		h := s.Insert(&dA{K: i})
+		t.names = append(t.names, fmt.Sprintf("x%d", i))
+		t.handles = append(t.handles, h)
+		t.values = append(t.values, &dA{K: i})
+	}
+	return s, r, t
+}
+
+// BenchmarkRefractionKeyString measures the retired string-key path.
+func BenchmarkRefractionKeyString(b *testing.B) {
+	s, r, t := benchKeySession()
+	fired := map[string]bool{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := legacyRecencyKey(s, r, t)
+		if fired[key] {
+			continue
+		}
+	}
+}
+
+// BenchmarkRefractionKeyStruct measures the current comparable struct key.
+func BenchmarkRefractionKeyStruct(b *testing.B) {
+	s, r, t := benchKeySession()
+	fired := map[refKey]bool{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var maxRec int64
+		for _, h := range t.handles {
+			if rec := s.facts[h]; rec != nil && rec.recency > maxRec {
+				maxRec = rec.recency
+			}
+		}
+		key := refKey{rule: 7}
+		copy(key.handles[:], t.handles)
+		if !r.NoLoop {
+			key.maxRec = maxRec
+		}
+		if fired[key] {
+			continue
+		}
+	}
+}

@@ -1,0 +1,35 @@
+//go:build !rules_noref
+
+package rules
+
+// The naive full-rejoin matcher, kept verbatim in behaviour as the oracle
+// for the differential harness (diff_test.go, FuzzSessionOps): it rebuilds
+// the whole agenda from scratch before every firing and ignores index
+// hints. Build with -tags rules_noref to exclude it from a production
+// binary (see reference_stub.go).
+
+// NewReferenceSession returns a session driven by the naive full-rejoin
+// matcher instead of the incremental one. Semantics are identical; cost per
+// firing is O(rules × facts^joins).
+func NewReferenceSession() *Session {
+	s := NewSession()
+	s.reference = true
+	return s
+}
+
+// bestActivationNaive recomputes every rule's matches and returns the
+// winner of conflict resolution, or nil. Called with s.mu held.
+func (s *Session) bestActivationNaive() *activation {
+	var best *activation
+	for i, r := range s.rules {
+		if r.Gate != nil && !r.Gate() {
+			continue
+		}
+		s.matchRule(r, i, false, func(a *activation) {
+			if best == nil || s.better(a, best) {
+				best = a
+			}
+		})
+	}
+	return best
+}

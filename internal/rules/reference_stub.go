@@ -1,0 +1,17 @@
+//go:build rules_noref
+
+package rules
+
+// Stubs for the naive reference matcher when it is excluded from the build
+// (-tags rules_noref). Default builds compile reference.go instead, so the
+// differential tests always run against the real oracle.
+
+// NewReferenceSession panics: the reference matcher was excluded by the
+// rules_noref build tag.
+func NewReferenceSession() *Session {
+	panic("rules: reference matcher excluded by the rules_noref build tag")
+}
+
+func (s *Session) bestActivationNaive() *activation {
+	panic("rules: reference matcher excluded by the rules_noref build tag")
+}

@@ -53,6 +53,12 @@ type Pattern struct {
 	// existential makes the pattern succeed once if any fact of typ
 	// satisfies the guard, binding nothing (Drools "exists").
 	existential bool
+	// index, when non-empty, names an alpha-memory index (registered with
+	// Session.AddIndex on this pattern's fact type) that the incremental
+	// matcher probes instead of scanning every fact of the type. lookup
+	// computes the probe key from the earlier bindings.
+	index  string
+	lookup func(b Bindings) any
 }
 
 // Match constructs a Pattern matching facts of dynamic type T (use the
@@ -70,12 +76,35 @@ func Match[T any](name string, where func(b Bindings, v T) bool) Pattern {
 	return p
 }
 
+// MatchOn is Match with an alpha-index hint: instead of scanning every
+// fact of type T, the incremental matcher probes the named index (see
+// Session.AddIndex) with the key computed by lookup from the bindings of
+// earlier patterns. The hint is pure acceleration — the guard must still
+// fully constrain the match on its own, because the reference engine (and
+// any pattern whose index is missing a bucket) ignores hints. The probe
+// key's dynamic type must equal the index key function's result type, or
+// the probe silently finds nothing.
+func MatchOn[T any](name, index string, lookup func(b Bindings) any, where func(b Bindings, v T) bool) Pattern {
+	p := Match(name, where)
+	p.index = index
+	p.lookup = lookup
+	return p
+}
+
 // Not constructs a negated Pattern: the enclosing rule matches only when no
 // fact of type T satisfies the guard (nil guard = no fact of type T exists
 // at all). Negated patterns contribute no binding.
 func Not[T any](where func(b Bindings, v T) bool) Pattern {
 	p := Match("", where)
 	p.negated = true
+	return p
+}
+
+// NotOn is Not with an alpha-index hint; see MatchOn.
+func NotOn[T any](index string, lookup func(b Bindings) any, where func(b Bindings, v T) bool) Pattern {
+	p := Not(where)
+	p.index = index
+	p.lookup = lookup
 	return p
 }
 
@@ -86,6 +115,14 @@ func Not[T any](where func(b Bindings, v T) bool) Pattern {
 func Exists[T any](where func(b Bindings, v T) bool) Pattern {
 	p := Match("", where)
 	p.existential = true
+	return p
+}
+
+// ExistsOn is Exists with an alpha-index hint; see MatchOn.
+func ExistsOn[T any](index string, lookup func(b Bindings) any, where func(b Bindings, v T) bool) Pattern {
+	p := Exists(where)
+	p.index = index
+	p.lookup = lookup
 	return p
 }
 
@@ -113,6 +150,10 @@ type Rule struct {
 	Then func(ctx *Context)
 }
 
+// maxPatterns bounds the number of positive (binding) patterns per rule so
+// refraction keys fit a fixed-size comparable struct (see refKey).
+const maxPatterns = 6
+
 func (r *Rule) validate() error {
 	if r.Name == "" {
 		return fmt.Errorf("rules: rule with empty name")
@@ -120,16 +161,24 @@ func (r *Rule) validate() error {
 	if len(r.When) == 0 {
 		return fmt.Errorf("rules: rule %q has no patterns", r.Name)
 	}
+	positive := 0
 	seen := map[string]bool{}
 	for i, p := range r.When {
 		if p.typ == nil {
 			return fmt.Errorf("rules: rule %q pattern %d built without Match/Not", r.Name, i)
+		}
+		if p.index != "" && p.lookup == nil {
+			return fmt.Errorf("rules: rule %q pattern %d names index %q without a lookup", r.Name, i, p.index)
 		}
 		if p.negated || p.existential {
 			if p.Name != "" {
 				return fmt.Errorf("rules: rule %q quantified pattern %d must not bind a name", r.Name, i)
 			}
 			continue
+		}
+		positive++
+		if positive > maxPatterns {
+			return fmt.Errorf("rules: rule %q has more than %d binding patterns", r.Name, maxPatterns)
 		}
 		if p.Name == "" {
 			return fmt.Errorf("rules: rule %q pattern %d has no binding name", r.Name, i)

@@ -4,8 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
-	"sort"
-	"strings"
 	"sync"
 )
 
@@ -23,25 +21,58 @@ type factRecord struct {
 	recency int64 // bumped on insert and update; drives conflict resolution
 }
 
+// ruleRT is the per-rule runtime state of the incremental matcher.
+type ruleRT struct {
+	// indexes[i] is the resolved alpha index probed by pattern i, or nil
+	// when the pattern scans the type extent.
+	indexes []*alphaIndex
+	// acts is the rule's slice of the persistent agenda: every currently
+	// valid, unfired activation, kept across firings and repaired only
+	// when the rule goes dirty.
+	acts []*activation
+	// dirty marks that working memory was touched for one of the rule's
+	// premise types (or the gate flipped on), so acts must be re-joined.
+	dirty bool
+	// gateOn is the gate's value at the last pick, so gate flips are
+	// detected without fact mutation.
+	gateOn bool
+}
+
 // Session is a rule session: working memory plus a rule base. It
 // corresponds to a Drools stateful knowledge session; the paper's Policy
 // Memory is the working memory of one long-lived session.
+//
+// Matching is incremental (Rete-style): each fact type's extent is an
+// alpha memory, mutations dirty only the rules whose premises mention the
+// touched type, and each rule's activations persist between firings.
+// Guards must therefore be pure functions of the facts bound by the rule's
+// patterns — a guard (or gate) reading other mutable state must be paired
+// with Invalidate when that state changes, and a fact mutated in place is
+// invisible to matching until Update is called.
 //
 // Sessions are safe for concurrent use; every exported method locks.
 type Session struct {
 	mu       sync.Mutex
 	rules    []*Rule
+	rt       []*ruleRT
 	facts    map[FactHandle]*factRecord
-	byType   map[reflect.Type][]FactHandle // insertion-ordered per type
+	byType   map[reflect.Type]*handleList // insertion-ordered per type
 	identity map[any]FactHandle
-	next     FactHandle
-	clock    int64
-	fired    map[string]bool // refraction memory
+	// indexes holds the registered alpha indexes; typeIndexes groups them
+	// by fact type for maintenance on insert/update/retract.
+	indexes     map[indexID]*alphaIndex
+	typeIndexes map[reflect.Type][]*alphaIndex
+	// typeRules maps a fact type to the rules whose premises (positive or
+	// quantified) mention it — the dirty-set propagation fan-out.
+	typeRules map[reflect.Type][]int
+	next      FactHandle
+	clock     int64
+	fired     map[refKey]bool // refraction memory
 	// firedByHandle indexes refraction keys by the fact handles they
 	// reference, so retracting a fact garbage-collects its keys — without
 	// this, a long-lived session (the paper's Policy Memory persists for
 	// the service lifetime) would leak refraction state forever.
-	firedByHandle map[FactHandle][]string
+	firedByHandle map[FactHandle][]refKey
 	firings       int64
 	halted        bool
 	logger        func(format string, args ...any)
@@ -53,16 +84,22 @@ type Session struct {
 	// oldestFirst flips recency-based conflict resolution from Drools'
 	// default LIFO (most recent fact first) to FIFO.
 	oldestFirst bool
+	// reference selects the naive full-rejoin matcher (see reference.go),
+	// kept as the differential-testing oracle.
+	reference bool
 }
 
 // NewSession returns an empty session.
 func NewSession() *Session {
 	return &Session{
 		facts:         make(map[FactHandle]*factRecord),
-		byType:        make(map[reflect.Type][]FactHandle),
+		byType:        make(map[reflect.Type]*handleList),
 		identity:      make(map[any]FactHandle),
-		fired:         make(map[string]bool),
-		firedByHandle: make(map[FactHandle][]string),
+		indexes:       make(map[indexID]*alphaIndex),
+		typeIndexes:   make(map[reflect.Type][]*alphaIndex),
+		typeRules:     make(map[reflect.Type][]int),
+		fired:         make(map[refKey]bool),
+		firedByHandle: make(map[FactHandle][]refKey),
 	}
 }
 
@@ -116,7 +153,8 @@ func (s *Session) logf(format string, args ...any) {
 	}
 }
 
-// AddRule appends a rule to the rule base. Rule names must be unique.
+// AddRule appends a rule to the rule base. Rule names must be unique, and
+// any index hints must name indexes already registered with AddIndex.
 func (s *Session) AddRule(r *Rule) error {
 	if err := r.validate(); err != nil {
 		return err
@@ -128,7 +166,24 @@ func (s *Session) AddRule(r *Rule) error {
 			return fmt.Errorf("rules: duplicate rule name %q", r.Name)
 		}
 	}
+	rt := &ruleRT{indexes: make([]*alphaIndex, len(r.When)), dirty: true, gateOn: true}
+	idx := len(s.rules)
+	types := map[reflect.Type]bool{}
+	for i, p := range r.When {
+		if p.index != "" {
+			ix := s.indexes[indexID{typ: p.typ, name: p.index}]
+			if ix == nil {
+				return fmt.Errorf("rules: rule %q pattern %d references unregistered index %q on %v", r.Name, i, p.index, p.typ)
+			}
+			rt.indexes[i] = ix
+		}
+		if !types[p.typ] {
+			types[p.typ] = true
+			s.typeRules[p.typ] = append(s.typeRules[p.typ], idx)
+		}
+	}
 	s.rules = append(s.rules, r)
+	s.rt = append(s.rt, rt)
 	return nil
 }
 
@@ -139,6 +194,24 @@ func (s *Session) MustAddRules(rs ...*Rule) {
 		if err := s.AddRule(r); err != nil {
 			panic(err)
 		}
+	}
+}
+
+// markDirty flags every rule with a premise on type t for re-join.
+func (s *Session) markDirty(t reflect.Type) {
+	for _, i := range s.typeRules[t] {
+		s.rt[i].dirty = true
+	}
+}
+
+// Invalidate marks every rule for re-join at the next firing cycle. Call it
+// when state outside working memory that guards or index keys read — for the
+// policy layer, the active bundle's tunables — changes.
+func (s *Session) Invalidate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rt := range s.rt {
+		rt.dirty = true
 	}
 }
 
@@ -163,8 +236,17 @@ func (s *Session) insert(v any) FactHandle {
 	rec := &factRecord{handle: h, value: v, recency: s.clock}
 	s.facts[h] = rec
 	t := reflect.TypeOf(v)
-	s.byType[t] = append(s.byType[t], h)
+	l := s.byType[t]
+	if l == nil {
+		l = newHandleList()
+		s.byType[t] = l
+	}
+	l.add(h)
 	s.identity[v] = h
+	for _, ix := range s.typeIndexes[t] {
+		ix.insert(h, v)
+	}
+	s.markDirty(t)
 	return h
 }
 
@@ -183,6 +265,11 @@ func (s *Session) update(v any) {
 	}
 	s.clock++
 	s.facts[h].recency = s.clock
+	t := reflect.TypeOf(v)
+	for _, ix := range s.typeIndexes[t] {
+		ix.update(h, v)
+	}
+	s.markDirty(t)
 }
 
 // Retract removes a fact (matched by identity). Unknown facts are ignored.
@@ -206,18 +293,18 @@ func (s *Session) retractHandle(h FactHandle) {
 	delete(s.facts, h)
 	delete(s.identity, rec.value)
 	t := reflect.TypeOf(rec.value)
-	hs := s.byType[t]
-	for i, hh := range hs {
-		if hh == h {
-			s.byType[t] = append(hs[:i:i], hs[i+1:]...)
-			break
-		}
+	if l := s.byType[t]; l != nil {
+		l.remove(h)
+	}
+	for _, ix := range s.typeIndexes[t] {
+		ix.retract(h)
 	}
 	// Garbage-collect refraction entries referencing the retracted fact.
 	for _, key := range s.firedByHandle[h] {
 		delete(s.fired, key)
 	}
 	delete(s.firedByHandle, h)
+	s.markDirty(t)
 }
 
 // FactCount returns the number of facts in working memory.
@@ -236,9 +323,15 @@ func (s *Session) Facts(exemplar any) []any {
 }
 
 func (s *Session) factsOfType(t reflect.Type) []any {
-	hs := s.byType[t]
-	out := make([]any, 0, len(hs))
-	for _, h := range hs {
+	l := s.byType[t]
+	if l == nil {
+		return nil
+	}
+	out := make([]any, 0, l.size())
+	for _, h := range l.items {
+		if h == 0 {
+			continue
+		}
 		out = append(out, s.facts[h].value)
 	}
 	return out
@@ -278,15 +371,6 @@ func CountOf[T any](s *Session, pred func(T) bool) int {
 	return n
 }
 
-// activation is a rule ready to fire on a specific tuple.
-type activation struct {
-	rule      *Rule
-	ruleIndex int
-	tuple     *tuple
-	recency   int64 // max recency across tuple facts
-	key       string
-}
-
 // FireAll runs the match–resolve–act cycle until the agenda is empty, Halt
 // is called, or budget firings have occurred (budget <= 0 selects
 // DefaultBudget). It returns the number of rule firings.
@@ -299,7 +383,7 @@ func (s *Session) FireAll(budget int) (int, error) {
 	s.halted = false
 	firings := 0
 	for firings < budget {
-		act := s.bestActivation()
+		act := s.pick()
 		if act == nil {
 			return firings, nil
 		}
@@ -318,165 +402,39 @@ func (s *Session) FireAll(budget int) (int, error) {
 			return firings, nil
 		}
 	}
-	if s.bestActivation() == nil {
+	if s.pick() == nil {
 		return firings, nil
 	}
 	return firings, fmt.Errorf("%w after %d firings", ErrBudgetExhausted, firings)
 }
 
-// bestActivation computes the current agenda and returns the activation
-// that wins conflict resolution, or nil if the agenda is empty.
+// pick returns the activation winning conflict resolution, or nil.
 // Called with s.mu held.
-func (s *Session) bestActivation() *activation {
-	var agenda []*activation
-	for i, r := range s.rules {
-		s.matchRule(r, i, &agenda)
+func (s *Session) pick() *activation {
+	if s.reference {
+		return s.bestActivationNaive()
 	}
-	if len(agenda) == 0 {
-		return nil
-	}
-	sort.SliceStable(agenda, func(i, j int) bool {
-		a, b := agenda[i], agenda[j]
-		if a.rule.Salience != b.rule.Salience {
-			return a.rule.Salience > b.rule.Salience
-		}
-		if a.recency != b.recency {
-			if s.oldestFirst {
-				return a.recency < b.recency
-			}
-			return a.recency > b.recency
-		}
-		if a.ruleIndex != b.ruleIndex {
-			return a.ruleIndex < b.ruleIndex
-		}
-		// Deterministic final tie-break: earlier handles first.
-		for k := range a.tuple.handles {
-			if k >= len(b.tuple.handles) {
-				break
-			}
-			if a.tuple.handles[k] != b.tuple.handles[k] {
-				return a.tuple.handles[k] < b.tuple.handles[k]
-			}
-		}
-		return false
-	})
-	return agenda[0]
+	return s.nextActivation()
 }
 
-// matchRule appends every unfired activation of r to agenda.
-// Called with s.mu held.
-func (s *Session) matchRule(r *Rule, ruleIndex int, agenda *[]*activation) {
-	if r.Gate != nil && !r.Gate() {
-		return
-	}
-	var join func(depth int, t *tuple)
-	join = func(depth int, t *tuple) {
-		if depth == len(r.When) {
-			key := s.activationRecencyKey(r, t)
-			if s.fired[key] {
-				return
-			}
-			var maxRec int64
-			for _, h := range t.handles {
-				if rec := s.facts[h]; rec != nil && rec.recency > maxRec {
-					maxRec = rec.recency
-				}
-			}
-			cp := &tuple{
-				names:   append([]string(nil), t.names...),
-				handles: append([]FactHandle(nil), t.handles...),
-				values:  append([]any(nil), t.values...),
-			}
-			*agenda = append(*agenda, &activation{rule: r, ruleIndex: ruleIndex, tuple: cp, recency: maxRec, key: key})
-			return
-		}
-		p := r.When[depth]
-		if p.negated || p.existential {
-			found := false
-			for _, h := range s.byType[p.typ] {
-				rec, ok := s.facts[h]
-				if !ok {
-					continue
-				}
-				if p.where == nil || p.where(t, rec.value) {
-					found = true
-					break
-				}
-			}
-			if found != p.negated {
-				// Negation succeeds when nothing matched; existence
-				// succeeds when something did.
-				join(depth+1, t)
-			}
-			return
-		}
-		for _, h := range append([]FactHandle(nil), s.byType[p.typ]...) {
-			rec, ok := s.facts[h]
-			if !ok {
-				continue
-			}
-			// A fact may satisfy at most one pattern position in a tuple.
-			dup := false
-			for _, used := range t.handles {
-				if used == h {
-					dup = true
-					break
-				}
-			}
-			if dup {
-				continue
-			}
-			t.names = append(t.names, p.Name)
-			t.handles = append(t.handles, h)
-			t.values = append(t.values, rec.value)
-			if p.where == nil || p.where(t, rec.value) {
-				join(depth+1, t)
-			}
-			t.names = t.names[:depth]
-			t.handles = t.handles[:depth]
-			t.values = t.values[:depth]
-		}
-	}
-	join(0, &tuple{})
-}
-
-// activationKey builds the refraction key: rule + tuple handles, plus the
-// facts' recencies unless the rule is NoLoop (so updates re-arm normal
-// rules but never NoLoop rules).
-func activationKey(r *Rule, t *tuple) string {
-	var sb strings.Builder
-	sb.WriteString(r.Name)
-	for _, h := range t.handles {
-		fmt.Fprintf(&sb, "|%d", h)
-	}
-	return sb.String()
-}
-
-// activationRecencyKey adds recency to the refraction key for non-NoLoop
-// rules, so fact updates re-arm normal rules but never NoLoop rules.
-func (s *Session) activationRecencyKey(r *Rule, t *tuple) string {
-	base := activationKey(r, t)
-	if r.NoLoop {
-		return base
-	}
-	var sb strings.Builder
-	sb.WriteString(base)
-	for _, h := range t.handles {
-		if rec := s.facts[h]; rec != nil {
-			fmt.Fprintf(&sb, "~%d", rec.recency)
-		}
-	}
-	return sb.String()
-}
-
-// Reset clears working memory and refraction state but keeps the rule base.
+// Reset clears working memory and refraction state but keeps the rule base
+// and registered indexes.
 func (s *Session) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.facts = make(map[FactHandle]*factRecord)
-	s.byType = make(map[reflect.Type][]FactHandle)
+	s.byType = make(map[reflect.Type]*handleList)
 	s.identity = make(map[any]FactHandle)
-	s.fired = make(map[string]bool)
-	s.firedByHandle = make(map[FactHandle][]string)
+	s.fired = make(map[refKey]bool)
+	s.firedByHandle = make(map[FactHandle][]refKey)
 	s.halted = false
+	for _, ix := range s.indexes {
+		ix.buckets = make(map[any]*handleList)
+		ix.keyOf = make(map[FactHandle]any)
+	}
+	for _, rt := range s.rt {
+		rt.acts = nil
+		rt.dirty = true
+		rt.gateOn = true
+	}
 }
