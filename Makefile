@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci build test race vet fmt fmt-check bench-smoke bench-json bench-json-check bundle-check cover fuzz-smoke test-liveness
+.PHONY: ci build test race vet fmt fmt-check bench-smoke bench-json bench-json-check bundle-check cover fuzz-smoke test-liveness load-smoke
 
 # The full gate: what a PR must pass.
-ci: fmt-check vet build race test-liveness bundle-check bench-smoke bench-json-check cover fuzz-smoke
+ci: fmt-check vet build race test-liveness bundle-check bench-smoke load-smoke bench-json-check cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,14 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkWAL' -benchtime=1x ./internal/durable/
 	$(GO) test -run '^$$' -bench 'BenchmarkLeaseScan|BenchmarkAdviseLeaseOverhead' -benchtime=1x ./internal/policy/
 
+# load-smoke drives the admitted stack at ~4x saturation through the
+# closed-loop load harness: overload must shed fast 429s, keep p99
+# bounded, and hold goodput instead of collapsing. The full saturation
+# sweep behind POLICYFLOW_LOAD_CURVE=1 regenerates the EXPERIMENTS.md
+# curve and is too slow for CI.
+load-smoke:
+	$(GO) test -race -run 'TestLoadSmokeShedNotCollapse' -count=1 ./internal/synth/
+
 # bench-json refreshes the machine-readable perf trajectory at the repo
 # root: one JSON series per core benchmark (advise hot path, advise vs
 # resident-fact count, lease scan, WAL commit with and without fsync),
@@ -66,9 +74,10 @@ bench-json-check:
 
 # cover enforces per-package statement-coverage floors on the
 # correctness-critical packages: the policy engine, the durable store,
-# and the rule engine (held higher — the differential harness should keep
-# the matcher thoroughly exercised).
-COVER_FLOORS := ./internal/policy:70 ./internal/durable:70 ./internal/rules:80
+# the rule engine (held higher — the differential harness should keep
+# the matcher thoroughly exercised), and the admission controller (every
+# shed path is a promise of "no side effect" and must stay tested).
+COVER_FLOORS := ./internal/policy:70 ./internal/durable:70 ./internal/rules:80 ./internal/admit:75
 cover:
 	@for entry in $(COVER_FLOORS); do \
 		pkg=$${entry%:*}; floor=$${entry##*:}; \

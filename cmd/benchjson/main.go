@@ -91,6 +91,10 @@ var groups = []group{
 	{pkg: "./internal/durable", pattern: "^BenchmarkWALAdviseNoFsync$|^BenchmarkWALAdviseFsync$", benchtime: "1000x"},
 	{pkg: "./internal/policy", pattern: "^BenchmarkBundleActivate$", benchtime: "200x"},
 	{pkg: "./internal/policy", pattern: "^BenchmarkAdviseUnderBundleSnapshot$", benchtime: "200x"},
+	// The admitted round trip: HTTP + admission queue + batch dispatch +
+	// group commit, unsaturated. Guards the admission layer's overhead on
+	// the happy path; saturation behaviour is load-smoke's job.
+	{pkg: "./internal/synth", pattern: "^BenchmarkAdmittedAdvise$", benchtime: "500x"},
 }
 
 // seriesRename maps sub-benchmark paths onto stable series keys where
@@ -98,6 +102,7 @@ var groups = []group{
 var seriesRename = map[string]string{
 	"AdviseHotPath/facts=10000":  "rules_advise_facts_10k",
 	"AdviseHotPath/facts=100000": "rules_advise_facts_100k",
+	"AdmittedAdvise":             "admitted_advise_roundtrip",
 }
 
 // benchLine matches one benchmark result line from `go test -bench`.

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"policyflow/internal/admit"
 	"policyflow/internal/durable"
 	"policyflow/internal/policy"
 	"policyflow/internal/policyhttp"
@@ -141,6 +142,57 @@ func TestMetricsCommand(t *testing.T) {
 	// Bucket series are elided from the pretty form.
 	if strings.Contains(text, "_bucket{") {
 		t.Errorf("pretty-printed metrics leaked bucket series:\n%s", text)
+	}
+}
+
+// TestMetricsSurfaceAdmission: when the server runs with admission
+// control, the policy_admit_* families show up in `policyctl metrics`
+// like any other registry family — depth gauges per class, shed counters
+// with reasons, and the batch-size histogram summary.
+func TestMetricsSurfaceAdmission(t *testing.T) {
+	svc, err := policy.New(policy.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := policyhttp.NewServer(svc, nil)
+	ctl := policyhttp.NewAdmissionController(svc, admit.Config{MaxQueue: 8})
+	ctl.Instrument(srv.Registry())
+	srv.SetAdmission(ctl)
+	t.Cleanup(ctl.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	c := policyhttp.NewClient(ts.URL, policyhttp.WithRetry(policyhttp.RetryPolicy{MaxAttempts: 1}))
+
+	// One admitted mutation and one armed shed populate all three families.
+	if _, err := c.AdviseTransfers([]policy.TransferSpec{{
+		RequestID: "r1", WorkflowID: "wf1",
+		SourceURL: "gsiftp://s.example.org/f", DestURL: "file://d.example.org/f",
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	ctl.FailNext(1)
+	if _, err := c.AdviseTransfers([]policy.TransferSpec{{
+		RequestID: "r2", WorkflowID: "wf1",
+		SourceURL: "gsiftp://s.example.org/f2", DestURL: "file://d.example.org/f2",
+	}}); !policyhttp.IsBusy(err) {
+		t.Fatalf("armed advise err = %v, want busy", err)
+	}
+
+	var out strings.Builder
+	if err := metrics(c, &out); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	text := out.String()
+	for _, frag := range []string{
+		"policy_admit_depth (gauge)",
+		`policy_admit_depth{class="mutate"}`,
+		"policy_admit_shed_total (counter)",
+		`policy_admit_shed_total{class="mutate",reason="injected"} 1`,
+		"policy_admit_batch_size (histogram)",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("pretty-printed metrics missing %q:\n%s", frag, text)
+		}
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"policyflow/internal/admit"
 	"policyflow/internal/durable"
 	"policyflow/internal/obs"
 	"policyflow/internal/policy"
@@ -63,6 +64,9 @@ func main() {
 		leaseTTL       = flag.Float64("lease-ttl", 0, "workflow lease TTL in seconds; 0 disables lease-based orphan reclamation")
 		leaseScanEvery = flag.Duration("lease-scan-every", 5*time.Second, "lease expiry scan period when -lease-ttl is set")
 		bundlePath     = flag.String("bundle", "", "policy bundle (JSON) to activate on boot; flag-derived tunables apply until it takes effect")
+		maxQueue       = flag.Int("max-queue", 256, "admission control: max queued requests per class before shedding with 429; 0 disables admission control")
+		queueWait      = flag.Duration("queue-wait", 250*time.Millisecond, "admission control: max time a request may wait queued before shedding")
+		batchMax       = flag.Int("batch-max", 32, "admission control: max mutations coalesced into one group-commit batch")
 	)
 	flag.Parse()
 
@@ -185,6 +189,22 @@ func main() {
 	if ps != nil {
 		api.SetDurable(ps)
 	}
+	// Admission control: bounded queues in front of the policy core, with
+	// overload shed as 429 + Retry-After before any side effect and
+	// mutations coalesced into group-commit batches.
+	var ctl *admit.Controller
+	if *maxQueue > 0 {
+		ctl = policyhttp.NewAdmissionController(svc, admit.Config{
+			MaxQueue: *maxQueue,
+			MaxWait:  *queueWait,
+			BatchMax: *batchMax,
+		})
+		ctl.Instrument(reg)
+		api.SetAdmission(ctl)
+		log.Printf("admission control enabled (max-queue=%d queue-wait=%s batch-max=%d)", *maxQueue, *queueWait, *batchMax)
+	} else {
+		log.Printf("admission control disabled (-max-queue 0)")
+	}
 	var handler http.Handler = api
 	if *debug {
 		// Profiling and raw-variable endpoints share the listener but stay
@@ -284,9 +304,7 @@ func main() {
 	go func() {
 		<-ctx.Done()
 		log.Printf("shutdown signal received, draining requests")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		srv.Shutdown(shutdownCtx)
+		drainAndShutdown(srv, ctl, 5*time.Second)
 	}()
 
 	log.Printf("policy service listening on %s (algorithm=%s threshold=%d default-streams=%d)",

@@ -1,0 +1,467 @@
+// Package admit is the admission-control layer in front of the policy
+// core. It bounds the work the service accepts instead of letting every
+// request park a goroutine on the service mutex: mutating requests enter
+// a bounded coalescing queue drained in batches (one lock acquisition and
+// one group-commit fsync per batch), read-only requests pass through a
+// bounded concurrency gate, and everything beyond the configured depth or
+// wait budget is shed with an explicit "busy" error before any side
+// effect happens. Queued requests whose client context has already ended
+// are abandoned rather than executed — the client stopped listening, so
+// performing the work would only add load during overload.
+package admit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"policyflow/internal/obs"
+)
+
+// Admission classes, used as the metric label and the Depth selector.
+const (
+	ClassMutate = "mutate"
+	ClassRead   = "read"
+)
+
+// Shedding errors. ErrQueueFull and ErrWaitExceeded mean "healthy but
+// busy" (HTTP 429): the caller should back off and retry. ErrDraining
+// means the controller is shutting down (HTTP 503). ErrCanceled means
+// the caller's own context ended while the request was queued; the
+// request was abandoned without side effects.
+var (
+	ErrQueueFull    = errors.New("admit: queue full")
+	ErrWaitExceeded = errors.New("admit: queue wait budget exceeded")
+	ErrDraining     = errors.New("admit: draining, not accepting new work")
+	ErrCanceled     = errors.New("admit: canceled while queued")
+)
+
+// Config bounds the controller. The zero value of any field selects its
+// default.
+type Config struct {
+	// MaxQueue is the depth bound per class: mutations queued for the
+	// batch dispatcher, and reads waiting for a concurrency slot. Beyond
+	// it submissions shed immediately with ErrQueueFull.
+	MaxQueue int
+	// MaxWait is how long a request may sit queued before it is shed
+	// with ErrWaitExceeded. Bounding the wait keeps queueing delay out
+	// of p99 once the service saturates: beyond saturation the queue
+	// would otherwise just move latency, not absorb load.
+	MaxWait time.Duration
+	// BatchMax caps how many mutations one dispatcher drain coalesces
+	// into a single BatchRunner call.
+	BatchMax int
+	// ReadConcurrency is how many read-only requests may execute at
+	// once.
+	ReadConcurrency int
+	// RetryAfter is the hint handed to shed clients (the Retry-After
+	// header upstream).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 256
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 250 * time.Millisecond
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 32
+	}
+	if c.ReadConcurrency <= 0 {
+		c.ReadConcurrency = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// BatchRunner executes one coalesced batch of mutations. It is called
+// from the dispatcher goroutine with 1..BatchMax payloads and must set
+// per-payload results/errors on the payloads themselves; a panic fails
+// every task in the batch but leaves the dispatcher running.
+type BatchRunner func(batch []any)
+
+type taskState = int32
+
+const (
+	taskPending   taskState = iota // queued, owned by nobody yet
+	taskClaimed                    // dispatcher won the task
+	taskAbandoned                  // waiter gave up (timeout or cancel)
+)
+
+// mutTask is one queued mutation. The waiter and the dispatcher race for
+// ownership through the state CAS: exactly one side wins, so a task is
+// either executed (dispatcher claims it, then closes done) or provably
+// never touched (waiter abandons it; the dispatcher discards it on
+// dequeue without running it).
+type mutTask struct {
+	ctx     context.Context
+	payload any
+	onStart func()
+	state   atomic.Int32
+	err     error // set by the dispatcher before close(done)
+	done    chan struct{}
+}
+
+// Controller is the admission gate. Build one with New, hand mutations to
+// SubmitMutation and reads to AcquireRead, and Drain+Close it on
+// shutdown.
+type Controller struct {
+	cfg Config
+	run BatchRunner
+
+	mutCh     chan *mutTask
+	readSlots chan struct{}
+
+	mu            sync.Mutex
+	closed        bool
+	pendingMut    int
+	pendingRead   int
+	drainSignaled bool
+	drained       chan struct{}
+
+	failNext atomic.Int64
+
+	stop           chan struct{}
+	stopOnce       sync.Once
+	dispatcherDone chan struct{}
+
+	depthMut  *obs.Gauge
+	depthRead *obs.Gauge
+	shed      *obs.CounterVec
+	batchSize *obs.Histogram
+}
+
+// New builds a controller and starts its dispatcher goroutine. run must
+// not be nil.
+func New(cfg Config, run BatchRunner) *Controller {
+	if run == nil {
+		panic("admit: nil BatchRunner")
+	}
+	c := &Controller{
+		cfg:            cfg.withDefaults(),
+		run:            run,
+		drained:        make(chan struct{}),
+		stop:           make(chan struct{}),
+		dispatcherDone: make(chan struct{}),
+	}
+	c.mutCh = make(chan *mutTask, c.cfg.MaxQueue)
+	c.readSlots = make(chan struct{}, c.cfg.ReadConcurrency)
+	go c.dispatch()
+	return c
+}
+
+// Instrument registers the admission metrics on reg. Call before serving
+// traffic; a controller without Instrument records nothing.
+func (c *Controller) Instrument(reg *obs.Registry) {
+	depth := reg.Gauge("policy_admit_depth",
+		"Requests queued or executing per admission class.", "class")
+	c.depthMut = depth.With(ClassMutate)
+	c.depthRead = depth.With(ClassRead)
+	c.shed = reg.Counter("policy_admit_shed_total",
+		"Requests shed by admission control.", "class", "reason")
+	c.batchSize = reg.Histogram("policy_admit_batch_size",
+		"Mutations coalesced per batch drain.",
+		obs.ExpBuckets(1, 2, 8)).With()
+}
+
+// RetryAfterHint is the backoff the controller suggests to shed clients.
+func (c *Controller) RetryAfterHint() time.Duration { return c.cfg.RetryAfter }
+
+// FailNext arms n injected sheds: the next n SubmitMutation calls are
+// rejected with ErrQueueFull regardless of actual queue state. It exists
+// so fault-injection harnesses can exercise the shed path
+// deterministically; timing-based shedding is inherently racy.
+func (c *Controller) FailNext(n int) { c.failNext.Add(int64(n)) }
+
+func (c *Controller) consumeFailNext() bool {
+	for {
+		v := c.failNext.Load()
+		if v <= 0 {
+			return false
+		}
+		if c.failNext.CompareAndSwap(v, v-1) {
+			return true
+		}
+	}
+}
+
+// Depth reports how many requests of the class are queued or executing.
+func (c *Controller) Depth(class string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if class == ClassRead {
+		return c.pendingRead
+	}
+	return c.pendingMut
+}
+
+func (c *Controller) shedMetric(class, reason string) {
+	if c.shed != nil {
+		c.shed.With(class, reason).Inc()
+	}
+}
+
+// enter admits one request of the class into the pending count, or
+// reports why it cannot. The caller must pair every successful enter
+// with exactly one leave.
+func (c *Controller) enter(class string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrDraining
+	}
+	if class == ClassRead {
+		if c.pendingRead >= c.cfg.MaxQueue+c.cfg.ReadConcurrency {
+			return ErrQueueFull
+		}
+		c.pendingRead++
+		if c.depthRead != nil {
+			c.depthRead.Set(float64(c.pendingRead))
+		}
+		return nil
+	}
+	c.pendingMut++
+	if c.depthMut != nil {
+		c.depthMut.Set(float64(c.pendingMut))
+	}
+	return nil
+}
+
+func (c *Controller) leave(class string) {
+	c.mu.Lock()
+	if class == ClassRead {
+		c.pendingRead--
+		if c.depthRead != nil {
+			c.depthRead.Set(float64(c.pendingRead))
+		}
+	} else {
+		c.pendingMut--
+		if c.depthMut != nil {
+			c.depthMut.Set(float64(c.pendingMut))
+		}
+	}
+	if c.closed && c.pendingMut+c.pendingRead == 0 && !c.drainSignaled {
+		c.drainSignaled = true
+		close(c.drained)
+	}
+	c.mu.Unlock()
+}
+
+// SubmitMutation queues payload for the batch dispatcher and blocks until
+// it has been executed, shed, or abandoned. A nil return means the
+// payload went through a BatchRunner call; any result lives on the
+// payload itself. onStart, if non-nil, runs on the dispatcher goroutine
+// the moment the task is dequeued for execution (it ends the queue-wait
+// trace span upstream); it is never called for shed or abandoned tasks.
+//
+// Every rejection happens before the payload reaches the runner, so a
+// non-nil error guarantees the mutation had no side effects.
+func (c *Controller) SubmitMutation(ctx context.Context, payload any, onStart func()) error {
+	if err := c.enter(ClassMutate); err != nil {
+		c.shedMetric(ClassMutate, reasonFor(err))
+		return err
+	}
+	if c.consumeFailNext() {
+		c.leave(ClassMutate)
+		c.shedMetric(ClassMutate, "injected")
+		return ErrQueueFull
+	}
+	t := &mutTask{ctx: ctx, payload: payload, onStart: onStart, done: make(chan struct{})}
+	select {
+	case c.mutCh <- t:
+	default:
+		c.leave(ClassMutate)
+		c.shedMetric(ClassMutate, "queue_full")
+		return ErrQueueFull
+	}
+	timer := time.NewTimer(c.cfg.MaxWait)
+	defer timer.Stop()
+	select {
+	case <-t.done:
+		return t.err
+	case <-ctx.Done():
+		if t.state.CompareAndSwap(taskPending, taskAbandoned) {
+			c.shedMetric(ClassMutate, "client_gone")
+			return fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+		}
+		// The dispatcher claimed the task first; the batch is running, so
+		// wait for its verdict.
+		<-t.done
+		return t.err
+	case <-timer.C:
+		if t.state.CompareAndSwap(taskPending, taskAbandoned) {
+			c.shedMetric(ClassMutate, "wait_exceeded")
+			return ErrWaitExceeded
+		}
+		<-t.done
+		return t.err
+	}
+}
+
+// AcquireRead admits one read-only request, blocking up to MaxWait for a
+// concurrency slot. On success the returned release function must be
+// called when the read finishes (it is idempotent).
+func (c *Controller) AcquireRead(ctx context.Context) (release func(), err error) {
+	if err := c.enter(ClassRead); err != nil {
+		c.shedMetric(ClassRead, reasonFor(err))
+		return nil, err
+	}
+	timer := time.NewTimer(c.cfg.MaxWait)
+	defer timer.Stop()
+	select {
+	case c.readSlots <- struct{}{}:
+		var once sync.Once
+		return func() {
+			once.Do(func() {
+				<-c.readSlots
+				c.leave(ClassRead)
+			})
+		}, nil
+	case <-ctx.Done():
+		c.leave(ClassRead)
+		c.shedMetric(ClassRead, "client_gone")
+		return nil, fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+	case <-timer.C:
+		c.leave(ClassRead)
+		c.shedMetric(ClassRead, "wait_exceeded")
+		return nil, ErrWaitExceeded
+	}
+}
+
+func reasonFor(err error) string {
+	switch {
+	case errors.Is(err, ErrDraining):
+		return "draining"
+	case errors.Is(err, ErrWaitExceeded):
+		return "wait_exceeded"
+	default:
+		return "queue_full"
+	}
+}
+
+// Drain stops admitting new work (submissions shed with ErrDraining) and
+// waits until everything already accepted has finished. The dispatcher
+// keeps running so queued mutations complete; call Close afterwards to
+// stop it.
+func (c *Controller) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	c.closed = true
+	if !c.drainSignaled && c.pendingMut+c.pendingRead == 0 {
+		c.drainSignaled = true
+		close(c.drained)
+	}
+	c.mu.Unlock()
+	select {
+	case <-c.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops admitting new work and terminates the dispatcher. Tasks
+// still queued are failed with ErrDraining (their waiters unblock) rather
+// than executed. Close blocks until the dispatcher goroutine has exited;
+// call Drain first for a graceful stop.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.dispatcherDone
+}
+
+func (c *Controller) dispatch() {
+	defer close(c.dispatcherDone)
+	for {
+		select {
+		case t := <-c.mutCh:
+			c.drainBatch(t)
+		case <-c.stop:
+			// Fail whatever is still queued so no waiter hangs.
+			for {
+				select {
+				case t := <-c.mutCh:
+					if t.state.CompareAndSwap(taskPending, taskClaimed) {
+						t.err = ErrDraining
+						close(t.done)
+					}
+					c.leave(ClassMutate)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// drainBatch coalesces up to BatchMax queued mutations (starting with
+// first) into one BatchRunner call. Abandoned tasks are discarded;
+// tasks whose client context already ended are abandoned here — shed
+// after queueing but still strictly before execution.
+func (c *Controller) drainBatch(first *mutTask) {
+	batch := make([]*mutTask, 0, c.cfg.BatchMax)
+	payloads := make([]any, 0, c.cfg.BatchMax)
+	admitTask := func(t *mutTask) {
+		if !t.state.CompareAndSwap(taskPending, taskClaimed) {
+			// The waiter abandoned it (timeout or cancel); it was never
+			// executed.
+			c.leave(ClassMutate)
+			return
+		}
+		if t.ctx != nil && t.ctx.Err() != nil {
+			// Deadline propagation: the client is gone, don't do the work.
+			t.err = fmt.Errorf("%w: %v", ErrCanceled, t.ctx.Err())
+			close(t.done)
+			c.leave(ClassMutate)
+			c.shedMetric(ClassMutate, "client_gone")
+			return
+		}
+		if t.onStart != nil {
+			t.onStart()
+		}
+		batch = append(batch, t)
+		payloads = append(payloads, t.payload)
+	}
+	admitTask(first)
+	for len(batch) < c.cfg.BatchMax {
+		select {
+		case t := <-c.mutCh:
+			admitTask(t)
+		default:
+			goto collected
+		}
+	}
+collected:
+	if len(batch) == 0 {
+		return
+	}
+	if c.batchSize != nil {
+		c.batchSize.Observe(float64(len(batch)))
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err := fmt.Errorf("admit: batch runner panic: %v", r)
+				for _, t := range batch {
+					if t.err == nil {
+						t.err = err
+					}
+				}
+			}
+		}()
+		c.run(payloads)
+	}()
+	for _, t := range batch {
+		close(t.done)
+		c.leave(ClassMutate)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"policyflow/internal/admit"
 	"policyflow/internal/bundle"
 	"policyflow/internal/durable"
 	"policyflow/internal/obs"
@@ -22,7 +23,8 @@ import (
 const numReplicas = 2
 
 // simReplica is one simulated policy server: a service with a durable
-// store on its own data directory, exposed through the full HTTP stack.
+// store on its own data directory, exposed through the full HTTP stack
+// behind an admission controller.
 type simReplica struct {
 	host   string
 	dir    string
@@ -30,6 +32,7 @@ type simReplica struct {
 	ps     *durable.PolicyStore
 	reg    *obs.Registry
 	server *policyhttp.Server
+	ctl    *admit.Controller
 }
 
 // Harness wires the full stack — policy service, durable store, HTTP
@@ -158,16 +161,36 @@ func (h *Harness) openReplica(i int) error {
 	reg := obs.NewRegistry()
 	server := policyhttp.NewServerWith(svc, nil, reg, nil)
 	server.SetDurable(ps)
-	r.svc, r.ps, r.reg, r.server = svc, ps, reg, server
+	// Each replica fronts its service with a real admission controller, so
+	// mutations flow through the coalescing queue exactly as deployed.
+	// Bounds are generous — the harness is sequential — and the only sheds
+	// are the ones OpShed arms deterministically via FailNext.
+	ctl := policyhttp.NewAdmissionController(svc, admit.Config{
+		MaxQueue: 64,
+		MaxWait:  30 * time.Second,
+		BatchMax: 8,
+	})
+	server.SetAdmission(ctl)
+	if r.ctl != nil {
+		r.ctl.Close()
+	}
+	r.svc, r.ps, r.reg, r.server, r.ctl = svc, ps, reg, server, ctl
 	h.router.Register(r.host, server)
 	return nil
 }
 
-// Close releases the replicas' durable stores.
+// Close releases the replicas' durable stores and stops their admission
+// dispatchers.
 func (h *Harness) Close() {
 	for _, r := range h.replicas {
-		if r != nil && r.ps != nil {
+		if r == nil {
+			continue
+		}
+		if r.ps != nil {
 			r.ps.Close()
+		}
+		if r.ctl != nil {
+			r.ctl.Close()
 		}
 	}
 }
@@ -231,6 +254,14 @@ func (h *Harness) Step(op Op) error {
 		h.localFaults[OpClientCrash]++
 	case OpCrash, OpTornCrash:
 		err = h.stepCrash(op.Replica, op.Kind == OpTornCrash)
+	case OpShed:
+		// Arm deterministic admission sheds: the replica's controller
+		// rejects its next Count mutation submissions with 429 before any
+		// side effect. The client retries through them (or gives up and
+		// reports busy); either way the shed ops must leave the replica
+		// byte-identical to one that never saw them.
+		h.replicas[op.Replica].ctl.FailNext(op.Count)
+		h.localFaults[OpShed] += op.Count
 	case OpDiskFault:
 		h.walMu.Lock()
 		h.walFaults[op.Replica] += op.Count
@@ -253,14 +284,20 @@ func (h *Harness) Step(op Op) error {
 	return nil
 }
 
-// clientOutcome routes the three legitimate outcomes of a replicated call:
-// success (apply to oracle + model), deterministic rejection (oracle must
-// reject identically, nothing changes), or total replica loss (repair).
-// Anything else is a violation.
+// clientOutcome routes the legitimate outcomes of a replicated call:
+// success (apply to oracle + model), admission shed (the op never
+// happened anywhere — nothing changes and nothing reaches the oracle),
+// deterministic rejection (oracle must reject identically, nothing
+// changes), or total replica loss (repair). Anything else is a violation.
+// IsBusy is checked before IsRejection: a 429 is a 4xx on the wire, but
+// unlike a rejection it is about the server's load, not the request, so
+// the oracle — which has no admission queue — must not see it.
 func (h *Harness) clientOutcome(err error, onSuccess, onRejection func() error) error {
 	switch {
 	case err == nil:
 		return onSuccess()
+	case policyhttp.IsBusy(err):
+		return nil
 	case policyhttp.IsRejection(err):
 		return onRejection()
 	case errors.Is(err, policyhttp.ErrNoReplicas):

@@ -20,6 +20,7 @@ const (
 	OpCrash          = "crash"          // close a replica's store, reopen, compare state
 	OpTornCrash      = "tornCrash"      // crash + append a torn record to the WAL tail first
 	OpDiskFault      = "diskFault"      // arm N injected WAL append failures on a replica
+	OpShed           = "shed"           // arm N admission-control sheds (429) on a replica
 	OpResync         = "resync"         // resync every downed replica from a healthy peer
 	OpSnapshot       = "snapshot"       // force a snapshot on a replica
 	OpRenewLease     = "renewLease"     // explicitly renew a workflow's lease
@@ -43,8 +44,8 @@ type Op struct {
 	DstHost string `json:"dstHost,omitempty"`
 	Max     int    `json:"max,omitempty"`
 
-	Replica int  `json:"replica,omitempty"` // crash/tornCrash/diskFault/snapshot
-	Count   int  `json:"count,omitempty"`   // diskFault: failures to arm
+	Replica int  `json:"replica,omitempty"` // crash/tornCrash/diskFault/shed/snapshot
+	Count   int  `json:"count,omitempty"`   // diskFault/shed: failures to arm
 	Invalid bool `json:"invalid,omitempty"` // advise/cleanup: deliberately malformed
 
 	Workflow string  `json:"workflow,omitempty"` // renewLease/clientCrash
@@ -259,15 +260,19 @@ func (g *gen) next(sc ScheduleConfig) Op {
 		}
 	case roll < 0.84:
 		return g.genBundleOp(sc)
-	case roll < 0.89:
+	case roll < 0.88:
 		torn := g.rng.Intn(3) == 0
 		kind := OpCrash
 		if torn {
 			kind = OpTornCrash
 		}
 		return Op{Kind: kind, Replica: g.rng.Intn(numReplicas)}
-	case roll < 0.93:
+	case roll < 0.91:
 		return Op{Kind: OpDiskFault, Replica: g.rng.Intn(numReplicas), Count: 1}
+	case roll < 0.94:
+		// 1 = shed then the client's retry succeeds; 3 = every attempt
+		// shed, the client reports busy and the op must be a no-op.
+		return Op{Kind: OpShed, Replica: g.rng.Intn(numReplicas), Count: 1 + g.rng.Intn(3)}
 	case roll < 0.97:
 		return Op{Kind: OpResync}
 	default:

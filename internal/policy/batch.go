@@ -1,0 +1,185 @@
+package policy
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"policyflow/internal/obs"
+)
+
+// BatchMutation is one client mutation inside a coalesced batch. Exactly
+// one request field must be set; after ExecuteBatch the matching result
+// field or Err is populated. The admission layer hands slices of these to
+// ExecuteBatch so that many concurrent clients share one lock acquisition
+// and one group-commit fsync.
+type BatchMutation struct {
+	// Ctx carries the submitting client's context: its trace span parents
+	// the operation's spans, and if it is already done when the batch
+	// executes, the mutation is abandoned with that error before any side
+	// effect (no WAL append, no fact changes, no decision record).
+	Ctx context.Context
+
+	// Request: exactly one of these is non-nil.
+	TransferSpecs  []TransferSpec
+	TransferReport *CompletionReport
+	CleanupSpecs   []CleanupSpec
+	CleanupReport  *CleanupReport
+
+	// Results.
+	TransferAdvice *TransferAdvice
+	CleanupAdvice  *CleanupAdvice
+	Ack            *ReportAck
+	Err            error
+}
+
+// observation is one timing sample destined for the performance observer,
+// captured under the lock (before the rules retract the transfer facts)
+// and delivered after the lock is released so the observer may call back
+// into the service.
+type observation struct {
+	pair    HostPair
+	streams int
+	size    int64
+	seconds float64
+}
+
+// commitOp finishes a mutation after the service lock is released:
+// waiting for the WAL's group-commit fsync outside the lock is what lets
+// concurrent mutations amortize one fsync, and only acknowledged
+// operations (synced, about to be returned to the client) commit decision
+// provenance. It returns the operation's final error.
+func (s *Service) commitOp(ctx context.Context, opSpan *obs.Span, seq uint64, rec *DecisionRecord, opErr error) error {
+	var syncSpan *obs.Span
+	if seq != 0 {
+		_, syncSpan = obs.StartSpan(ctx, s.currentTracer(), "wal.sync")
+	}
+	serr := s.syncLog(seq)
+	if syncSpan != nil {
+		syncSpan.Annot.WALSeq = seq
+		syncSpan.End()
+	}
+	err := opErr
+	if serr != nil && err == nil {
+		err = serr
+	}
+	if err == nil && rec != nil {
+		s.decisions.Add(*rec)
+	}
+	opSpan.SetWALSeq(seq)
+	opSpan.End()
+	return err
+}
+
+// ExecuteBatch runs a coalesced batch of mutations: one lock acquisition
+// for the whole batch, one rule-firing pass per mutation (each client
+// still gets its own advice, events, and decision record), and one
+// group-commit fsync covering every WAL record the batch appended. It is
+// the throughput core behind the admission controller's batch dispatcher;
+// per-mutation results and errors are written back onto the mutations.
+//
+// Mutations whose Ctx is already done are skipped entirely — the client
+// stopped waiting, so the work would be wasted load. A failed group
+// commit fails every logged mutation in the batch: none of their records
+// are confirmed durable, so none may be acknowledged.
+func (s *Service) ExecuteBatch(batch []*BatchMutation) {
+	if len(batch) == 0 {
+		return
+	}
+	tr := s.currentTracer()
+	type staged struct {
+		m       *BatchMutation
+		span    *obs.Span
+		seq     uint64
+		rec     *DecisionRecord
+		pending []observation
+	}
+	start := time.Now()
+	items := make([]*staged, 0, len(batch))
+	var maxSeq uint64
+	var observer TransferObserver
+
+	s.mu.Lock()
+	for _, m := range batch {
+		ctx := m.Ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		if err := ctx.Err(); err != nil {
+			m.Err = err
+			continue
+		}
+		st := &staged{m: m}
+		switch {
+		case m.TransferSpecs != nil:
+			if err := validateTransferSpecs(m.TransferSpecs); err != nil {
+				m.Err = err
+				continue
+			}
+			sctx, span := obs.StartSpan(ctx, tr, "policy.advise_transfers")
+			st.span = span
+			m.TransferAdvice, st.seq, st.rec, m.Err = s.adviseTransfersLocked(sctx, start, m.TransferSpecs)
+		case m.TransferReport != nil:
+			sctx, span := obs.StartSpan(ctx, tr, "policy.report_transfers")
+			st.span = span
+			m.Ack, st.seq, st.rec, st.pending, m.Err = s.reportTransfersLocked(sctx, start, *m.TransferReport)
+		case m.CleanupSpecs != nil:
+			if err := validateCleanupSpecs(m.CleanupSpecs); err != nil {
+				m.Err = err
+				continue
+			}
+			sctx, span := obs.StartSpan(ctx, tr, "policy.advise_cleanups")
+			st.span = span
+			m.CleanupAdvice, st.seq, st.rec, m.Err = s.adviseCleanupsLocked(sctx, start, m.CleanupSpecs)
+		case m.CleanupReport != nil:
+			sctx, span := obs.StartSpan(ctx, tr, "policy.report_cleanups")
+			st.span = span
+			m.Ack, st.seq, st.rec, m.Err = s.reportCleanupsLocked(sctx, start, *m.CleanupReport)
+		default:
+			m.Err = fmt.Errorf("%w: batch mutation carries no request", ErrEmptyRequest)
+			continue
+		}
+		if st.seq > maxSeq {
+			maxSeq = st.seq
+		}
+		items = append(items, st)
+	}
+	observer = s.observer
+	s.mu.Unlock()
+
+	// One group-commit fsync covers the whole batch: the WAL syncs through
+	// the highest sequence, which makes every earlier record durable too.
+	var syncSpan *obs.Span
+	if maxSeq != 0 {
+		_, syncSpan = obs.StartSpan(context.Background(), tr, "wal.sync")
+	}
+	serr := s.syncLog(maxSeq)
+	if syncSpan != nil {
+		syncSpan.Annot.WALSeq = maxSeq
+		syncSpan.End()
+	}
+	for _, st := range items {
+		m := st.m
+		if serr != nil && st.seq != 0 && m.Err == nil {
+			m.TransferAdvice, m.CleanupAdvice, m.Ack = nil, nil, nil
+			m.Err = serr
+		}
+		if m.Err == nil && st.rec != nil {
+			s.decisions.Add(*st.rec)
+		}
+		if st.span != nil {
+			st.span.SetWALSeq(st.seq)
+			st.span.End()
+		}
+	}
+	if observer != nil {
+		for _, st := range items {
+			if st.m.Err != nil {
+				continue
+			}
+			for _, o := range st.pending {
+				observer(o.pair, o.streams, o.size, o.seconds)
+			}
+		}
+	}
+}

@@ -430,66 +430,59 @@ func (s *Service) AdviseTransfers(specs []TransferSpec) (*TransferAdvice, error)
 // by the HTTP layer) parents the operation's spans — advise, rule
 // firing, WAL append, group-commit sync — and stamps lifecycle events
 // and the decision record with the trace ID.
-func (s *Service) AdviseTransfersCtx(ctx context.Context, specs []TransferSpec) (adv *TransferAdvice, err error) {
-	if len(specs) == 0 {
-		return nil, ErrEmptyRequest
-	}
-	// Validate the whole batch before logging or touching Policy Memory:
-	// a rejected request must leave no partial state behind (and no WAL
-	// record, and no decision record), or lingering Submitted facts would
-	// suppress later valid requests for the same files as in-batch
-	// duplicates.
-	for i, spec := range specs {
-		if spec.SourceURL == "" || spec.DestURL == "" {
-			return nil, fmt.Errorf("%w: request %d: source and destination URLs are required", ErrInvalidRequest, i)
-		}
+func (s *Service) AdviseTransfersCtx(ctx context.Context, specs []TransferSpec) (*TransferAdvice, error) {
+	if err := validateTransferSpecs(specs); err != nil {
+		return nil, err
 	}
 	ctx, opSpan := obs.StartSpan(ctx, s.currentTracer(), "policy.advise_transfers")
 	start := time.Now()
-	var logSeq uint64
-	var rec *DecisionRecord
-	// Declared before the unlock defer so it runs after the lock is
-	// released: waiting for the WAL's group-commit fsync outside the lock
-	// is what lets concurrent advise calls amortize one fsync. The
-	// decision record commits here too — only acknowledged operations
-	// (synced, about to be returned) produce provenance.
-	defer func() {
-		var syncSpan *obs.Span
-		if logSeq != 0 {
-			_, syncSpan = obs.StartSpan(ctx, s.currentTracer(), "wal.sync")
-		}
-		serr := s.syncLog(logSeq)
-		if syncSpan != nil {
-			syncSpan.Annot.WALSeq = logSeq
-			syncSpan.End()
-		}
-		if serr != nil && err == nil {
-			adv, err = nil, serr
-		}
-		if err == nil && rec != nil {
-			s.decisions.Add(*rec)
-		}
-		opSpan.SetWALSeq(logSeq)
-		opSpan.End()
-	}()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	adv, seq, rec, err := s.adviseTransfersLocked(ctx, start, specs)
+	s.mu.Unlock()
+	if err := s.commitOp(ctx, opSpan, seq, rec, err); err != nil {
+		return nil, err
+	}
+	return adv, nil
+}
+
+// validateTransferSpecs checks the whole batch before anything logs or
+// touches Policy Memory: a rejected request must leave no partial state
+// behind (and no WAL record, and no decision record), or lingering
+// Submitted facts would suppress later valid requests for the same files
+// as in-batch duplicates.
+func validateTransferSpecs(specs []TransferSpec) error {
+	if len(specs) == 0 {
+		return ErrEmptyRequest
+	}
+	for i, spec := range specs {
+		if spec.SourceURL == "" || spec.DestURL == "" {
+			return fmt.Errorf("%w: request %d: source and destination URLs are required", ErrInvalidRequest, i)
+		}
+	}
+	return nil
+}
+
+// adviseTransfersLocked is the locked core of AdviseTransfers: append the
+// WAL record, mutate Policy Memory, fire the rules, and assemble the
+// advice and decision record. The caller holds s.mu, has already
+// validated specs, and afterwards runs commitOp (or a batch-wide group
+// commit) with the returned sequence and record.
+func (s *Service) adviseTransfersLocked(ctx context.Context, start time.Time, specs []TransferSpec) (adv *TransferAdvice, logSeq uint64, rec *DecisionRecord, err error) {
 	defer s.beginOp(ctx)()
 	factsBefore := s.session.FactCount()
 	firingsBefore := s.session.Firings()
-	var opErr error
-	defer func() { s.observeOp("advise_transfers", start, firingsBefore, opErr) }()
+	defer func() { s.observeOp("advise_transfers", start, firingsBefore, err) }()
 	var appendSpan *obs.Span
 	if s.mlog != nil {
 		_, appendSpan = obs.StartSpan(ctx, s.tracer, "wal.append")
 	}
-	logSeq, opErr = s.appendLog(OpAdviseTransfers, specs)
+	logSeq, err = s.appendLog(OpAdviseTransfers, specs)
 	if appendSpan != nil {
 		appendSpan.Annot.WALSeq = logSeq
 		appendSpan.End()
 	}
-	if opErr != nil {
-		return nil, opErr
+	if err != nil {
+		return nil, logSeq, nil, err
 	}
 	// Advising doubles as a liveness signal: the calling workflows' leases
 	// are registered or extended. Deadlines derive only from the logged
@@ -530,8 +523,8 @@ func (s *Service) AdviseTransfersCtx(ctx context.Context, specs []TransferSpec) 
 	_, fireErr := s.session.FireAll(s.cfg.FireBudget)
 	fireSpan.End()
 	if fireErr != nil {
-		opErr = fmt.Errorf("policy: rule evaluation: %w", fireErr)
-		return nil, opErr
+		err = fmt.Errorf("policy: rule evaluation: %w", fireErr)
+		return nil, logSeq, nil, err
 	}
 
 	adv = &TransferAdvice{}
@@ -617,8 +610,8 @@ func (s *Service) AdviseTransfersCtx(ctx context.Context, specs []TransferSpec) 
 				Streams:    t.AllocatedStreams,
 			})
 		default:
-			opErr = fmt.Errorf("policy: transfer %s left in unexpected state %v", t.ID, t.State)
-			return nil, opErr
+			err = fmt.Errorf("policy: transfer %s left in unexpected state %v", t.ID, t.State)
+			return nil, logSeq, nil, err
 		}
 	}
 	sortAdvice(adv.Transfers)
@@ -632,7 +625,7 @@ func (s *Service) AdviseTransfersCtx(ctx context.Context, specs []TransferSpec) 
 		RulesFired:  s.takeFirings(),
 		Lines:       lines,
 	}
-	return adv, nil
+	return adv, logSeq, rec, nil
 }
 
 // sortAdvice orders the returned transfer list: higher priority first, then
@@ -687,36 +680,44 @@ func (s *Service) ReportTransfers(report CompletionReport) (*ReportAck, error) {
 // ReportTransfersCtx is ReportTransfers with causal-trace propagation;
 // see AdviseTransfersCtx.
 func (s *Service) ReportTransfersCtx(ctx context.Context, report CompletionReport) (*ReportAck, error) {
-	type observation struct {
-		pair    HostPair
-		streams int
-		size    int64
-		seconds float64
-	}
-	var pending []observation
-
 	ctx, opSpan := obs.StartSpan(ctx, s.currentTracer(), "policy.report_transfers")
-	defer opSpan.End()
 	start := time.Now()
 	s.mu.Lock()
-	endOp := s.beginOp(ctx)
+	ack, seq, rec, pending, err := s.reportTransfersLocked(ctx, start, report)
+	observer := s.observer
+	s.mu.Unlock()
+	if err := s.commitOp(ctx, opSpan, seq, rec, err); err != nil {
+		return nil, err
+	}
+	if observer != nil {
+		for _, o := range pending {
+			observer(o.pair, o.streams, o.size, o.seconds)
+		}
+	}
+	return ack, nil
+}
+
+// reportTransfersLocked is the locked core of ReportTransfers; see
+// adviseTransfersLocked for the contract. It additionally returns the
+// timing observations captured before the rules retracted the transfer
+// facts — the caller delivers them to the performance observer after the
+// lock is released (the observer may call back into the service).
+func (s *Service) reportTransfersLocked(ctx context.Context, start time.Time, report CompletionReport) (ack *ReportAck, logSeq uint64, rec *DecisionRecord, pending []observation, err error) {
+	defer s.beginOp(ctx)()
 	factsBefore := s.session.FactCount()
 	firingsBefore := s.session.Firings()
+	defer func() { s.observeOp("report_transfers", start, firingsBefore, err) }()
 	var appendSpan *obs.Span
 	if s.mlog != nil {
 		_, appendSpan = obs.StartSpan(ctx, s.tracer, "wal.append")
 	}
-	logSeq, logErr := s.appendLog(OpReportTransfers, report)
+	logSeq, err = s.appendLog(OpReportTransfers, report)
 	if appendSpan != nil {
 		appendSpan.Annot.WALSeq = logSeq
 		appendSpan.End()
 	}
-	opSpan.SetWALSeq(logSeq)
-	if logErr != nil {
-		s.observeOp("report_transfers", start, firingsBefore, logErr)
-		endOp()
-		s.mu.Unlock()
-		return nil, logErr
+	if err != nil {
+		return nil, logSeq, nil, nil, err
 	}
 	// Count matches against the transfers still present, consuming each ID
 	// on match so a duplicate ID within one report counts unmatched —
@@ -731,7 +732,7 @@ func (s *Service) ReportTransfersCtx(ctx context.Context, report CompletionRepor
 		t, ok := transferByID(s.session, id)
 		return ok && t.State == TransferInProgress
 	}
-	ack := &ReportAck{}
+	ack = &ReportAck{}
 	lines := make([]DecisionLine, 0, len(report.TransferIDs)+len(report.FailedIDs))
 	line := func(id, outcome string) DecisionLine {
 		dl := DecisionLine{ID: id, Outcome: outcome}
@@ -797,9 +798,13 @@ func (s *Service) ReportTransfersCtx(ctx context.Context, report CompletionRepor
 		s.session.Insert(&TransferResult{TransferID: id, Failed: true})
 	}
 	_, fireSpan := obs.StartSpan(ctx, s.tracer, "rules.fire")
-	_, err := s.session.FireAll(s.cfg.FireBudget)
+	_, fireErr := s.session.FireAll(s.cfg.FireBudget)
 	fireSpan.End()
-	rec := DecisionRecord{
+	if fireErr != nil {
+		err = fmt.Errorf("policy: rule evaluation: %w", fireErr)
+		return nil, logSeq, nil, nil, err
+	}
+	rec = &DecisionRecord{
 		Op:          OpReportTransfers,
 		TraceID:     s.curTrace,
 		WALSeq:      logSeq,
@@ -809,33 +814,7 @@ func (s *Service) ReportTransfersCtx(ctx context.Context, report CompletionRepor
 		RulesFired:  s.takeFirings(),
 		Lines:       lines,
 	}
-	observer := s.observer
-	s.observeOp("report_transfers", start, firingsBefore, err)
-	endOp()
-	s.mu.Unlock()
-
-	if err != nil {
-		return nil, fmt.Errorf("policy: rule evaluation: %w", err)
-	}
-	var syncSpan *obs.Span
-	if logSeq != 0 {
-		_, syncSpan = obs.StartSpan(ctx, s.currentTracer(), "wal.sync")
-	}
-	serr := s.syncLog(logSeq)
-	if syncSpan != nil {
-		syncSpan.Annot.WALSeq = logSeq
-		syncSpan.End()
-	}
-	if serr != nil {
-		return nil, serr
-	}
-	s.decisions.Add(rec)
-	if observer != nil {
-		for _, o := range pending {
-			observer(o.pair, o.streams, o.size, o.seconds)
-		}
-	}
-	return ack, nil
+	return ack, logSeq, rec, pending, nil
 }
 
 // emitResults emits one lifecycle event per reported transfer ID,
@@ -865,58 +844,54 @@ func (s *Service) AdviseCleanups(specs []CleanupSpec) (*CleanupAdvice, error) {
 
 // AdviseCleanupsCtx is AdviseCleanups with causal-trace propagation;
 // see AdviseTransfersCtx.
-func (s *Service) AdviseCleanupsCtx(ctx context.Context, specs []CleanupSpec) (adv *CleanupAdvice, err error) {
-	if len(specs) == 0 {
-		return nil, ErrEmptyRequest
-	}
-	// Whole-batch validation before logging or inserting facts, for the
-	// same atomicity reason as AdviseTransfers.
-	for i, spec := range specs {
-		if spec.FileURL == "" {
-			return nil, fmt.Errorf("%w: cleanup request %d: file URL is required", ErrInvalidRequest, i)
-		}
+func (s *Service) AdviseCleanupsCtx(ctx context.Context, specs []CleanupSpec) (*CleanupAdvice, error) {
+	if err := validateCleanupSpecs(specs); err != nil {
+		return nil, err
 	}
 	ctx, opSpan := obs.StartSpan(ctx, s.currentTracer(), "policy.advise_cleanups")
 	start := time.Now()
-	var logSeq uint64
-	var rec *DecisionRecord
-	defer func() {
-		var syncSpan *obs.Span
-		if logSeq != 0 {
-			_, syncSpan = obs.StartSpan(ctx, s.currentTracer(), "wal.sync")
-		}
-		serr := s.syncLog(logSeq)
-		if syncSpan != nil {
-			syncSpan.Annot.WALSeq = logSeq
-			syncSpan.End()
-		}
-		if serr != nil && err == nil {
-			adv, err = nil, serr
-		}
-		if err == nil && rec != nil {
-			s.decisions.Add(*rec)
-		}
-		opSpan.SetWALSeq(logSeq)
-		opSpan.End()
-	}()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	adv, seq, rec, err := s.adviseCleanupsLocked(ctx, start, specs)
+	s.mu.Unlock()
+	if err := s.commitOp(ctx, opSpan, seq, rec, err); err != nil {
+		return nil, err
+	}
+	return adv, nil
+}
+
+// validateCleanupSpecs is whole-batch validation before logging or
+// inserting facts, for the same atomicity reason as
+// validateTransferSpecs.
+func validateCleanupSpecs(specs []CleanupSpec) error {
+	if len(specs) == 0 {
+		return ErrEmptyRequest
+	}
+	for i, spec := range specs {
+		if spec.FileURL == "" {
+			return fmt.Errorf("%w: cleanup request %d: file URL is required", ErrInvalidRequest, i)
+		}
+	}
+	return nil
+}
+
+// adviseCleanupsLocked is the locked core of AdviseCleanups; see
+// adviseTransfersLocked for the contract.
+func (s *Service) adviseCleanupsLocked(ctx context.Context, start time.Time, specs []CleanupSpec) (adv *CleanupAdvice, logSeq uint64, rec *DecisionRecord, err error) {
 	defer s.beginOp(ctx)()
 	factsBefore := s.session.FactCount()
 	firingsBefore := s.session.Firings()
-	var opErr error
-	defer func() { s.observeOp("advise_cleanups", start, firingsBefore, opErr) }()
+	defer func() { s.observeOp("advise_cleanups", start, firingsBefore, err) }()
 	var appendSpan *obs.Span
 	if s.mlog != nil {
 		_, appendSpan = obs.StartSpan(ctx, s.tracer, "wal.append")
 	}
-	logSeq, opErr = s.appendLog(OpAdviseCleanups, specs)
+	logSeq, err = s.appendLog(OpAdviseCleanups, specs)
 	if appendSpan != nil {
 		appendSpan.Annot.WALSeq = logSeq
 		appendSpan.End()
 	}
-	if opErr != nil {
-		return nil, opErr
+	if err != nil {
+		return nil, logSeq, nil, err
 	}
 	s.renewLeasesLocked(cleanupOwners(specs))
 
@@ -937,8 +912,8 @@ func (s *Service) AdviseCleanupsCtx(ctx context.Context, specs []CleanupSpec) (a
 	_, fireErr := s.session.FireAll(s.cfg.FireBudget)
 	fireSpan.End()
 	if fireErr != nil {
-		opErr = fmt.Errorf("policy: rule evaluation: %w", fireErr)
-		return nil, opErr
+		err = fmt.Errorf("policy: rule evaluation: %w", fireErr)
+		return nil, logSeq, nil, err
 	}
 
 	adv = &CleanupAdvice{}
@@ -998,8 +973,8 @@ func (s *Service) AdviseCleanupsCtx(ctx context.Context, specs []CleanupSpec) (a
 				Outcome:    OutcomeAdvised,
 			})
 		default:
-			opErr = fmt.Errorf("policy: cleanup %s left in unexpected state %v", c.ID, c.State)
-			return nil, opErr
+			err = fmt.Errorf("policy: cleanup %s left in unexpected state %v", c.ID, c.State)
+			return nil, logSeq, nil, err
 		}
 	}
 	rec = &DecisionRecord{
@@ -1012,7 +987,7 @@ func (s *Service) AdviseCleanupsCtx(ctx context.Context, specs []CleanupSpec) (a
 		RulesFired:  s.takeFirings(),
 		Lines:       lines,
 	}
-	return adv, nil
+	return adv, logSeq, rec, nil
 }
 
 // ReportCleanups records completed cleanup operations; their state and the
@@ -1025,48 +1000,36 @@ func (s *Service) ReportCleanups(report CleanupReport) (*ReportAck, error) {
 
 // ReportCleanupsCtx is ReportCleanups with causal-trace propagation;
 // see AdviseTransfersCtx.
-func (s *Service) ReportCleanupsCtx(ctx context.Context, report CleanupReport) (ack *ReportAck, err error) {
+func (s *Service) ReportCleanupsCtx(ctx context.Context, report CleanupReport) (*ReportAck, error) {
 	ctx, opSpan := obs.StartSpan(ctx, s.currentTracer(), "policy.report_cleanups")
 	start := time.Now()
-	var logSeq uint64
-	var rec *DecisionRecord
-	defer func() {
-		var syncSpan *obs.Span
-		if logSeq != 0 {
-			_, syncSpan = obs.StartSpan(ctx, s.currentTracer(), "wal.sync")
-		}
-		serr := s.syncLog(logSeq)
-		if syncSpan != nil {
-			syncSpan.Annot.WALSeq = logSeq
-			syncSpan.End()
-		}
-		if serr != nil && err == nil {
-			ack, err = nil, serr
-		}
-		if err == nil && rec != nil {
-			s.decisions.Add(*rec)
-		}
-		opSpan.SetWALSeq(logSeq)
-		opSpan.End()
-	}()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	ack, seq, rec, err := s.reportCleanupsLocked(ctx, start, report)
+	s.mu.Unlock()
+	if err := s.commitOp(ctx, opSpan, seq, rec, err); err != nil {
+		return nil, err
+	}
+	return ack, nil
+}
+
+// reportCleanupsLocked is the locked core of ReportCleanups; see
+// adviseTransfersLocked for the contract.
+func (s *Service) reportCleanupsLocked(ctx context.Context, start time.Time, report CleanupReport) (ack *ReportAck, logSeq uint64, rec *DecisionRecord, err error) {
 	defer s.beginOp(ctx)()
 	factsBefore := s.session.FactCount()
 	firingsBefore := s.session.Firings()
-	var opErr error
-	defer func() { s.observeOp("report_cleanups", start, firingsBefore, opErr) }()
+	defer func() { s.observeOp("report_cleanups", start, firingsBefore, err) }()
 	var appendSpan *obs.Span
 	if s.mlog != nil {
 		_, appendSpan = obs.StartSpan(ctx, s.tracer, "wal.append")
 	}
-	logSeq, opErr = s.appendLog(OpReportCleanups, report)
+	logSeq, err = s.appendLog(OpReportCleanups, report)
 	if appendSpan != nil {
 		appendSpan.Annot.WALSeq = logSeq
 		appendSpan.End()
 	}
-	if opErr != nil {
-		return nil, opErr
+	if err != nil {
+		return nil, logSeq, nil, err
 	}
 	consumed := make(map[string]bool, len(report.CleanupIDs))
 	live := func(id string) bool {
@@ -1111,8 +1074,8 @@ func (s *Service) ReportCleanupsCtx(ctx context.Context, report CleanupReport) (
 	_, fireErr := s.session.FireAll(s.cfg.FireBudget)
 	fireSpan.End()
 	if fireErr != nil {
-		opErr = fmt.Errorf("policy: rule evaluation: %w", fireErr)
-		return nil, opErr
+		err = fmt.Errorf("policy: rule evaluation: %w", fireErr)
+		return nil, logSeq, nil, err
 	}
 	rec = &DecisionRecord{
 		Op:          OpReportCleanups,
@@ -1124,7 +1087,7 @@ func (s *Service) ReportCleanupsCtx(ctx context.Context, report CleanupReport) (
 		RulesFired:  s.takeFirings(),
 		Lines:       lines,
 	}
-	return ack, nil
+	return ack, logSeq, rec, nil
 }
 
 // SetThreshold sets the maximum number of parallel streams between a host

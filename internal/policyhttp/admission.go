@@ -1,0 +1,108 @@
+package policyhttp
+
+import (
+	"errors"
+	"math"
+	"net/http"
+	"strconv"
+
+	"policyflow/internal/admit"
+	"policyflow/internal/obs"
+	"policyflow/internal/policy"
+)
+
+// ServiceRunner adapts a policy service to the admission controller's
+// batch dispatcher: one call executes a coalesced batch of client
+// mutations under a single lock acquisition and a single group-commit
+// fsync.
+func ServiceRunner(svc *policy.Service) admit.BatchRunner {
+	return func(batch []any) {
+		muts := make([]*policy.BatchMutation, len(batch))
+		for i, b := range batch {
+			muts[i] = b.(*policy.BatchMutation)
+		}
+		svc.ExecuteBatch(muts)
+	}
+}
+
+// NewAdmissionController builds an admission controller whose batch
+// dispatcher drains into svc.ExecuteBatch.
+func NewAdmissionController(svc *policy.Service, cfg admit.Config) *admit.Controller {
+	return admit.New(cfg, ServiceRunner(svc))
+}
+
+// SetAdmission installs the admission controller: advise/report mutations
+// go through its coalescing queue and read-only endpoints through its
+// concurrency gate, with anything beyond the configured bounds shed as
+// 429/503 + Retry-After before any side effect. Call before serving
+// traffic. A nil controller (the default) admits everything directly.
+func (s *Server) SetAdmission(ctl *admit.Controller) { s.admit = ctl }
+
+// Admission returns the installed controller (nil when admission is
+// disabled); fault-injection harnesses use it to arm deterministic sheds.
+func (s *Server) Admission() *admit.Controller { return s.admit }
+
+// retryAfterSeconds renders the controller's backoff hint as a
+// Retry-After header value (integer seconds, minimum 1).
+func (s *Server) retryAfterSeconds() string {
+	secs := int(math.Ceil(s.admit.RetryAfterHint().Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// writeShed maps an admission error onto the wire: 429 + Retry-After for
+// overload (healthy but busy — back off and retry), 503 + Retry-After
+// while draining for shutdown, and 408 when the client's own context
+// ended while queued (the response is a courtesy; the client has usually
+// stopped listening).
+func (s *Server) writeShed(w http.ResponseWriter, f format, err error) {
+	switch {
+	case errors.Is(err, admit.ErrDraining):
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		s.writeError(w, f, http.StatusServiceUnavailable, err)
+	case errors.Is(err, admit.ErrCanceled):
+		s.writeError(w, f, http.StatusRequestTimeout, err)
+	default: // ErrQueueFull, ErrWaitExceeded
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		s.writeError(w, f, http.StatusTooManyRequests, err)
+	}
+}
+
+// runAdmitted pushes one mutation through the admission queue and blocks
+// until the batch dispatcher has executed it (results land on mut) or it
+// was shed, in which case the shed response has been written and false is
+// returned. The queue wait is traced as an admit.wait span ended by the
+// dispatcher at dequeue.
+func (s *Server) runAdmitted(w http.ResponseWriter, r *http.Request, f format, mut *policy.BatchMutation) bool {
+	ctx := r.Context()
+	_, waitSpan := obs.StartSpan(ctx, s.tracer, "admit.wait")
+	// onStart fires only for tasks that reach execution, so the span End
+	// calls are mutually exclusive with the error path below.
+	err := s.admit.SubmitMutation(ctx, mut, func() { waitSpan.End() })
+	if err != nil {
+		waitSpan.End()
+		s.writeShed(w, f, err)
+		return false
+	}
+	return true
+}
+
+// admitRead gates a read-only handler behind the controller's read
+// concurrency slots when admission is enabled.
+func (s *Server) admitRead(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.admit == nil {
+			h(w, r)
+			return
+		}
+		release, err := s.admit.AcquireRead(r.Context())
+		if err != nil {
+			s.writeShed(w, responseFormat(r, formatJSON), err)
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+}

@@ -33,10 +33,11 @@ const IdempotencyReplayedHeader = "Idempotency-Replayed"
 
 // RetryPolicy controls the client's retry loop. Attempts beyond the first
 // are made only for transport errors (connection failures, timeouts,
-// dropped responses) and retryable 5xx statuses (502, 503, 504); every
-// retried mutation carries the same idempotency key, so a response lost
-// after the server applied the mutation is recovered without applying it
-// twice.
+// dropped responses), retryable 5xx statuses (502, 503, 504), and 429
+// admission sheds — which are guaranteed side-effect free and carry a
+// Retry-After hint the backoff honors. Every retried mutation carries the
+// same idempotency key, so a response lost after the server applied the
+// mutation is recovered without applying it twice.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of attempts including the first;
 	// values below 1 mean 1 (no retries).
@@ -206,6 +207,12 @@ func (c *Client) backoff(retry int) time.Duration {
 	if c.retry.MaxBackoff > 0 && d > c.retry.MaxBackoff {
 		d = c.retry.MaxBackoff
 	}
+	return c.jittered(d)
+}
+
+// jittered spreads d across the +-Jitter band so that a burst of clients
+// rejected together does not return in lockstep.
+func (c *Client) jittered(d time.Duration) time.Duration {
 	if j := c.retry.Jitter; j > 0 {
 		c.mu.Lock()
 		f := 1 + j*(2*c.rng.Float64()-1)
@@ -215,11 +222,54 @@ func (c *Client) backoff(retry int) time.Duration {
 	return d
 }
 
+// retryDelay picks the sleep before retry number retry (1-based): the
+// jittered exponential backoff, unless the previous attempt carried a
+// server Retry-After hint, which takes precedence — capped at MaxBackoff
+// so a misbehaving server cannot park the client, and still jittered.
+func (c *Client) retryDelay(retry int, hint time.Duration) time.Duration {
+	if hint <= 0 {
+		return c.backoff(retry)
+	}
+	if c.retry.MaxBackoff > 0 && hint > c.retry.MaxBackoff {
+		hint = c.retry.MaxBackoff
+	}
+	return c.jittered(hint)
+}
+
 // retryableStatus reports whether a status code is safe and useful to
-// retry: gateway-class failures where the response carries no decision.
+// retry: gateway-class failures where the response carries no decision,
+// and 429 — the admission layer shed the request before any side effect,
+// explicitly inviting a retry after backoff.
 func retryableStatus(code int) bool {
 	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable ||
-		code == http.StatusGatewayTimeout
+		code == http.StatusGatewayTimeout || code == http.StatusTooManyRequests
+}
+
+// retryAfterHint extracts the server's Retry-After from the previous
+// attempt's error, if any.
+func retryAfterHint(err error) time.Duration {
+	var se *ServerError
+	if errors.As(err, &se) {
+		return se.RetryAfter
+	}
+	return 0
+}
+
+// parseRetryAfter reads a Retry-After header value, either delay-seconds
+// or an HTTP date; 0 means absent or unparseable.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 func (c *Client) countFault(path, kind string) {
@@ -289,7 +339,7 @@ func (c *Client) doKeyedCtx(ctx context.Context, method, path, idemKey string, i
 			if c.metrics != nil {
 				c.metrics.Retries.With(path).Inc()
 			}
-			c.sleep(c.backoff(attempt - 1))
+			c.sleep(c.retryDelay(attempt-1, retryAfterHint(lastErr)))
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("policyhttp: %s %s: %w", method, path, err)
 			}
@@ -334,7 +384,11 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	}
 	defer resp.Body.Close()
 	if retryableStatus(resp.StatusCode) {
-		c.countFault(path, "http_5xx")
+		kind := "http_5xx"
+		if resp.StatusCode == http.StatusTooManyRequests {
+			kind = "http_429"
+		}
+		c.countFault(path, kind)
 		return false, c.decodeError(resp)
 	}
 	if c.metrics != nil && resp.Header.Get(IdempotencyReplayedHeader) != "" {
@@ -365,6 +419,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 type ServerError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's Retry-After hint (zero when absent); on
+	// 429/503 it feeds the retry loop's backoff.
+	RetryAfter time.Duration
 	// raw is the undecoded body, used when no error document was parsed.
 	raw string
 }
@@ -385,17 +442,33 @@ func IsRejection(err error) bool {
 	return errors.As(err, &se) && se.StatusCode >= 400 && se.StatusCode < 500
 }
 
+// IsBusy reports whether err is the service shedding load (HTTP 429): the
+// service is healthy but at capacity, and the request was rejected before
+// any side effect — back off and retry rather than treating the service
+// as failed. IsRejection is also true for 429, so busy-aware callers must
+// check IsBusy first.
+func IsBusy(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && se.StatusCode == http.StatusTooManyRequests
+}
+
+// HTTPStatus exposes the status code behind interface checks, letting
+// packages that only see the error (not this package's types) classify
+// busy responses.
+func (e *ServerError) HTTPStatus() int { return e.StatusCode }
+
 func (c *Client) decodeError(resp *http.Response) error {
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	ra := parseRetryAfter(resp.Header.Get("Retry-After"))
 	var doc ErrorDoc
 	if c.useXML {
 		if xml.Unmarshal(data, &doc) == nil && doc.Message != "" {
-			return &ServerError{StatusCode: resp.StatusCode, Message: doc.Message}
+			return &ServerError{StatusCode: resp.StatusCode, Message: doc.Message, RetryAfter: ra}
 		}
 	} else if json.Unmarshal(data, &doc) == nil && doc.Message != "" {
-		return &ServerError{StatusCode: resp.StatusCode, Message: doc.Message}
+		return &ServerError{StatusCode: resp.StatusCode, Message: doc.Message, RetryAfter: ra}
 	}
-	return &ServerError{StatusCode: resp.StatusCode, raw: strings.TrimSpace(string(data))}
+	return &ServerError{StatusCode: resp.StatusCode, RetryAfter: ra, raw: strings.TrimSpace(string(data))}
 }
 
 // AdviseTransfers submits a transfer list and returns the modified list.

@@ -182,13 +182,19 @@ func replayRecord(target *Client, rec durable.Record) error {
 // ignoreApplication drops server-side rejections (the request landed and
 // was refused — a deterministic outcome the donor's log also recorded)
 // but keeps transport failures, which mean the replay never reached the
-// replica.
+// replica, and not-applied responses (shed 429, draining 503, abandoned
+// 408), which promise the mutation did NOT execute: swallowing one of
+// those would silently lose a logged record and diverge the replica.
 func ignoreApplication(err error) error {
 	if err == nil {
 		return nil
 	}
 	var ue *url.Error
 	if errors.As(err, &ue) {
+		return err
+	}
+	var se *ServerError
+	if errors.As(err, &se) && notApplied(se.StatusCode) {
 		return err
 	}
 	return nil

@@ -66,6 +66,27 @@ func (c *idemCache) finish(e *idemEntry, code int, header http.Header, body []by
 	close(e.done)
 }
 
+// forget records the response for waiters already parked on the entry but
+// removes the key from the cache, so the next request carrying the same
+// key executes afresh instead of replaying. Used for responses that
+// guarantee the mutation was never applied (shed, draining, abandoned):
+// caching those would turn a client's post-backoff retry into a replayed
+// rejection.
+func (c *idemCache) forget(key string, e *idemEntry, code int, header http.Header, body []byte) {
+	c.mu.Lock()
+	if c.entries[key] == e {
+		delete(c.entries, key)
+		for i, k := range c.order {
+			if k == key {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
+			}
+		}
+	}
+	c.mu.Unlock()
+	c.finish(e, code, header, body)
+}
+
 // captureWriter buffers a handler's response so it can be recorded in the
 // idempotency cache and then copied to the real writer.
 type captureWriter struct {
@@ -121,7 +142,22 @@ func (s *Server) idempotent(h http.HandlerFunc) http.HandlerFunc {
 		}
 		cw := newCaptureWriter()
 		h(cw, r)
-		s.idem.finish(e, cw.code, cw.header, cw.body)
+		if notApplied(cw.code) {
+			s.idem.forget(key, e, cw.code, cw.header, cw.body)
+		} else {
+			s.idem.finish(e, cw.code, cw.header, cw.body)
+		}
 		writeEntry(w, e, false)
 	}
+}
+
+// notApplied reports response codes that promise the mutation had no side
+// effect: admission shed (429), draining or standby (503), and abandoned
+// because the client's context ended while queued (408). These must not
+// enter the idempotency cache — the whole point of the client retrying
+// under the same key is that the next attempt may be admitted.
+func notApplied(code int) bool {
+	return code == http.StatusTooManyRequests ||
+		code == http.StatusServiceUnavailable ||
+		code == http.StatusRequestTimeout
 }

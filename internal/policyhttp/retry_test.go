@@ -17,9 +17,10 @@ import (
 // codes (0 means a transport error) and records what it saw. It lets the
 // retry tests run without sockets or timers.
 type scriptedTransport struct {
-	script []int // per-attempt status; 0 = transport error
-	calls  int
-	keys   []string // Idempotency-Key header per attempt
+	script     []int    // per-attempt status; 0 = transport error
+	retryAfter []string // per-attempt Retry-After header ("" = none)
+	calls      int
+	keys       []string // Idempotency-Key header per attempt
 }
 
 func (s *scriptedTransport) RoundTrip(req *http.Request) (*http.Response, error) {
@@ -41,9 +42,13 @@ func (s *scriptedTransport) RoundTrip(req *http.Request) (*http.Response, error)
 	if code >= 400 {
 		body = `{"message":"scripted failure"}`
 	}
+	header := http.Header{"Content-Type": []string{"application/json"}}
+	if i < len(s.retryAfter) && s.retryAfter[i] != "" {
+		header.Set("Retry-After", s.retryAfter[i])
+	}
 	return &http.Response{
 		StatusCode: code,
-		Header:     http.Header{"Content-Type": []string{"application/json"}},
+		Header:     header,
 		Body:       io.NopCloser(strings.NewReader(body)),
 		Request:    req,
 	}, nil

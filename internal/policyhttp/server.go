@@ -35,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"policyflow/internal/admit"
 	"policyflow/internal/obs"
 	"policyflow/internal/policy"
 )
@@ -158,6 +159,11 @@ type Server struct {
 	idem        *idemCache
 	idemReplays *obs.Counter // http_idempotent_replays_total
 
+	// admit, when set via SetAdmission, bounds and batches the traffic:
+	// advise/report mutations coalesce through its queue, reads take a
+	// concurrency slot, and overload is shed before any side effect.
+	admit *admit.Controller
+
 	// state gauges, refreshed from the service snapshot at scrape time.
 	inFlight    *obs.Gauge
 	stagedFiles *obs.Gauge
@@ -200,20 +206,26 @@ func NewServerWith(svc *policy.Service, logger *log.Logger, reg *obs.Registry, t
 	s.mux.HandleFunc("POST /v1/transfers/completed", s.idempotent(s.handleTransfersCompleted))
 	s.mux.HandleFunc("POST /v1/cleanups", s.idempotent(s.handleCleanups))
 	s.mux.HandleFunc("POST /v1/cleanups/completed", s.idempotent(s.handleCleanupsCompleted))
-	s.mux.HandleFunc("GET /v1/state", s.handleState)
-	s.mux.HandleFunc("GET /v1/state/dump", s.handleDump)
+	// Read-only endpoints go through the admission controller's read
+	// gate (a pass-through until SetAdmission). /v1/state/archive stays
+	// ungated: it is how a downed replica resyncs, and recovery must not
+	// compete with the overload that may have caused the outage. Metrics
+	// and health stay ungated for the same reason — observability is most
+	// valuable during overload.
+	s.mux.HandleFunc("GET /v1/state", s.admitRead(s.handleState))
+	s.mux.HandleFunc("GET /v1/state/dump", s.admitRead(s.handleDump))
 	s.mux.HandleFunc("POST /v1/state/restore", s.idempotent(s.handleRestore))
 	s.mux.HandleFunc("POST /v1/state/snapshot", s.idempotent(s.handleSnapshot))
 	s.mux.HandleFunc("GET /v1/state/archive", s.handleArchive)
 	s.mux.HandleFunc("PUT /v1/thresholds", s.idempotent(s.handleThreshold))
 	s.mux.HandleFunc("PUT /v1/bundles", s.idempotent(s.handleBundlePush))
 	s.mux.HandleFunc("POST /v1/bundles/activate", s.idempotent(s.handleBundleActivate))
-	s.mux.HandleFunc("GET /v1/bundles", s.handleBundles)
+	s.mux.HandleFunc("GET /v1/bundles", s.admitRead(s.handleBundles))
 	s.mux.HandleFunc("POST /v1/leases/renew", s.idempotent(s.handleLeaseRenew))
-	s.mux.HandleFunc("GET /v1/leases", s.handleLeases)
+	s.mux.HandleFunc("GET /v1/leases", s.admitRead(s.handleLeases))
 	s.mux.HandleFunc("POST /v1/clock/advance", s.idempotent(s.handleClockAdvance))
-	s.mux.HandleFunc("GET /v1/config", s.handleConfig)
-	s.mux.HandleFunc("GET /v1/decisions", s.handleDecisions)
+	s.mux.HandleFunc("GET /v1/config", s.admitRead(s.handleConfig))
+	s.mux.HandleFunc("GET /v1/decisions", s.admitRead(s.handleDecisions))
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -486,6 +498,18 @@ func (s *Server) handleTransfers(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, resf, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
+	if s.admit != nil {
+		mut := &policy.BatchMutation{Ctx: r.Context(), TransferSpecs: req.Transfers}
+		if !s.runAdmitted(w, r, resf, mut) {
+			return
+		}
+		if mut.Err != nil {
+			s.writeError(w, resf, statusFor(mut.Err), mut.Err)
+			return
+		}
+		s.writeResponse(w, resf, http.StatusOK, &TransferAdviceDoc{TransferAdvice: *mut.TransferAdvice})
+		return
+	}
 	adv, err := s.svc.AdviseTransfersCtx(r.Context(), req.Transfers)
 	if err != nil {
 		s.writeError(w, resf, statusFor(err), err)
@@ -504,6 +528,18 @@ func (s *Server) handleTransfersCompleted(w http.ResponseWriter, r *http.Request
 	var doc CompletionDoc
 	if err := decode(r, reqf, &doc); err != nil {
 		s.writeError(w, resf, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if s.admit != nil {
+		mut := &policy.BatchMutation{Ctx: r.Context(), TransferReport: &doc.CompletionReport}
+		if !s.runAdmitted(w, r, resf, mut) {
+			return
+		}
+		if mut.Err != nil {
+			s.writeError(w, resf, statusFor(mut.Err), mut.Err)
+			return
+		}
+		s.writeResponse(w, resf, http.StatusOK, &ReportAckDoc{ReportAck: *mut.Ack})
 		return
 	}
 	ack, err := s.svc.ReportTransfersCtx(r.Context(), doc.CompletionReport)
@@ -526,6 +562,18 @@ func (s *Server) handleCleanups(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, resf, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
+	if s.admit != nil {
+		mut := &policy.BatchMutation{Ctx: r.Context(), CleanupSpecs: req.Cleanups}
+		if !s.runAdmitted(w, r, resf, mut) {
+			return
+		}
+		if mut.Err != nil {
+			s.writeError(w, resf, statusFor(mut.Err), mut.Err)
+			return
+		}
+		s.writeResponse(w, resf, http.StatusOK, &CleanupAdviceDoc{CleanupAdvice: *mut.CleanupAdvice})
+		return
+	}
 	adv, err := s.svc.AdviseCleanupsCtx(r.Context(), req.Cleanups)
 	if err != nil {
 		s.writeError(w, resf, statusFor(err), err)
@@ -544,6 +592,18 @@ func (s *Server) handleCleanupsCompleted(w http.ResponseWriter, r *http.Request)
 	var doc CleanupReportDoc
 	if err := decode(r, reqf, &doc); err != nil {
 		s.writeError(w, resf, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if s.admit != nil {
+		mut := &policy.BatchMutation{Ctx: r.Context(), CleanupReport: &doc.CleanupReport}
+		if !s.runAdmitted(w, r, resf, mut) {
+			return
+		}
+		if mut.Err != nil {
+			s.writeError(w, resf, statusFor(mut.Err), mut.Err)
+			return
+		}
+		s.writeResponse(w, resf, http.StatusOK, &ReportAckDoc{ReportAck: *mut.Ack})
 		return
 	}
 	ack, err := s.svc.ReportCleanupsCtx(r.Context(), doc.CleanupReport)

@@ -1,0 +1,195 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"policyflow/internal/policy"
+)
+
+// AdviceClient is the slice of the policy client the closed-loop load
+// harness drives: one advise (the admitted mutation under test) and one
+// completion report (so resident facts stay bounded as load runs).
+type AdviceClient interface {
+	AdviseTransfers([]policy.TransferSpec) (*policy.TransferAdvice, error)
+	ReportTransfers(policy.CompletionReport) (*policy.ReportAck, error)
+}
+
+// LoadConfig parameterizes one closed-loop load run: Clients workers each
+// issue OpsPerClient advise+report pairs back to back, so offered load
+// scales with the worker count — the classic closed-loop saturation
+// driver. IsBusy classifies an advise error as an admission shed (429)
+// rather than a hard failure.
+type LoadConfig struct {
+	Clients      int
+	OpsPerClient int
+	// SpecsPerOp is the transfer batch size per advise call (default 4).
+	SpecsPerOp int
+	// IsBusy reports whether an error is the service shedding load.
+	IsBusy func(error) bool
+	// SourceBase/DestBase form the synthetic transfer URLs.
+	SourceBase string
+	DestBase   string
+}
+
+func (c *LoadConfig) normalize() error {
+	if c.Clients < 1 {
+		return fmt.Errorf("synth: load needs at least 1 client, got %d", c.Clients)
+	}
+	if c.OpsPerClient < 1 {
+		return fmt.Errorf("synth: load needs at least 1 op per client, got %d", c.OpsPerClient)
+	}
+	if c.SpecsPerOp < 1 {
+		c.SpecsPerOp = 4
+	}
+	if c.IsBusy == nil {
+		c.IsBusy = func(error) bool { return false }
+	}
+	if c.SourceBase == "" {
+		c.SourceBase = "gsiftp://alamo.futuregrid.tacc.example.org/load"
+	}
+	if c.DestBase == "" {
+		c.DestBase = "file://obelix.isi.example.org/scratch/load"
+	}
+	return nil
+}
+
+// LoadResult is one point on the saturation curve.
+type LoadResult struct {
+	Clients   int
+	Attempts  int
+	Successes int
+	Shed      int
+	Errors    int
+	Elapsed   time.Duration
+	// OfferedPerSec is attempted advises per second (offered load);
+	// GoodputPerSec counts only admitted-and-acknowledged advises.
+	OfferedPerSec float64
+	GoodputPerSec float64
+	// P50/P99 are advise latencies over successful operations.
+	P50 time.Duration
+	P99 time.Duration
+	// ShedP50/ShedP99 are latencies of shed responses: bounded queues
+	// mean rejections are fast, which is the whole point.
+	ShedP50 time.Duration
+	ShedP99 time.Duration
+}
+
+// String renders one markdown-ish table row for EXPERIMENTS.md.
+func (r *LoadResult) String() string {
+	return fmt.Sprintf("| %7d | %9.0f | %9.0f | %6.1f%% | %8s | %8s |",
+		r.Clients, r.OfferedPerSec, r.GoodputPerSec,
+		100*float64(r.Shed)/float64(max(r.Attempts, 1)),
+		r.P50.Round(10*time.Microsecond), r.P99.Round(10*time.Microsecond))
+}
+
+// RunLoad drives one closed-loop load run. mkClient is called once per
+// worker so each gets its own connection and idempotency-key space;
+// clients should retry at most once (or not at all) so sheds surface as
+// sheds instead of hiding inside retry loops.
+func RunLoad(cfg LoadConfig, mkClient func(worker int) AdviceClient) (*LoadResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	type workerOut struct {
+		okLat, shedLat []time.Duration
+		errs           int
+	}
+	outs := make([]workerOut, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := mkClient(w)
+			out := &outs[w]
+			for op := 0; op < cfg.OpsPerClient; op++ {
+				specs := make([]policy.TransferSpec, cfg.SpecsPerOp)
+				for i := range specs {
+					specs[i] = policy.TransferSpec{
+						RequestID:  fmt.Sprintf("load-%d-%d-%d", w, op, i),
+						WorkflowID: fmt.Sprintf("wf-load-%d", w),
+						SourceURL:  fmt.Sprintf("%s/w%d/f%d-%d.dat", cfg.SourceBase, w, op, i),
+						DestURL:    fmt.Sprintf("%s/w%d/f%d-%d.dat", cfg.DestBase, w, op, i),
+						SizeBytes:  64 << 20,
+					}
+				}
+				t0 := time.Now()
+				adv, err := client.AdviseTransfers(specs)
+				lat := time.Since(t0)
+				switch {
+				case err == nil:
+					out.okLat = append(out.okLat, lat)
+					// Close the loop: report completion so Policy Memory
+					// does not grow without bound across the run.
+					ids := make([]string, 0, len(adv.Transfers))
+					for _, tr := range adv.Transfers {
+						ids = append(ids, tr.ID)
+					}
+					if len(ids) > 0 {
+						if _, rerr := client.ReportTransfers(policy.CompletionReport{TransferIDs: ids}); rerr != nil && !cfg.IsBusy(rerr) {
+							out.errs++
+						}
+					}
+				case cfg.IsBusy(err):
+					out.shedLat = append(out.shedLat, lat)
+				default:
+					out.errs++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &LoadResult{
+		Clients:  cfg.Clients,
+		Attempts: cfg.Clients * cfg.OpsPerClient,
+		Elapsed:  elapsed,
+	}
+	var ok, shed []time.Duration
+	for i := range outs {
+		ok = append(ok, outs[i].okLat...)
+		shed = append(shed, outs[i].shedLat...)
+		res.Errors += outs[i].errs
+	}
+	res.Successes = len(ok)
+	res.Shed = len(shed)
+	secs := elapsed.Seconds()
+	if secs > 0 {
+		res.OfferedPerSec = float64(res.Attempts) / secs
+		res.GoodputPerSec = float64(res.Successes) / secs
+	}
+	res.P50, res.P99 = percentiles(ok)
+	res.ShedP50, res.ShedP99 = percentiles(shed)
+	return res, nil
+}
+
+// percentiles returns the p50 and p99 of lats (zero durations when empty).
+func percentiles(lats []time.Duration) (p50, p99 time.Duration) {
+	if len(lats) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := func(q float64) int {
+		i := int(q * float64(len(lats)-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return i
+	}
+	return lats[idx(0.50)], lats[idx(0.99)]
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

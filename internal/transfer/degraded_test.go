@@ -23,6 +23,8 @@ type flakyAdvisor struct {
 
 	mu             sync.Mutex
 	down           bool
+	busy           bool
+	busyNextReport bool
 	loseNextReport bool
 	cache          map[string]*policy.ReportAck
 	replays        int
@@ -31,44 +33,65 @@ type flakyAdvisor struct {
 
 var errUnreachable = errors.New("policy service unreachable")
 
-func (f *flakyAdvisor) isDown() bool {
+// busyError mimics the REST client's 429 surface: any error exposing
+// HTTPStatus() int is recognized by the PTT's isBusy without this package
+// importing policyhttp.
+type busyError struct{}
+
+func (busyError) Error() string   { return "policy service busy: shed by admission control" }
+func (busyError) HTTPStatus() int { return 429 }
+
+func (f *flakyAdvisor) gate() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.down
+	if f.down {
+		return errUnreachable
+	}
+	if f.busy {
+		return busyError{}
+	}
+	return nil
 }
 
 func (f *flakyAdvisor) AdviseTransfers(specs []policy.TransferSpec) (*policy.TransferAdvice, error) {
-	if f.isDown() {
-		return nil, errUnreachable
+	if err := f.gate(); err != nil {
+		return nil, err
 	}
 	return f.svc.AdviseTransfers(specs)
 }
 
 func (f *flakyAdvisor) AdviseCleanups(specs []policy.CleanupSpec) (*policy.CleanupAdvice, error) {
-	if f.isDown() {
-		return nil, errUnreachable
+	if err := f.gate(); err != nil {
+		return nil, err
 	}
 	return f.svc.AdviseCleanups(specs)
 }
 
 func (f *flakyAdvisor) ReportTransfers(rep policy.CompletionReport) (*policy.ReportAck, error) {
-	if f.isDown() {
-		return nil, errUnreachable
+	if err := f.gate(); err != nil {
+		return nil, err
 	}
 	return f.svc.ReportTransfers(rep)
 }
 
 func (f *flakyAdvisor) ReportCleanups(rep policy.CleanupReport) (*policy.ReportAck, error) {
-	if f.isDown() {
-		return nil, errUnreachable
+	if err := f.gate(); err != nil {
+		return nil, err
 	}
 	return f.svc.ReportCleanups(rep)
 }
 
 func (f *flakyAdvisor) ReportTransfersKeyed(key string, rep policy.CompletionReport) (*policy.ReportAck, error) {
-	if f.isDown() {
-		return nil, errUnreachable
+	if err := f.gate(); err != nil {
+		return nil, err
 	}
+	f.mu.Lock()
+	if f.busyNextReport {
+		f.busyNextReport = false
+		f.mu.Unlock()
+		return nil, busyError{}
+	}
+	f.mu.Unlock()
 	f.mu.Lock()
 	if ack, ok := f.cache[key]; ok {
 		f.replays++
@@ -94,8 +117,8 @@ func (f *flakyAdvisor) ReportTransfersKeyed(key string, rep policy.CompletionRep
 }
 
 func (f *flakyAdvisor) ReportCleanupsKeyed(key string, rep policy.CleanupReport) (*policy.ReportAck, error) {
-	if f.isDown() {
-		return nil, errUnreachable
+	if err := f.gate(); err != nil {
+		return nil, err
 	}
 	f.mu.Lock()
 	if ack, ok := f.cache[key]; ok {
@@ -115,8 +138,8 @@ func (f *flakyAdvisor) ReportCleanupsKeyed(key string, rep policy.CleanupReport)
 }
 
 func (f *flakyAdvisor) RenewLease(workflowID string) (*policy.LeaseStatus, error) {
-	if f.isDown() {
-		return nil, errUnreachable
+	if err := f.gate(); err != nil {
+		return nil, err
 	}
 	f.mu.Lock()
 	f.renewals++
@@ -288,5 +311,84 @@ func TestBreakerDisabledFailsClosed(t *testing.T) {
 	}
 	if st := ptt.Stats(); st.DegradedTransfers != 0 || st.TransfersExecuted != 0 {
 		t.Fatalf("stats = %+v, want no execution without policy", st)
+	}
+}
+
+// TestBusyDoesNotTripBreaker pins the 429 contract: an admission shed is
+// "healthy but busy", so the PTT degrades the shed call (or queues the
+// shed report) exactly like an outage, but never counts it toward the
+// breaker threshold. With FailureThreshold 1 a single miscounted shed
+// would open the breaker, which the final phase would expose by needing
+// a cooldown before the next policy call.
+func TestBusyDoesNotTripBreaker(t *testing.T) {
+	cfg := policy.DefaultConfig()
+	cfg.LeaseTTL = 120
+	svc, err := policy.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := &flakyAdvisor{svc: svc, cache: make(map[string]*policy.ReportAck)}
+	env := simnet.NewEnv(1)
+	fab := NewSimFabric(env, quietConfigFor)
+	ptt, err := New(Config{
+		Advisor: fa, Fabric: fab, DefaultStreams: 4,
+		PolicyCallSeconds: 0.1,
+		Breaker:           BreakerConfig{FailureThreshold: 1, CooldownSeconds: 1000, BacklogLimit: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env.Go("workflow", func(p *simnet.Proc) {
+		// Phase 1: the advise call is shed. The batch degrades to local
+		// defaults; the breaker must stay closed.
+		fa.mu.Lock()
+		fa.busy = true
+		fa.mu.Unlock()
+		if err := ptt.ExecuteList(p, "wf1", "c1", []workflow.TransferOp{op(1, 4)}, 0); err != nil {
+			t.Errorf("phase 1: %v", err)
+		}
+		// A shed cleanup advise defers the deletions (fail safe).
+		if err := ptt.ExecuteCleanups(p, "wf1", []string{"file://dst.example.org/scratch/f1"}); err != nil {
+			t.Errorf("phase 1 cleanup: %v", err)
+		}
+
+		// Phase 2: advise admitted, but the completion report is shed. The
+		// report queues for reconciliation; breaker still closed.
+		fa.mu.Lock()
+		fa.busy = false
+		fa.busyNextReport = true
+		fa.mu.Unlock()
+		if err := ptt.ExecuteList(p, "wf1", "c1", []workflow.TransferOp{op(2, 4)}, 0); err != nil {
+			t.Errorf("phase 2: %v", err)
+		}
+
+		// Phase 3: immediately — no cooldown sleep — the next call must go
+		// straight through (a tripped breaker would skip it) and drain the
+		// queued report.
+		if err := ptt.ExecuteList(p, "wf1", "c1", []workflow.TransferOp{op(3, 4)}, 0); err != nil {
+			t.Errorf("phase 3: %v", err)
+		}
+	})
+	env.Run(0)
+
+	st := ptt.Stats()
+	if st.BreakerOpens != 0 {
+		t.Errorf("BreakerOpens = %d, want 0 (429 must not trip the breaker)", st.BreakerOpens)
+	}
+	if st.PolicyBusy != 3 {
+		t.Errorf("PolicyBusy = %d, want 3 (shed advise, shed cleanup advise, shed report)", st.PolicyBusy)
+	}
+	if st.DegradedTransfers != 1 {
+		t.Errorf("DegradedTransfers = %d, want 1 (the shed advise batch)", st.DegradedTransfers)
+	}
+	if st.CleanupsDeferred != 1 {
+		t.Errorf("CleanupsDeferred = %d, want 1", st.CleanupsDeferred)
+	}
+	if st.BacklogQueued != 1 || st.BacklogDrained != 1 {
+		t.Errorf("backlog queued/drained = %d/%d, want 1/1", st.BacklogQueued, st.BacklogDrained)
+	}
+	if st.TransfersExecuted != 3 {
+		t.Errorf("TransfersExecuted = %d, want 3", st.TransfersExecuted)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"sort"
 	"sync"
 
@@ -110,6 +111,12 @@ type Stats struct {
 	DegradedTransfers int64
 	// BreakerOpens counts breaker open transitions.
 	BreakerOpens int64
+	// PolicyBusy counts policy calls shed by server admission control
+	// (HTTP 429). Busy is "healthy but overloaded": the call is degraded
+	// or queued like a failure, but does not count toward the breaker
+	// threshold — tripping to fail-open would convert a transient
+	// overload into a policy-blind stampede.
+	PolicyBusy int64
 	// BacklogQueued, BacklogDropped and BacklogDrained count completion
 	// reports entering, overflowing out of, and successfully leaving the
 	// degraded-mode backlog.
@@ -166,6 +173,7 @@ type pttMetrics struct {
 	policyCalls *obs.Counter      // transfer_policy_calls_total
 
 	degraded       *obs.Counter // transfer_degraded_total
+	policyBusy     *obs.Counter // transfer_policy_busy_total
 	breakerOpens   *obs.Counter // transfer_breaker_opens_total
 	backlogQueued  *obs.Counter // transfer_backlog_queued_total
 	backlogDropped *obs.Counter // transfer_backlog_dropped_total
@@ -199,6 +207,8 @@ func New(cfg Config) (*PTT, error) {
 				"Round trips to the policy service.").With(),
 			degraded: reg.Counter("transfer_degraded_total",
 				"Transfers executed with fail-open defaults (policy unreachable).").With(),
+			policyBusy: reg.Counter("transfer_policy_busy_total",
+				"Policy calls shed by server admission control (429).").With(),
 			breakerOpens: reg.Counter("transfer_breaker_opens_total",
 				"Circuit-breaker open transitions.").With(),
 			backlogQueued: reg.Counter("transfer_backlog_queued_total",
@@ -262,6 +272,27 @@ func (t *PTT) breakerOpen(now float64) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.open && now-t.openedAt < t.cfg.Breaker.CooldownSeconds
+}
+
+// isBusy reports whether a policy-call error is an admission shed (HTTP
+// 429): the service is alive and refusing extra load before any side
+// effect. Matched structurally — any error exposing HTTPStatus() int,
+// such as the REST client's ServerError — so this package stays
+// independent of the HTTP client.
+func isBusy(err error) bool {
+	var sc interface{ HTTPStatus() int }
+	return errors.As(err, &sc) && sc.HTTPStatus() == http.StatusTooManyRequests
+}
+
+// policyBusy records one shed policy call. Deliberately does not touch
+// consecFailures: a 429 proves the service is up, so it must neither
+// open the breaker nor (as a success would) reset the count and mask a
+// real outage pattern.
+func (t *PTT) policyBusy() {
+	t.bump(func(s *Stats) { s.PolicyBusy++ })
+	if t.metrics != nil {
+		t.metrics.policyBusy.Inc()
+	}
 }
 
 // policyFailed records one failed policy call at simulated time now,
@@ -541,6 +572,12 @@ func (t *PTT) executeWithPolicy(p *simnet.Proc, workflowID, clusterID string, op
 		if !t.breakerEnabled() {
 			return fmt.Errorf("transfer: policy advice: %w", err)
 		}
+		if isBusy(err) {
+			// Healthy but busy: run this batch with defaults, breaker
+			// untouched.
+			t.policyBusy()
+			return t.executeDegraded(p, ops)
+		}
 		// Fail open: the service is unreachable, the data still moves.
 		t.policyFailed(p.Now())
 		return t.executeDegraded(p, ops)
@@ -624,8 +661,14 @@ func (t *PTT) executeWithPolicy(p *simnet.Proc, workflowID, clusterID string, op
 				return fmt.Errorf("transfer: completion report: %w", rerr)
 			}
 			// The transfers happened; only the bookkeeping is stuck. Queue
-			// it for reconciliation instead of failing the staging task.
-			t.policyFailed(p.Now())
+			// it for reconciliation instead of failing the staging task. A
+			// shed report (429) was never applied, so it queues the same
+			// way but without counting toward the breaker.
+			if isBusy(rerr) {
+				t.policyBusy()
+			} else {
+				t.policyFailed(p.Now())
+			}
 			t.enqueueBacklog(backlogEntry{key: key, workflowID: workflowID, transfers: &report})
 		} else {
 			t.policySucceeded(p, workflowID)
@@ -687,6 +730,13 @@ func (t *PTT) ExecuteCleanups(p *simnet.Proc, workflowID string, urls []string) 
 		if !t.breakerEnabled() {
 			return fmt.Errorf("transfer: cleanup advice: %w", err)
 		}
+		if isBusy(err) {
+			// Shed, not down: defer the deletions (fail safe) without
+			// counting toward the breaker.
+			t.policyBusy()
+			t.bump(func(s *Stats) { s.CleanupsDeferred += int64(len(urls)) })
+			return nil
+		}
 		t.policyFailed(p.Now())
 		t.bump(func(s *Stats) { s.CleanupsDeferred += int64(len(urls)) })
 		return nil
@@ -723,7 +773,11 @@ func (t *PTT) ExecuteCleanups(p *simnet.Proc, workflowID string, urls []string) 
 			if !t.breakerEnabled() {
 				return fmt.Errorf("transfer: cleanup report: %w", rerr)
 			}
-			t.policyFailed(p.Now())
+			if isBusy(rerr) {
+				t.policyBusy()
+			} else {
+				t.policyFailed(p.Now())
+			}
 			t.enqueueBacklog(backlogEntry{key: key, workflowID: workflowID, cleanups: &report})
 		} else {
 			t.policySucceeded(p, workflowID)
