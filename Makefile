@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci build test race vet fmt fmt-check bench-smoke bench-json bench-json-check bundle-check cover fuzz-smoke test-liveness load-smoke
+.PHONY: ci build test race vet fmt fmt-check bench-smoke bench-json bench-json-check bundle-check cover fuzz-smoke test-liveness test-failover load-smoke
 
 # The full gate: what a PR must pass.
-ci: fmt-check vet build race test-liveness bundle-check bench-smoke load-smoke bench-json-check cover fuzz-smoke
+ci: fmt-check vet build race test-liveness test-failover bundle-check bench-smoke load-smoke bench-json-check cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,13 @@ fmt-check:
 # cycle.
 test-liveness:
 	$(GO) test -race -run 'Lease|Clock|Degraded|Breaker' ./internal/policy/ ./internal/faultsim/ ./internal/transfer/
+
+# test-failover runs the epoch-fencing suites under the race detector: the
+# faultsim failover model checker (seeded partition/promote/heal/resync
+# episodes against the split-brain, lost-write and reconvergence
+# invariants) and the HTTP-level fence, promote and re-route tests.
+test-failover:
+	$(GO) test -race -run 'Failover|Fence|Promote|Epoch|Standby|Replicated' ./internal/faultsim/ ./internal/policyhttp/
 
 # bundle-check validates every example policy bundle offline (parse,
 # schema, value ranges, checksum) with the same code the server runs, so
@@ -76,8 +83,9 @@ bench-json-check:
 # correctness-critical packages: the policy engine, the durable store,
 # the rule engine (held higher — the differential harness should keep
 # the matcher thoroughly exercised), and the admission controller (every
-# shed path is a promise of "no side effect" and must stay tested).
-COVER_FLOORS := ./internal/policy:70 ./internal/durable:70 ./internal/rules:80 ./internal/admit:75
+# shed path is a promise of "no side effect" and must stay tested), and
+# the HTTP layer now that it carries the epoch fence and failover protocol.
+COVER_FLOORS := ./internal/policy:70 ./internal/durable:70 ./internal/rules:80 ./internal/admit:75 ./internal/policyhttp:70
 cover:
 	@for entry in $(COVER_FLOORS); do \
 		pkg=$${entry%:*}; floor=$${entry##*:}; \

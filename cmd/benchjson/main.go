@@ -95,6 +95,10 @@ var groups = []group{
 	// group commit, unsaturated. Guards the admission layer's overhead on
 	// the happy path; saturation behaviour is load-smoke's job.
 	{pkg: "./internal/synth", pattern: "^BenchmarkAdmittedAdvise$", benchtime: "500x"},
+	// A clean failover switchover over HTTP: demote the peer, catch-up
+	// pull, WAL-logged epoch bump. Guards the promote path's latency —
+	// failover time is downtime for every writer.
+	{pkg: "./internal/policyhttp", pattern: "^BenchmarkFailoverPromote$", benchtime: "50x"},
 }
 
 // seriesRename maps sub-benchmark paths onto stable series keys where
@@ -103,6 +107,7 @@ var seriesRename = map[string]string{
 	"AdviseHotPath/facts=10000":  "rules_advise_facts_10k",
 	"AdviseHotPath/facts=100000": "rules_advise_facts_100k",
 	"AdmittedAdvise":             "admitted_advise_roundtrip",
+	"FailoverPromote":            "failover_promote_latency",
 }
 
 // benchLine matches one benchmark result line from `go test -bench`.

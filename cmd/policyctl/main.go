@@ -112,6 +112,12 @@ func main() {
 		err = restore(client, args[1])
 	case "snapshot":
 		err = snapshot(client)
+	case "promote":
+		err = promote(client)
+	case "demote":
+		err = demote(client)
+	case "epoch":
+		err = epoch(client)
 	default:
 		usage()
 	}
@@ -142,7 +148,10 @@ commands:
   metrics                                fetch and pretty-print /v1/metrics
   dump                                   print the Policy Memory snapshot
   restore <dump.json>                    replace Policy Memory from a dump
-  snapshot                               force a durable snapshot + WAL compaction`)
+  snapshot                               force a durable snapshot + WAL compaction
+  promote                                promote this server to primary (fences the peer)
+  demote                                 step this server down to standby
+  epoch                                  show the server's fencing epoch and role`)
 	os.Exit(2)
 }
 
@@ -438,6 +447,40 @@ func snapshot(c *policyhttp.Client) error {
 		return err
 	}
 	fmt.Println(string(out))
+	return nil
+}
+
+// promote triggers the failover protocol on the addressed server: demote
+// the old primary if reachable, pull its final state, bump the epoch, and
+// start accepting writes.
+func promote(c *policyhttp.Client) error {
+	res, err := c.Promote()
+	if err != nil {
+		return err
+	}
+	caught := "caught up from peer"
+	if !res.CaughtUp {
+		caught = "peer unreachable, serving from last sync"
+	}
+	fmt.Printf("promoted to %s at epoch %d (%s)\n", res.Role, res.Epoch, caught)
+	return nil
+}
+
+func demote(c *policyhttp.Client) error {
+	res, err := c.Demote()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("demoted to %s at epoch %d\n", res.Role, res.Epoch)
+	return nil
+}
+
+func epoch(c *policyhttp.Client) error {
+	res, err := c.EpochInfo()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("epoch %d, role %s\n", res.Epoch, res.Role)
 	return nil
 }
 

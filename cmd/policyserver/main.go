@@ -50,7 +50,9 @@ func main() {
 		threshold      = flag.Int("threshold", 50, "max parallel streams between a host pair")
 		defaultStreams = flag.Int("default-streams", 4, "streams assigned to transfers that request none")
 		clusterFactor  = flag.Int("cluster-factor", 1, "workflow clustering factor (balanced allocation)")
-		standbyOf      = flag.String("standby-of", "", "run as a warm standby of the primary at this base URL")
+		standbyOf      = flag.String("standby-of", "", "deprecated alias for -role standby -peer URL")
+		role           = flag.String("role", "", "failover role: primary or standby (empty disables epoch fencing)")
+		peer           = flag.String("peer", "", "base URL of the other half of the primary/standby pair")
 		syncInterval   = flag.Duration("sync-interval", 10*time.Second, "standby sync period")
 		quiet          = flag.Bool("quiet", false, "disable request logging")
 		debug          = flag.Bool("debug", false, "mount net/http/pprof profiling handlers and /debug/vars")
@@ -189,6 +191,31 @@ func main() {
 	if ps != nil {
 		api.SetDurable(ps)
 	}
+
+	// Failover wiring. -standby-of predates -role/-peer and maps onto them.
+	roleName, peerURL := *role, *peer
+	if *standbyOf != "" {
+		if roleName == "" {
+			roleName = string(policyhttp.RoleStandby)
+		}
+		if peerURL == "" {
+			peerURL = *standbyOf
+		}
+	}
+	var peerClient *policyhttp.Client
+	if peerURL != "" {
+		peerClient = policyhttp.NewClient(peerURL)
+	}
+	switch policyhttp.Role(roleName) {
+	case policyhttp.RoleNone:
+	case policyhttp.RolePrimary, policyhttp.RoleStandby:
+		api.SetFailover(policyhttp.Role(roleName), peerClient)
+		log.Printf("failover role %s (epoch %d, peer %q); promote with POST /v1/promote or `policyctl promote`",
+			roleName, svc.Epoch(), peerURL)
+	default:
+		fmt.Fprintf(os.Stderr, "policyserver: unknown -role %q (want primary or standby)\n", roleName)
+		os.Exit(1)
+	}
 	// Admission control: bounded queues in front of the policy core, with
 	// overload shed as 429 + Retry-After before any side effect and
 	// mutations coalesced into group-commit batches.
@@ -229,18 +256,31 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *standbyOf != "" {
-		syncer, err := policyhttp.NewStandbySyncer(svc, policyhttp.NewClient(*standbyOf), *syncInterval)
+	// Any fenced node with a peer runs the syncer, gated on its current
+	// role: a standby keeps itself warm from the peer, a primary idles.
+	// The Active gate pauses (and resets) the syncer when a promotion
+	// flips this server to primary, and starts it syncing when a
+	// demotion flips it to standby — including a node that booted as
+	// primary and was later deposed, which would otherwise stay cold
+	// until an operator resync or restart.
+	if policyhttp.Role(roleName) != "" && peerClient != nil {
+		syncer, err := policyhttp.NewStandbySyncer(svc, peerClient, *syncInterval)
 		if err != nil {
 			log.Fatalf("policyserver: %v", err)
 		}
+		syncer.Active = func() bool { return api.Role() == policyhttp.RoleStandby }
+		syncer.Instrument(reg)
 		syncer.OnSync = func(err error) {
 			if err != nil {
 				log.Printf("standby sync: %v", err)
 			}
 		}
 		go syncer.Run(ctx)
-		log.Printf("warm standby of %s (sync every %s)", *standbyOf, *syncInterval)
+		if policyhttp.Role(roleName) == policyhttp.RoleStandby {
+			log.Printf("warm standby of %s (sync every %s)", peerURL, *syncInterval)
+		} else {
+			log.Printf("peer syncer armed (activates on demotion, sync every %s)", *syncInterval)
+		}
 	}
 
 	// The policy core never reads the wall clock: its lease deadlines live

@@ -13,8 +13,12 @@ import (
 // rename) and self-validating: the envelope carries a CRC-32 of the state
 // payload, so a damaged snapshot is skipped in favor of an older one.
 type snapshotEnvelope struct {
-	Seq   uint64          `json:"seq"`
-	CRC   uint32          `json:"crc"`
+	Seq uint64 `json:"seq"`
+	CRC uint32 `json:"crc"`
+	// Epoch is the fencing epoch embedded in the state payload, lifted
+	// into the header so archives and recovery can report it without
+	// decoding the full state.
+	Epoch uint64          `json:"epoch,omitempty"`
 	State json.RawMessage `json:"state"`
 }
 
@@ -24,8 +28,14 @@ func snapshotPath(dir string, seq uint64) string {
 
 // writeSnapshotFile atomically persists state as the snapshot at seq.
 func writeSnapshotFile(dir string, seq uint64, state []byte) error {
+	var hdr struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	// Best-effort lift: a state payload without an epoch field (or not
+	// JSON-object-shaped) leaves the header epoch at 0.
+	json.Unmarshal(state, &hdr)
 	data, err := json.Marshal(&snapshotEnvelope{
-		Seq: seq, CRC: crc32.ChecksumIEEE(state), State: state,
+		Seq: seq, CRC: crc32.ChecksumIEEE(state), Epoch: hdr.Epoch, State: state,
 	})
 	if err != nil {
 		return fmt.Errorf("durable: encode snapshot %d: %w", seq, err)
@@ -80,12 +90,13 @@ func listSnapshots(dir string) ([]uint64, error) {
 }
 
 // loadLatestSnapshot returns the newest snapshot in dir whose checksum
-// validates, or (0, nil, nil) when none exists. Invalid snapshots are
-// skipped, falling back to older ones.
-func loadLatestSnapshot(dir string) (uint64, []byte, error) {
+// validates — its log position, header epoch and state payload — or
+// (0, 0, nil, nil) when none exists. Invalid snapshots are skipped,
+// falling back to older ones.
+func loadLatestSnapshot(dir string) (uint64, uint64, []byte, error) {
 	seqs, err := listSnapshots(dir)
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	for i := len(seqs) - 1; i >= 0; i-- {
 		data, err := os.ReadFile(snapshotPath(dir, seqs[i]))
@@ -99,9 +110,9 @@ func loadLatestSnapshot(dir string) (uint64, []byte, error) {
 		if env.Seq != seqs[i] || crc32.ChecksumIEEE(env.State) != env.CRC {
 			continue
 		}
-		return env.Seq, env.State, nil
+		return env.Seq, env.Epoch, env.State, nil
 	}
-	return 0, nil, nil
+	return 0, 0, nil, nil
 }
 
 // pruneSnapshots removes all but the newest keep snapshots.

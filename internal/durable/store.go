@@ -59,6 +59,10 @@ type Store struct {
 type Archive struct {
 	// SnapshotSeq is the log position the snapshot covers (0 = none).
 	SnapshotSeq uint64 `json:"snapshotSeq"`
+	// Epoch is the fencing epoch recorded in the snapshot header (0 when
+	// no snapshot exists or it predates epochs). The tail may raise it
+	// further via bump_epoch records.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Snapshot is the raw snapshot payload (a policy.StateDump in JSON),
 	// absent when the donor has not snapshotted yet.
 	Snapshot json.RawMessage `json:"snapshot,omitempty"`
@@ -79,7 +83,7 @@ func Open(dir string, opts Options, restore func(state []byte) error, apply func
 	if opts.KeepSnapshots <= 0 {
 		opts.KeepSnapshots = 2
 	}
-	snapSeq, state, err := loadLatestSnapshot(dir)
+	snapSeq, _, state, err := loadLatestSnapshot(dir)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -169,7 +173,7 @@ func (st *Store) WriteSnapshot(seq uint64, state []byte) error {
 func (st *Store) ArchiveTail() (*Archive, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	snapSeq, state, err := loadLatestSnapshot(st.dir)
+	snapSeq, epoch, state, err := loadLatestSnapshot(st.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +181,7 @@ func (st *Store) ArchiveTail() (*Archive, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Archive{SnapshotSeq: snapSeq, Snapshot: state, Tail: tail}, nil
+	return &Archive{SnapshotSeq: snapSeq, Epoch: epoch, Snapshot: state, Tail: tail}, nil
 }
 
 // Close flushes (and fsyncs, when configured) outstanding records and

@@ -251,7 +251,7 @@ func TestSnapshotFallsBackPastCorruption(t *testing.T) {
 	data, _ := os.ReadFile(path)
 	data[len(data)/2] ^= 0xff
 	os.WriteFile(path, data, 0o644)
-	seq, state, err := loadLatestSnapshot(dir)
+	seq, _, state, err := loadLatestSnapshot(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +260,7 @@ func TestSnapshotFallsBackPastCorruption(t *testing.T) {
 	}
 	// Leftover .tmp files are ignored.
 	os.WriteFile(filepath.Join(dir, "snap-00000000000000000009.json.tmp"), []byte("junk"), 0o644)
-	if seq, _, _ := loadLatestSnapshot(dir); seq != 3 {
+	if seq, _, _, _ := loadLatestSnapshot(dir); seq != 3 {
 		t.Fatalf("tmp file considered: seq = %d", seq)
 	}
 }

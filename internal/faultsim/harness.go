@@ -71,6 +71,20 @@ type Harness struct {
 	// torn WAL tail, disk-write failure), by kind.
 	localFaults map[string]int
 
+	// Failover-mode state (sc.Failover). roles is the harness's intent for
+	// each replica — a partitioned old primary still believes it is primary
+	// until probed or demoted, but the harness knows who SHOULD be serving.
+	// expectedEpoch is the one epoch allowed to acknowledge writes; fresh
+	// marks replicas whose Policy Memory must equal the oracle's right now
+	// (a standby legitimately lags between syncs, so only fresh replicas
+	// are compared). syncers and peerClients wire each replica at its peer.
+	roles         [numReplicas]policyhttp.Role
+	curPrimary    int
+	expectedEpoch uint64
+	fresh         [numReplicas]bool
+	syncers       [numReplicas]*policyhttp.StandbySyncer
+	peerClients   [numReplicas]*policyhttp.Client
+
 	seed int64
 	step int
 }
@@ -106,6 +120,20 @@ func NewHarness(baseDir string, sched Schedule) (*Harness, error) {
 	// model learns it from the fault-free oracle so it can tell
 	// state-changing activations from idempotent no-ops.
 	h.model.SetActiveChecksum(oracle.Tunables().Checksum)
+	if sc.Failover {
+		// Replica 0 starts as primary, 1 as its standby. Peer clients are
+		// wired before the replicas open because openReplica installs them
+		// (promotion demotes and pulls from the peer through the router, so
+		// partitions apply to the control plane too).
+		h.roles = [numReplicas]policyhttp.Role{policyhttp.RolePrimary, policyhttp.RoleStandby}
+		for i := 0; i < numReplicas; i++ {
+			h.peerClients[i] = policyhttp.NewClient(fmt.Sprintf("http://replica%d", 1-i),
+				policyhttp.WithTransport(h.router),
+				policyhttp.WithBackoffSleep(func(time.Duration) {}),
+				policyhttp.WithJitterSeed(sched.Seed*37+int64(i)),
+			)
+		}
+	}
 	for i := 0; i < numReplicas; i++ {
 		host := fmt.Sprintf("replica%d", i)
 		dir := filepath.Join(baseDir, host)
@@ -123,6 +151,20 @@ func NewHarness(baseDir string, sched Schedule) (*Harness, error) {
 	h.rc, err = policyhttp.NewReplicatedClient(h.clients[:]...)
 	if err != nil {
 		return nil, err
+	}
+	if sc.Failover {
+		// The initial primary takes epoch 1 through its WAL; the oracle and
+		// model move in lockstep. The standby starts at epoch 0 (stale) and
+		// becomes fresh at its first sync.
+		if _, err := h.replicas[0].svc.BumpEpoch(1); err != nil {
+			return nil, fmt.Errorf("faultsim: seed primary epoch: %w", err)
+		}
+		if _, err := h.oracle.BumpEpoch(1); err != nil {
+			return nil, fmt.Errorf("faultsim: seed oracle epoch: %w", err)
+		}
+		h.model.SetEpoch(1)
+		h.expectedEpoch = 1
+		h.fresh[0] = true
 	}
 	return h, nil
 }
@@ -171,6 +213,17 @@ func (h *Harness) openReplica(i int) error {
 		BatchMax: 8,
 	})
 	server.SetAdmission(ctl)
+	if h.sc.Failover {
+		// Restore the role the harness believes this replica has (the epoch
+		// itself recovers from the WAL) and rebuild its standby syncer: the
+		// old syncer's delta cursor described the previous service instance.
+		server.SetFailover(h.roles[i], h.peerClients[i])
+		syncer, serr := policyhttp.NewStandbySyncer(svc, h.peerClients[i], time.Second)
+		if serr != nil {
+			return fmt.Errorf("faultsim: build replica %d syncer: %w", i, serr)
+		}
+		h.syncers[i] = syncer
+	}
 	if r.ctl != nil {
 		r.ctl.Close()
 	}
@@ -271,6 +324,22 @@ func (h *Harness) Step(op Op) error {
 		err = h.stepResync()
 	case OpSnapshot:
 		err = h.stepSnapshot(op.Replica)
+	case OpPartition:
+		h.router.SetPartitioned(h.replicas[op.Replica].host, true)
+		h.localFaults[OpPartition]++
+	case OpHeal:
+		for _, r := range h.replicas {
+			h.router.SetPartitioned(r.host, false)
+		}
+		h.localFaults[OpHeal]++
+	case OpPromote:
+		err = h.stepPromote(op)
+	case OpDemote:
+		err = h.stepDemote(op)
+	case OpStandbySync:
+		err = h.stepStandbySync()
+	case OpFenceProbe:
+		err = h.stepFenceProbe(op)
 	default:
 		err = fmt.Errorf("faultsim: unknown op kind %q", op.Kind)
 	}
@@ -295,8 +364,21 @@ func (h *Harness) Step(op Op) error {
 func (h *Harness) clientOutcome(err error, onSuccess, onRejection func() error) error {
 	switch {
 	case err == nil:
+		if h.sc.Failover {
+			if aerr := h.noteAck(); aerr != nil {
+				return aerr
+			}
+		}
 		return onSuccess()
 	case policyhttp.IsBusy(err):
+		return nil
+	case errors.Is(err, policyhttp.ErrNoPrimary):
+		// Mid-failover: every reachable replica fenced the write, so it was
+		// applied nowhere the client could confirm. The primary may still
+		// have applied it before a dropped response, so its freshness is no
+		// longer known — stop comparing it until the next acknowledged
+		// mutation or sync re-establishes it.
+		h.fresh[h.curPrimary] = false
 		return nil
 	case policyhttp.IsRejection(err):
 		return onRejection()
@@ -305,6 +387,25 @@ func (h *Harness) clientOutcome(err error, onSuccess, onRejection func() error) 
 	default:
 		return fmt.Errorf("unexpected client error: %w", err)
 	}
+}
+
+// noteAck runs after every acknowledged mutation in failover mode: the ack
+// must come from the expected primary at the expected epoch (two replicas
+// acking under different epochs is split brain, the one failure mode the
+// fence exists to prevent), and it makes the primary the only replica
+// whose state is required to match the oracle (the standby fenced the
+// write, so it lags until its next sync).
+func (h *Harness) noteAck() error {
+	if e := h.rc.LastAckEpoch(); e != h.expectedEpoch {
+		return fmt.Errorf("mutation acknowledged at epoch %d, expected %d", e, h.expectedEpoch)
+	}
+	if r := h.rc.LastAckReplica(); r != h.curPrimary {
+		return fmt.Errorf("mutation acknowledged by replica %d, expected primary %d", r, h.curPrimary)
+	}
+	for i := range h.fresh {
+		h.fresh[i] = i == h.curPrimary
+	}
+	return nil
 }
 
 func (h *Harness) stepAdvise(op Op) error {
@@ -605,6 +706,119 @@ func (h *Harness) stepSnapshot(i int) error {
 	return nil
 }
 
+// stepPromote promotes replica i and verifies the two failover invariants
+// directly: the promotion lands at exactly the next epoch (one bump per
+// promotion, no epoch reuse), and the new primary's Policy Memory equals
+// the oracle's — i.e. every client-acknowledged mutation survived into the
+// post-failover state. The generator's episodes guarantee the structural
+// precondition (the standby synced after the last ack), so a mismatch here
+// is a real lost write, not a stale-standby artifact.
+func (h *Harness) stepPromote(op Op) error {
+	i := op.Replica
+	res, err := h.clients[i].Promote()
+	if err != nil {
+		return fmt.Errorf("promote replica %d: %w", i, err)
+	}
+	if res.Epoch != h.expectedEpoch+1 {
+		return fmt.Errorf("promotion of replica %d landed at epoch %d, expected %d", i, res.Epoch, h.expectedEpoch+1)
+	}
+	h.expectedEpoch = res.Epoch
+	h.localFaults[OpPromote]++
+	if _, err := h.oracle.BumpEpoch(res.Epoch); err != nil {
+		return fmt.Errorf("bump oracle epoch: %w", err)
+	}
+	h.model.SetEpoch(res.Epoch)
+	dump := h.replicas[i].svc.ExportState()
+	oracleDump := h.oracle.ExportState()
+	if !reflect.DeepEqual(dump, oracleDump) {
+		return fmt.Errorf("acknowledged state lost across failover: new primary %d diverges from oracle:\n  primary %+v\n  oracle  %+v",
+			i, dump, oracleDump)
+	}
+	h.roles[i] = policyhttp.RolePrimary
+	h.curPrimary = i
+	h.fresh[i] = true
+	h.fresh[1-i] = false // its epoch now lags the bump
+	h.syncers[i].Reset() // the catch-up import moved state outside the syncer
+	if res.CaughtUp {
+		// Clean switchover: the protocol demoted the peer before pulling.
+		h.roles[1-i] = policyhttp.RoleStandby
+		h.syncers[1-i].Reset()
+	}
+	return nil
+}
+
+// stepDemote steps replica i down to standby. Against a deposed primary
+// this is usually a formality — the fence probe already forced it to
+// self-depose — but the explicit demote is what the harness's role intent
+// tracks, and it must be idempotent either way.
+func (h *Harness) stepDemote(op Op) error {
+	i := op.Replica
+	if _, err := h.clients[i].Demote(); err != nil {
+		return fmt.Errorf("demote replica %d: %w", i, err)
+	}
+	h.roles[i] = policyhttp.RoleStandby
+	h.syncers[i].Reset() // it served as primary; the delta cursor is void
+	return nil
+}
+
+// stepStandbySync converges every current standby on the primary: through
+// the ReplicatedClient's archive resync when the replica was marked down
+// (which also marks it up again), through its own StandbySyncer otherwise.
+// With both hosts reachable the sync MUST succeed and leave the standby
+// byte-identical to a fresh primary — this is the heal+resync convergence
+// invariant; the very next checkReplicas compares both replicas against
+// the oracle. With a partition in force the attempt may fail; the standby
+// simply stays stale.
+func (h *Harness) stepStandbySync() error {
+	for i := 0; i < numReplicas; i++ {
+		peer := 1 - i
+		if h.roles[i] != policyhttp.RoleStandby || h.roles[peer] != policyhttp.RolePrimary {
+			continue
+		}
+		reachable := !h.router.Partitioned(h.replicas[i].host) && !h.router.Partitioned(h.replicas[peer].host)
+		down := true
+		for _, j := range h.rc.Healthy() {
+			if j == i {
+				down = false
+			}
+		}
+		var err error
+		if down {
+			err = h.rc.ResyncFrom(i, peer)
+		} else {
+			err = h.syncers[i].SyncOnce()
+		}
+		if err != nil {
+			if reachable {
+				return fmt.Errorf("standby %d failed to sync from reachable primary %d: %w", i, peer, err)
+			}
+			continue
+		}
+		h.fresh[i] = h.fresh[peer]
+	}
+	return nil
+}
+
+// stepFenceProbe writes to a deposed primary carrying the current epoch.
+// The server still believes it is primary (it was partitioned through the
+// promotion), but the newer epoch in the request header must make it
+// self-depose and fence the write with 412 — accepting it would be split
+// brain: two servers acknowledging writes under different epochs.
+func (h *Harness) stepFenceProbe(op Op) error {
+	c := h.clients[op.Replica]
+	c.RaiseEpoch(h.expectedEpoch)
+	_, err := c.AdviseTransfers(op.Specs)
+	switch {
+	case err == nil:
+		return fmt.Errorf("deposed replica %d accepted a write at epoch %d (split brain)", op.Replica, h.expectedEpoch)
+	case policyhttp.IsFenced(err):
+		h.localFaults[OpFenceProbe]++
+		return nil
+	default:
+		return fmt.Errorf("fence probe on replica %d: want 412, got: %w", op.Replica, err)
+	}
+}
+
 // repair is the harness's last-resort recovery when every replica is down
 // (e.g. disk faults armed on all of them at once): disarm the fault hooks
 // and restore each replica from the fault-free oracle. The triggering
@@ -629,11 +843,21 @@ func (h *Harness) repair() error {
 		return err
 	}
 	h.rc = rc
+	if h.sc.Failover {
+		// Every replica was just restored from the oracle, epoch included.
+		for i := range h.fresh {
+			h.fresh[i] = true
+		}
+	}
 	return nil
 }
 
 // checkReplicas verifies the oracle against the order-free model and every
-// healthy replica against the oracle, dump for dump.
+// healthy replica against the oracle, dump for dump. In failover mode the
+// comparison is direct (ExportState, not HTTP — a partitioned replica must
+// still be checkable) and gated on freshness: a standby legitimately lags
+// the oracle between syncs, so only replicas required to be current are
+// compared.
 func (h *Harness) checkReplicas() error {
 	oracleDump := h.oracle.ExportState()
 	if err := h.model.CheckDump(oracleDump); err != nil {
@@ -641,6 +865,19 @@ func (h *Harness) checkReplicas() error {
 	}
 	if err := h.checkDecisions(); err != nil {
 		return err
+	}
+	if h.sc.Failover {
+		for i := 0; i < numReplicas; i++ {
+			if !h.fresh[i] {
+				continue
+			}
+			dump := h.replicas[i].svc.ExportState()
+			if !reflect.DeepEqual(dump, oracleDump) {
+				return fmt.Errorf("replica %d (%s, fresh) diverged from oracle:\n  replica %+v\n  oracle  %+v",
+					i, h.roles[i], dump, oracleDump)
+			}
+		}
+		return nil
 	}
 	for _, i := range h.rc.Healthy() {
 		dump, err := h.clients[i].Dump()

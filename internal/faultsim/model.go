@@ -100,6 +100,7 @@ type Model struct {
 
 	clock  float64            // mirrors the service's logical clock
 	leases map[string]float64 // workflow -> lease deadline (LeaseTTL > 0 only)
+	epoch  uint64             // mirrors the fencing epoch (failover mode only)
 
 	// CorruptRefcounts deliberately breaks the model's reference counting.
 	// Tests set it to prove the harness reports a divergence instead of
@@ -152,6 +153,12 @@ func (m *Model) ActiveChecksum() string { return m.active.checksum }
 // active. Every decision record the service emits from here on must carry
 // this version.
 func (m *Model) ActiveVersion() string { return m.active.version }
+
+// SetEpoch records the fencing epoch the model expects every subsequent
+// dump to carry. The harness calls it exactly when a promotion (or the
+// initial role assignment) lands an epoch bump; any other epoch movement
+// in a dump is a violation.
+func (m *Model) SetEpoch(e uint64) { m.epoch = e }
 
 func (m *Model) threshold(p policy.HostPair) int {
 	if v, ok := m.thFacts[p]; ok {
@@ -842,6 +849,9 @@ func (m *Model) CheckDump(d *policy.StateDump) error {
 	// expiry pass failed to reclaim).
 	if d.Clock != m.clock {
 		return fmt.Errorf("model: clock %v, predicted %v", d.Clock, m.clock)
+	}
+	if d.Epoch != m.epoch {
+		return fmt.Errorf("model: epoch %d, predicted %d", d.Epoch, m.epoch)
 	}
 	gotLeases := make(map[string]float64, len(d.Leases))
 	for _, l := range d.Leases {

@@ -28,6 +28,18 @@ const (
 	OpClientCrash    = "clientCrash"    // a client dies: it stops issuing ops, holdings stay pinned
 	OpActivateBundle = "activateBundle" // activate a policy bundle document on every replica
 	OpRollbackBundle = "rollbackBundle" // re-activate the previously active bundle
+
+	// Failover-mode operations (ScheduleConfig.Failover). The generator
+	// emits them in scripted episodes — sync, partition, promote, heal,
+	// probe, demote, resync — so every schedule exercises a full failover
+	// with the structural preconditions (standby caught up before the
+	// primary partitions) that make the durability invariant checkable.
+	OpPartition   = "partition"   // cut a replica's host off the network
+	OpHeal        = "heal"        // reconnect every partitioned host
+	OpPromote     = "promote"     // promote a replica to primary (epoch bump)
+	OpDemote      = "demote"      // demote a replica to standby
+	OpStandbySync = "standbySync" // sync/resync every current standby from the primary
+	OpFenceProbe  = "fenceProbe"  // write to a deposed primary at the new epoch; must be fenced
 )
 
 // Op is one step of a schedule.
@@ -65,6 +77,11 @@ type ScheduleConfig struct {
 	// LeaseTTL enables the lease subsystem when positive; the generator
 	// then also draws renewLease, advanceClock and clientCrash operations.
 	LeaseTTL float64 `json:"leaseTtl,omitempty"`
+	// Failover runs the replicas as an epoch-fenced primary/standby pair
+	// (replica 0 starts as primary at epoch 1) instead of the role-less
+	// active-replication group, and the generator interleaves scripted
+	// failover episodes with the normal workload.
+	Failover bool `json:"failover,omitempty"`
 }
 
 // Schedule identifies one randomized run: regenerate it from the seed.
@@ -95,6 +112,17 @@ func RandomSchedule(seed int64) Schedule {
 	}
 }
 
+// RandomFailoverSchedule derives a failover-mode schedule from a seed: the
+// same configuration space as RandomSchedule, run as an epoch-fenced
+// primary/standby pair, with extra op budget because a failover episode
+// spends six to eight operations of it.
+func RandomFailoverSchedule(seed int64) Schedule {
+	s := RandomSchedule(seed)
+	s.Config.Failover = true
+	s.Config.OpCount += 12
+	return s
+}
+
 // gen draws operations for a running harness. Every random choice goes
 // through the single rng in a fixed order, so a (seed, config) pair fully
 // determines the trace; nothing iterates a Go map.
@@ -116,6 +144,12 @@ type gen struct {
 	activeVar int
 	prevVar   int
 	hasPrev   bool
+	// Failover-episode state: pending ops are emitted next, verbatim;
+	// epilogue is queued after epilogueIn more normal ops. A non-nil
+	// epilogue marks an episode in flight, so episodes never nest.
+	pending    []Op
+	epilogue   []Op
+	epilogueIn int
 }
 
 var (
@@ -236,7 +270,80 @@ func (g *gen) genBundleOp(sc ScheduleConfig) Op {
 }
 
 // next draws the next operation given the harness's current model state.
+// In failover mode, scripted episode ops take priority, and draws that
+// only make sense for the role-less group (resync of a downed peer, disk
+// faults and sheds whose 5xx/429 handling assumes any replica may refuse
+// a write) are remapped to standby syncs — their behaviors are covered by
+// the role-less schedules, and keeping them here would down the only
+// server allowed to accept writes.
 func (g *gen) next(sc ScheduleConfig) Op {
+	if len(g.pending) > 0 {
+		op := g.pending[0]
+		g.pending = g.pending[1:]
+		return op
+	}
+	if sc.Failover {
+		if g.epilogue != nil {
+			if g.epilogueIn > 0 {
+				g.epilogueIn--
+			} else {
+				ops := g.epilogue
+				g.epilogue = nil
+				g.pending = ops[1:]
+				return ops[0]
+			}
+		} else if g.rng.Float64() < 0.15 {
+			return g.startFailoverEpisode()
+		}
+		op := g.draw(sc)
+		switch op.Kind {
+		case OpResync, OpDiskFault, OpShed:
+			return Op{Kind: OpStandbySync}
+		}
+		return op
+	}
+	return g.draw(sc)
+}
+
+// startFailoverEpisode scripts one failover. Both variants begin with a
+// standby sync so the standby holds every acknowledged mutation before
+// the promotion — the structural precondition that makes "no acked write
+// is lost" an invariant rather than a hope — and end with a fence probe
+// against the deposed primary plus a resync that must reconverge it.
+func (g *gen) startFailoverEpisode() Op {
+	old := g.h.curPrimary
+	nw := 1 - old
+	probe := g.transferSpec()
+	if g.rng.Float64() < 0.6 {
+		// Partitioned failover: the primary drops off the network after
+		// the sync, the standby is promoted without a catch-up pull, and
+		// after the heal the old primary must self-depose on first contact.
+		g.pending = []Op{
+			{Kind: OpPartition, Replica: old},
+			{Kind: OpPromote, Replica: nw},
+		}
+		g.epilogue = []Op{
+			{Kind: OpHeal},
+			{Kind: OpFenceProbe, Replica: old, Specs: []policy.TransferSpec{probe}},
+			{Kind: OpDemote, Replica: old},
+			{Kind: OpStandbySync},
+		}
+		g.epilogueIn = 1 + g.rng.Intn(3)
+		return Op{Kind: OpStandbySync}
+	}
+	// Clean switchover: the promote protocol itself demotes the peer and
+	// pulls its final state, so only the probe and resync remain.
+	g.pending = []Op{{Kind: OpPromote, Replica: nw}}
+	g.epilogue = []Op{
+		{Kind: OpFenceProbe, Replica: old, Specs: []policy.TransferSpec{probe}},
+		{Kind: OpStandbySync},
+	}
+	g.epilogueIn = 1 + g.rng.Intn(3)
+	return Op{Kind: OpStandbySync}
+}
+
+// draw picks one op from the normal workload distribution.
+func (g *gen) draw(sc ScheduleConfig) Op {
 	if sc.LeaseTTL > 0 && g.rng.Float64() < 0.18 {
 		return g.genLeaseOp(sc)
 	}

@@ -32,6 +32,11 @@ const (
 	// idempotency key from both copies, deliberately breaking at-most-once.
 	// It exists so tests can prove the harness detects double application.
 	FaultDuplicateNoKey FaultKind = "duplicate-no-key"
+	// FaultPartitioned is not queueable: it is the counter key for
+	// deliveries refused because the host is network-partitioned (see
+	// SetPartitioned). A partition persists until healed, unlike the
+	// one-shot queued faults above.
+	FaultPartitioned FaultKind = "partitioned"
 )
 
 // FaultSpec schedules one fault on one replica's next delivery.
@@ -53,6 +58,9 @@ type Router struct {
 	mu       sync.Mutex
 	handlers map[string]http.Handler
 	queues   map[string][]FaultKind
+	// partitioned hosts refuse every delivery with a transport error until
+	// healed; queued one-shot faults are left unconsumed.
+	partitioned map[string]bool
 	// Injected counts consumed faults by kind; HandlerRuns counts actual
 	// handler executions per host (duplicated deliveries count twice).
 	Injected    map[FaultKind]int
@@ -64,9 +72,27 @@ func NewRouter() *Router {
 	return &Router{
 		handlers:    make(map[string]http.Handler),
 		queues:      make(map[string][]FaultKind),
+		partitioned: make(map[string]bool),
 		Injected:    make(map[FaultKind]int),
 		HandlerRuns: make(map[string]int),
 	}
+}
+
+// SetPartitioned cuts host off the network (or reconnects it). While
+// partitioned, every delivery to host fails with a transport error before
+// any fault queue or handler is consulted — the request never existed as
+// far as the server is concerned.
+func (r *Router) SetPartitioned(host string, p bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.partitioned[host] = p
+}
+
+// Partitioned reports whether host is currently cut off.
+func (r *Router) Partitioned(host string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.partitioned[host]
 }
 
 // Register points host (e.g. "replica0") at h, replacing any previous
@@ -115,9 +141,16 @@ func (r *Router) pop(host string) (FaultKind, bool) {
 func (r *Router) RoundTrip(req *http.Request) (*http.Response, error) {
 	r.mu.Lock()
 	h, ok := r.handlers[req.URL.Host]
+	part := r.partitioned[req.URL.Host]
+	if part {
+		r.Injected[FaultPartitioned]++
+	}
 	r.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("faultsim: no handler registered for host %q", req.URL.Host)
+	}
+	if part {
+		return nil, fmt.Errorf("%w: host %s partitioned", errInjected, req.URL.Host)
 	}
 	var body []byte
 	if req.Body != nil {

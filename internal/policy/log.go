@@ -23,6 +23,7 @@ const (
 	OpRenewLease      = "renew_lease"
 	OpAdvanceClock    = "advance_clock"
 	OpActivateBundle  = "activate_bundle"
+	OpBumpEpoch       = "bump_epoch"
 )
 
 // ThresholdOp is the logged payload of a SetThreshold call.
@@ -159,6 +160,12 @@ func (s *Service) ApplyLogged(op string, payload []byte) error {
 			return fmt.Errorf("policy: replay %s: record carries no bundle", op)
 		}
 		s.activateBundle(context.Background(), b.Bundle)
+	case OpBumpEpoch:
+		var e EpochOp
+		if err := json.Unmarshal(payload, &e); err != nil {
+			return fmt.Errorf("policy: replay %s: %w", op, err)
+		}
+		s.BumpEpoch(e.Epoch)
 	default:
 		return fmt.Errorf("policy: replay: unknown logged op %q", op)
 	}

@@ -130,6 +130,10 @@ type Service struct {
 	// AdvanceClock mutation, so lease deadlines and expiry replay
 	// identically on every replica.
 	clock float64
+	// epoch is the fencing epoch, moved only by the logged BumpEpoch
+	// mutation (see epoch.go). It rides in state dumps, so standbys and
+	// resynced replicas adopt the promoter's epoch.
+	epoch uint64
 	// Lease lifecycle counters, kept for metric backfill.
 	leaseRenewals      int
 	leasesExpired      int
@@ -199,6 +203,8 @@ type svcMetrics struct {
 
 	bundleInfo *obs.GaugeVec   // policy_bundle_active_info{version}
 	bundleActs *obs.CounterVec // policy_bundle_activations_total{result}
+
+	epochGauge *obs.Gauge // policy_epoch
 }
 
 // Instrument attaches a metrics registry and an event tracer (either may
@@ -245,7 +251,10 @@ func (s *Service) Instrument(reg *obs.Registry, tracer obs.Tracer) {
 			"Active policy bundle (1 on the active version's label).", "version"),
 		bundleActs: reg.Counter("policy_bundle_activations_total",
 			"Bundle activation attempts by result.", "result"),
+		epochGauge: reg.Gauge("policy_epoch",
+			"Fencing epoch this service believes is current.").With(),
 	}
+	m.epochGauge.Set(float64(s.epoch))
 	m.advised.Add(float64(s.advised))
 	m.suppressed.Add(float64(s.suppressed))
 	m.firings.Add(float64(s.session.Firings()))

@@ -25,6 +25,10 @@ type StateDump struct {
 	Suppressed   int `json:"suppressed" xml:"suppressed"`
 	// Clock is the logical clock driving lease expiry.
 	Clock float64 `json:"clock,omitempty" xml:"clock,omitempty"`
+	// Epoch is the fencing epoch in force when the dump was taken; a
+	// replica importing the dump adopts it, so a promoted standby's epoch
+	// survives resync and snapshot/restore.
+	Epoch uint64 `json:"epoch,omitempty" xml:"epoch,omitempty"`
 	// Bundle carries the active and previous policy bundles, so a replica
 	// importing the dump adopts the exact tunables — not its own compiled
 	// defaults — and retains the rollback target. Staged (pushed but never
@@ -162,6 +166,7 @@ func (s *Service) exportStateLocked() *StateDump {
 		Advised:      s.advised,
 		Suppressed:   s.suppressed,
 		Clock:        s.clock,
+		Epoch:        s.epoch,
 		Bundle:       &BundleStateDump{Active: s.activeBundle, Previous: s.prevBundle},
 	}
 	for _, t := range rules.FactsOf[*Transfer](s.session) {
@@ -238,6 +243,10 @@ func (s *Service) ImportState(d *StateDump) (err error) {
 	s.advised = d.Advised
 	s.suppressed = d.Suppressed
 	s.clock = d.Clock
+	s.epoch = d.Epoch
+	if s.metrics != nil {
+		s.metrics.epochGauge.Set(float64(s.epoch))
+	}
 
 	// Adopt the dump's bundle state (falling back to this service's own
 	// compiled-in bundle for dumps that predate bundles), then derive the

@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"policyflow/internal/obs"
@@ -74,6 +75,15 @@ type Client struct {
 	// ctx is the base context every request derives from.
 	ctx     context.Context
 	metrics *obs.ClientMetrics
+
+	// epoch is the highest fencing epoch observed in any response's
+	// X-Policy-Epoch header (monotonic; see failover.go). Mutations echo
+	// it so a deposed primary learns it has been passed and self-fences.
+	epoch atomic.Uint64
+	// syncReplay marks outgoing mutations as replication-plane traffic
+	// (SyncReplayHeader), letting archive replay write into a fenced
+	// standby. Toggled only by replayArchive under ReplicatedClient's lock.
+	syncReplay atomic.Bool
 
 	mu         sync.Mutex
 	rng        *rand.Rand // backoff jitter
@@ -377,12 +387,25 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if sc.Valid() {
 		req.Header.Set(obs.TraceparentHeader, sc.Traceparent())
 	}
+	if method != http.MethodGet {
+		if e := c.epoch.Load(); e > 0 {
+			req.Header.Set(EpochHeader, strconv.FormatUint(e, 10))
+		}
+		if c.syncReplay.Load() {
+			req.Header.Set(SyncReplayHeader, "1")
+		}
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		c.countFault(path, "transport")
 		return false, fmt.Errorf("policyhttp: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
+	if h := resp.Header.Get(EpochHeader); h != "" {
+		if e, perr := strconv.ParseUint(h, 10, 64); perr == nil {
+			c.RaiseEpoch(e)
+		}
+	}
 	if retryableStatus(resp.StatusCode) {
 		kind := "http_5xx"
 		if resp.StatusCode == http.StatusTooManyRequests {
@@ -422,6 +445,10 @@ type ServerError struct {
 	// RetryAfter is the server's Retry-After hint (zero when absent); on
 	// 429/503 it feeds the retry loop's backoff.
 	RetryAfter time.Duration
+	// Epoch is the fencing epoch the server stamped on the response
+	// (X-Policy-Epoch; zero when the server has no failover role). On a
+	// 412 it tells the caller which epoch fenced the request.
+	Epoch uint64
 	// raw is the undecoded body, used when no error document was parsed.
 	raw string
 }
@@ -460,15 +487,16 @@ func (e *ServerError) HTTPStatus() int { return e.StatusCode }
 func (c *Client) decodeError(resp *http.Response) error {
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
 	ra := parseRetryAfter(resp.Header.Get("Retry-After"))
+	epoch, _ := strconv.ParseUint(resp.Header.Get(EpochHeader), 10, 64)
 	var doc ErrorDoc
 	if c.useXML {
 		if xml.Unmarshal(data, &doc) == nil && doc.Message != "" {
-			return &ServerError{StatusCode: resp.StatusCode, Message: doc.Message, RetryAfter: ra}
+			return &ServerError{StatusCode: resp.StatusCode, Message: doc.Message, RetryAfter: ra, Epoch: epoch}
 		}
 	} else if json.Unmarshal(data, &doc) == nil && doc.Message != "" {
-		return &ServerError{StatusCode: resp.StatusCode, Message: doc.Message, RetryAfter: ra}
+		return &ServerError{StatusCode: resp.StatusCode, Message: doc.Message, RetryAfter: ra, Epoch: epoch}
 	}
-	return &ServerError{StatusCode: resp.StatusCode, RetryAfter: ra, raw: strings.TrimSpace(string(data))}
+	return &ServerError{StatusCode: resp.StatusCode, RetryAfter: ra, Epoch: epoch, raw: strings.TrimSpace(string(data))}
 }
 
 // AdviseTransfers submits a transfer list and returns the modified list.

@@ -99,6 +99,10 @@ func (c *Client) Archive() (*durable.Archive, error) {
 // operation even if it was rejected, and a rejection replays as a
 // rejection.
 func replayArchive(target *Client, arch *durable.Archive) error {
+	// Replay is replication-plane traffic: mark it so the epoch fence lets
+	// it into a standby (a fenced replica must still be resyncable).
+	target.syncReplay.Store(true)
+	defer target.syncReplay.Store(false)
 	dump := &policy.StateDump{}
 	if arch.Snapshot != nil {
 		if err := json.Unmarshal(arch.Snapshot, dump); err != nil {
@@ -174,6 +178,30 @@ func replayRecord(target *Client, rec durable.Record) error {
 		}
 		_, err := target.AdvanceClock(op.Now)
 		return ignoreApplication(err)
+	case policy.OpActivateBundle:
+		var op policy.BundleOp
+		if err := json.Unmarshal(rec.Data, &op); err != nil {
+			return err
+		}
+		if op.Bundle == nil {
+			return fmt.Errorf("activation record carries no bundle")
+		}
+		// Re-marshal and ship the full document: the bundle checksum is
+		// defined over parsed canonical values, not raw bytes, so the
+		// round-trip re-derives the same version identity.
+		doc, err := json.Marshal(op.Bundle)
+		if err != nil {
+			return err
+		}
+		_, aerr := target.ActivateBundleDoc(doc)
+		return ignoreApplication(aerr)
+	case policy.OpBumpEpoch:
+		var op policy.EpochOp
+		if err := json.Unmarshal(rec.Data, &op); err != nil {
+			return err
+		}
+		_, aerr := target.BumpEpoch(op.Epoch)
+		return ignoreApplication(aerr)
 	default:
 		return fmt.Errorf("unknown op %q", rec.Op)
 	}

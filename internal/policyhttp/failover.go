@@ -1,0 +1,306 @@
+package policyhttp
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+)
+
+// This file is the HTTP half of the epoch-fenced failover subsystem. The
+// policy core owns the epoch itself (a WAL-logged monotonic counter, see
+// internal/policy/epoch.go); here it becomes a fence: servers assigned a
+// role stamp every policy-plane response with X-Policy-Epoch, clients echo
+// the highest epoch they have seen on every mutation, and a server that is
+// not the primary — or that learns from a request header that a newer
+// epoch exists — answers 412 Precondition Failed instead of applying
+// anything. 412 (not 409) because the request itself is well-formed and
+// would be accepted by the current primary: only a precondition about
+// *which server* may apply it failed, and the client should re-route, not
+// re-form, the request.
+//
+// The fence wraps OUTSIDE the idempotency cache, so a 412 is never
+// recorded against the request's idempotency key: when the client
+// re-routes to the real primary under the same key, the mutation applies
+// exactly once there, and a later duplicate to either server replays from
+// the cache that recorded the one real application.
+
+// EpochHeader carries the fencing epoch: on requests, the highest epoch
+// the client has observed; on responses from role-assigned servers, the
+// epoch the answering server believes is current.
+const EpochHeader = "X-Policy-Epoch"
+
+// SyncReplayHeader marks a mutation as replication-plane traffic (archive
+// replay into a standby during resync). Fencing passes it through: a
+// standby must accept replayed records while still refusing client writes.
+const SyncReplayHeader = "X-Policy-Sync"
+
+// Role is a server's position in a primary/standby pair.
+type Role string
+
+const (
+	// RoleNone disables fencing entirely — the standalone and
+	// active-replication deployments that predate failover.
+	RoleNone Role = ""
+	// RolePrimary accepts mutations and stamps responses with its epoch.
+	RolePrimary Role = "primary"
+	// RoleStandby refuses every client mutation with 412 while the
+	// StandbySyncer (or a resync) keeps its Policy Memory warm.
+	RoleStandby Role = "standby"
+)
+
+func (r Role) String() string {
+	if r == RoleNone {
+		return "none"
+	}
+	return string(r)
+}
+
+// SetFailover assigns the server's failover role and its peer (the other
+// half of the pair; may be nil). Promotion flips a standby to primary via
+// POST /v1/promote; a primary that observes a newer epoch in a request
+// header deposes itself back to standby.
+func (s *Server) SetFailover(role Role, peer *Client) {
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	s.role = role
+	s.peer = peer
+}
+
+// Role returns the server's current failover role.
+func (s *Server) Role() Role {
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	return s.role
+}
+
+// fenced wraps a mutating policy-plane handler with the epoch fence.
+// Replication-plane requests (sync header) and role-less servers pass
+// through untouched; everything else is stamped with the server's epoch
+// and refused with 412 unless this server is the primary.
+func (s *Server) fenced(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(SyncReplayHeader) != "" {
+			h(w, r)
+			return
+		}
+		s.roleMu.Lock()
+		role := s.role
+		s.roleMu.Unlock()
+		if role == RoleNone {
+			h(w, r)
+			return
+		}
+		own := s.svc.Epoch()
+		reqEpoch, _ := strconv.ParseUint(r.Header.Get(EpochHeader), 10, 64)
+		if role == RolePrimary && reqEpoch > own {
+			// The client has been acked by a newer epoch, so a promotion
+			// happened past this server (a partition healed, a demote was
+			// lost). Self-depose before acking a single stale write.
+			s.roleMu.Lock()
+			if s.role == RolePrimary {
+				s.role = RoleStandby
+			}
+			role = s.role
+			s.roleMu.Unlock()
+		}
+		w.Header().Set(EpochHeader, strconv.FormatUint(own, 10))
+		if role != RolePrimary {
+			resf := responseFormat(r, formatJSON)
+			s.writeError(w, resf, http.StatusPreconditionFailed,
+				fmt.Errorf("not primary (role %s, epoch %d)", role, own))
+			return
+		}
+		h(w, r)
+	}
+}
+
+// PromoteResult is the wire response of POST /v1/promote.
+type PromoteResult struct {
+	XMLName xml.Name `json:"-" xml:"promote"`
+	Epoch   uint64   `json:"epoch" xml:"epoch"`
+	Role    string   `json:"role" xml:"role"`
+	// CaughtUp reports whether a final catch-up pull from the old primary
+	// succeeded before the epoch bump (false when it was unreachable).
+	CaughtUp bool `json:"caughtUp" xml:"caughtUp"`
+}
+
+// EpochDoc is the wire form of GET/POST /v1/epoch.
+type EpochDoc struct {
+	XMLName xml.Name `json:"-" xml:"epoch"`
+	Epoch   uint64   `json:"epoch" xml:"epoch"`
+	Role    string   `json:"role,omitempty" xml:"role,omitempty"`
+}
+
+// handlePromote turns this server into the primary:
+//
+//  1. Demote the peer first, so the old primary stops acknowledging
+//     writes before the catch-up pull — otherwise a write acked between
+//     pull and fence would be silently lost. An unreachable peer (the
+//     very failure promotion exists for) is skipped; a reachable peer
+//     that refuses demotion aborts the promotion.
+//  2. Pull the peer's final state and import it (skipped when
+//     unreachable — the standby serves from its last sync).
+//  3. Bump the epoch through this server's own WAL, then serve as
+//     primary. Every client that contacts the old primary with the new
+//     epoch deposes it; every fence response routes clients here.
+//
+// Promoting a server that is already primary is an idempotent no-op.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	resf := responseFormat(r, formatJSON)
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	s.roleMu.Lock()
+	role, peer := s.role, s.peer
+	s.roleMu.Unlock()
+	if role == RolePrimary {
+		s.writeResponse(w, resf, http.StatusOK, &PromoteResult{
+			Epoch: s.svc.Epoch(), Role: string(RolePrimary),
+		})
+		return
+	}
+	caughtUp := false
+	if peer != nil {
+		if _, err := peer.Demote(); err != nil {
+			if !isUnreachable(err) {
+				s.writeError(w, resf, http.StatusBadGateway,
+					fmt.Errorf("demote peer before promotion: %w", err))
+				return
+			}
+		} else if dump, err := peer.Dump(); err == nil {
+			// ImportState adopts the dump's epoch along with the state,
+			// so the bump below always lands above the old primary's.
+			if err := s.svc.ImportState(dump); err != nil {
+				s.writeError(w, resf, statusFor(err), err)
+				return
+			}
+			caughtUp = true
+		}
+	}
+	epoch, err := s.svc.BumpEpoch(s.svc.Epoch() + 1)
+	if err != nil {
+		s.writeError(w, resf, statusFor(err), err)
+		return
+	}
+	s.roleMu.Lock()
+	s.role = RolePrimary
+	s.roleMu.Unlock()
+	s.writeResponse(w, resf, http.StatusOK, &PromoteResult{
+		Epoch: epoch, Role: string(RolePrimary), CaughtUp: caughtUp,
+	})
+}
+
+// handleDemote steps this server down to standby (idempotent). The epoch
+// is left alone: demotion fences this server, it does not elect anyone.
+func (s *Server) handleDemote(w http.ResponseWriter, r *http.Request) {
+	resf := responseFormat(r, formatJSON)
+	s.roleMu.Lock()
+	s.role = RoleStandby
+	s.roleMu.Unlock()
+	s.writeResponse(w, resf, http.StatusOK, &EpochDoc{
+		Epoch: s.svc.Epoch(), Role: string(RoleStandby),
+	})
+}
+
+// handleEpochGet reports the server's epoch and role.
+func (s *Server) handleEpochGet(w http.ResponseWriter, r *http.Request) {
+	resf := responseFormat(r, formatJSON)
+	s.writeResponse(w, resf, http.StatusOK, &EpochDoc{
+		Epoch: s.svc.Epoch(), Role: s.Role().String(),
+	})
+}
+
+// handleEpochBump applies a WAL-logged epoch bump (archive replay of a
+// bump_epoch record during resync lands here). Raising the epoch never
+// changes the role: a standby stays fenced, just at a newer epoch.
+func (s *Server) handleEpochBump(w http.ResponseWriter, r *http.Request) {
+	reqf, err := requestFormat(r)
+	resf := responseFormat(r, reqf)
+	if err != nil {
+		s.writeError(w, resf, http.StatusUnsupportedMediaType, err)
+		return
+	}
+	var doc EpochDoc
+	if err := decode(r, reqf, &doc); err != nil {
+		s.writeError(w, resf, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	epoch, err := s.svc.BumpEpoch(doc.Epoch)
+	if err != nil {
+		s.writeError(w, resf, statusFor(err), err)
+		return
+	}
+	s.writeResponse(w, resf, http.StatusOK, &EpochDoc{Epoch: epoch, Role: s.Role().String()})
+}
+
+// isUnreachable reports a transport-level failure: the peer never saw the
+// request. Server-side errors (the peer answered, unhappily) are not
+// unreachability — promotion must not steamroll a live, objecting peer.
+func isUnreachable(err error) bool {
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// IsFenced reports whether err is a 412 fence response: the server is
+// healthy but is not the primary. The caller should re-route to the
+// current primary (ReplicatedClient does this transparently) rather than
+// retry here or mark the replica down.
+func IsFenced(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && se.StatusCode == http.StatusPreconditionFailed
+}
+
+// Epoch returns the highest fencing epoch this client has observed.
+func (c *Client) Epoch() uint64 { return c.epoch.Load() }
+
+// RaiseEpoch raises the client's observed epoch (monotonic; lower values
+// are ignored). Every response from a role-assigned server raises it
+// automatically; ReplicatedClient uses this to spread the newest epoch
+// across its per-replica clients.
+func (c *Client) RaiseEpoch(e uint64) {
+	for {
+		cur := c.epoch.Load()
+		if e <= cur || c.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// Promote asks the server to become primary (see handlePromote).
+func (c *Client) Promote() (*PromoteResult, error) {
+	var out PromoteResult
+	if err := c.do(http.MethodPost, "/v1/promote", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Demote asks the server to step down to standby (idempotent).
+func (c *Client) Demote() (*EpochDoc, error) {
+	var out EpochDoc
+	if err := c.do(http.MethodPost, "/v1/demote", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// EpochInfo reports the server's current epoch and role.
+func (c *Client) EpochInfo() (*EpochDoc, error) {
+	var out EpochDoc
+	if err := c.do(http.MethodGet, "/v1/epoch", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// BumpEpoch raises the server's epoch through its WAL-logged bump path
+// (archive replay uses it; see replayRecord).
+func (c *Client) BumpEpoch(epoch uint64) (*EpochDoc, error) {
+	var out EpochDoc
+	if err := c.do(http.MethodPost, "/v1/epoch", &EpochDoc{Epoch: epoch}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

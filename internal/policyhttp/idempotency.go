@@ -152,12 +152,16 @@ func (s *Server) idempotent(h http.HandlerFunc) http.HandlerFunc {
 }
 
 // notApplied reports response codes that promise the mutation had no side
-// effect: admission shed (429), draining or standby (503), and abandoned
-// because the client's context ended while queued (408). These must not
-// enter the idempotency cache — the whole point of the client retrying
-// under the same key is that the next attempt may be admitted.
+// effect: admission shed (429), draining or standby (503), abandoned
+// because the client's context ended while queued (408), and fenced (412 —
+// the epoch fence refused the request before the handler ran; defensive
+// here, since the fence wraps outside this cache). These must not enter
+// the idempotency cache — the whole point of the client retrying under the
+// same key is that the next attempt may be admitted (or re-routed to the
+// primary, for 412).
 func notApplied(code int) bool {
 	return code == http.StatusTooManyRequests ||
 		code == http.StatusServiceUnavailable ||
-		code == http.StatusRequestTimeout
+		code == http.StatusRequestTimeout ||
+		code == http.StatusPreconditionFailed
 }

@@ -27,10 +27,32 @@ type ReplicatedClient struct {
 	mu       sync.Mutex
 	replicas []*Client
 	down     []bool
+
+	// leader is the replica index that last accepted a mutation (-1 =
+	// unknown). When replicas run the epoch fence (primary/standby roles),
+	// a 412 from a standby is not a failure: the replica is skipped
+	// without being marked down, and the leader hint re-routes the next
+	// call straight to whichever replica last acted as primary.
+	leader int
+	// epoch is the highest fencing epoch observed across all replicas;
+	// it is pushed into every per-replica client before each call so a
+	// deposed primary learns it has been passed and self-fences.
+	epoch uint64
+	// lastAckEpoch/lastAckReplica record which epoch (and which replica)
+	// acknowledged the most recent successful mutation — the faultsim
+	// harness asserts acks only ever come from the expected primary.
+	lastAckEpoch   uint64
+	lastAckReplica int
 }
 
 // ErrNoReplicas is returned when every replica is down.
 var ErrNoReplicas = errors.New("policyhttp: no healthy replicas")
+
+// ErrNoPrimary is returned when at least one replica was reachable but
+// every reachable replica refused the mutation with the epoch fence (412):
+// the cluster is mid-failover with no server currently willing to accept
+// writes. The mutation was applied nowhere — retry once a promotion lands.
+var ErrNoPrimary = errors.New("policyhttp: no replica is primary")
 
 // NewReplicatedClient wraps one client per replica endpoint. At least one
 // is required.
@@ -38,7 +60,41 @@ func NewReplicatedClient(replicas ...*Client) (*ReplicatedClient, error) {
 	if len(replicas) == 0 {
 		return nil, errors.New("policyhttp: replicated client needs at least one replica")
 	}
-	return &ReplicatedClient{replicas: replicas, down: make([]bool, len(replicas))}, nil
+	return &ReplicatedClient{
+		replicas: replicas, down: make([]bool, len(replicas)),
+		leader: -1, lastAckReplica: -1,
+	}, nil
+}
+
+// Leader returns the index of the replica that last accepted a mutation,
+// -1 when unknown.
+func (rc *ReplicatedClient) Leader() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.leader
+}
+
+// Epoch returns the highest fencing epoch observed across all replicas.
+func (rc *ReplicatedClient) Epoch() uint64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.epoch
+}
+
+// LastAckEpoch returns the epoch stamped on the most recent successful
+// mutation's response (0 before any, or when replicas run unfenced).
+func (rc *ReplicatedClient) LastAckEpoch() uint64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.lastAckEpoch
+}
+
+// LastAckReplica returns the replica index that acknowledged the most
+// recent successful mutation, -1 before any.
+func (rc *ReplicatedClient) LastAckReplica() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.lastAckReplica
 }
 
 // Healthy returns the indexes of replicas currently considered up.
@@ -63,6 +119,14 @@ func (rc *ReplicatedClient) Healthy() []int {
 // state diverges. A rejection AFTER another replica accepted the same
 // call means the rejecting replica has diverged, and it is marked down.
 //
+// Fenced replicas (primary/standby roles) re-route instead of failing: a
+// 412 marks the replica as a healthy standby — skipped, never downed —
+// and the leader hint tries the last-known primary first, so after one
+// fence response the client sticks to the new primary. The re-routed
+// attempt reuses the same op closure, hence the same idempotency key: a
+// mutation acked by exactly one epoch is never double-applied even when
+// the fence arrives after a lost response.
+//
 // One root span context is minted per logical operation and shared by
 // every replica attempt (and every retry within each attempt), so a
 // fault episode spanning failover is reconstructable under one trace ID.
@@ -71,17 +135,42 @@ func apply[T any](rc *ReplicatedClient, op func(context.Context, *Client) (T, er
 	sc := obs.NewSpanContext()
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
+	// Last-known leader first, the rest in index order.
+	order := make([]int, 0, len(rc.replicas))
+	if rc.leader >= 0 && rc.leader < len(rc.replicas) {
+		order = append(order, rc.leader)
+	}
+	for i := range rc.replicas {
+		if i != rc.leader {
+			order = append(order, i)
+		}
+	}
 	got := false
+	sawFenced := false
 	var result T
 	var lastErr error
-	for i, c := range rc.replicas {
+	for _, i := range order {
 		if rc.down[i] {
 			continue
 		}
+		c := rc.replicas[i]
+		// Spread the newest epoch before the call: the request header is
+		// what deposes a stale primary.
+		c.RaiseEpoch(rc.epoch)
 		// Each replica keeps its own cancellation context; only the trace
 		// is shared.
 		r, err := op(obs.ContextWithSpan(c.ctx, sc), c)
+		if e := c.Epoch(); e > rc.epoch {
+			rc.epoch = e
+		}
 		if err != nil {
+			if IsFenced(err) {
+				sawFenced = true
+				if rc.leader == i {
+					rc.leader = -1
+				}
+				continue
+			}
 			if IsRejection(err) && !got {
 				return zero, err
 			}
@@ -91,9 +180,18 @@ func apply[T any](rc *ReplicatedClient, op func(context.Context, *Client) (T, er
 		}
 		if !got {
 			result, got = r, true
+			rc.leader = i
+			rc.lastAckEpoch = c.Epoch()
+			rc.lastAckReplica = i
 		}
 	}
 	if !got {
+		if sawFenced {
+			if lastErr != nil {
+				return zero, fmt.Errorf("%w: last error: %v", ErrNoPrimary, lastErr)
+			}
+			return zero, ErrNoPrimary
+		}
 		if lastErr != nil {
 			return zero, fmt.Errorf("%w: last error: %v", ErrNoReplicas, lastErr)
 		}
@@ -193,33 +291,65 @@ func (rc *ReplicatedClient) Resync(i int) error {
 	if i < 0 || i >= len(rc.replicas) {
 		return fmt.Errorf("policyhttp: replica index %d out of range", i)
 	}
-	target := rc.replicas[i]
 	var lastErr error
-	for j, c := range rc.replicas {
+	for j := range rc.replicas {
 		if j == i || rc.down[j] {
 			continue
 		}
-		if arch, err := c.Archive(); err == nil {
-			if err := replayArchive(target, arch); err != nil {
-				return fmt.Errorf("policyhttp: restore replica %d: %w", i, err)
-			}
-			rc.down[i] = false
+		err, donorSide := rc.resyncFromLocked(i, j)
+		if err == nil {
 			return nil
 		}
-		dump, err := c.Dump()
-		if err != nil {
-			rc.down[j] = true
-			lastErr = err
-			continue
+		if !donorSide {
+			return err
 		}
-		if err := target.Restore(dump); err != nil {
-			return fmt.Errorf("policyhttp: restore replica %d: %w", i, err)
-		}
-		rc.down[i] = false
-		return nil
+		rc.down[j] = true
+		lastErr = err
 	}
 	if lastErr != nil {
 		return fmt.Errorf("%w: last error: %v", ErrNoReplicas, lastErr)
 	}
 	return ErrNoReplicas
+}
+
+// ResyncFrom restores replica i from the specific donor replica and marks
+// i up again. Under failover, use it to pull from the current primary:
+// Resync's first-healthy-donor scan could pick a standby whose state lags
+// the primary by up to a sync interval.
+func (rc *ReplicatedClient) ResyncFrom(i, donor int) error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if i < 0 || i >= len(rc.replicas) {
+		return fmt.Errorf("policyhttp: replica index %d out of range", i)
+	}
+	if donor < 0 || donor >= len(rc.replicas) || donor == i {
+		return fmt.Errorf("policyhttp: donor index %d invalid for replica %d", donor, i)
+	}
+	err, _ := rc.resyncFromLocked(i, donor)
+	return err
+}
+
+// resyncFromLocked restores replica i from donor j: the donor's durable
+// snapshot+tail archive when it has one, its full live dump otherwise.
+// donorSide=true means the donor could not supply state (the caller may
+// try another donor); false means the target failed to accept it.
+func (rc *ReplicatedClient) resyncFromLocked(i, j int) (err error, donorSide bool) {
+	target := rc.replicas[i]
+	c := rc.replicas[j]
+	if arch, aerr := c.Archive(); aerr == nil {
+		if rerr := replayArchive(target, arch); rerr != nil {
+			return fmt.Errorf("policyhttp: restore replica %d: %w", i, rerr), false
+		}
+		rc.down[i] = false
+		return nil, false
+	}
+	dump, derr := c.Dump()
+	if derr != nil {
+		return derr, true
+	}
+	if rerr := target.Restore(dump); rerr != nil {
+		return fmt.Errorf("policyhttp: restore replica %d: %w", i, rerr), false
+	}
+	rc.down[i] = false
+	return nil, false
 }

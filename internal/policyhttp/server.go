@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"policyflow/internal/admit"
@@ -164,6 +165,15 @@ type Server struct {
 	// concurrency slot, and overload is shed before any side effect.
 	admit *admit.Controller
 
+	// Failover state (see failover.go). role is RoleNone unless
+	// SetFailover assigned one; peer is the other half of the pair.
+	// promoteMu serializes promotions so concurrent triggers cannot race
+	// the demote-then-catch-up protocol.
+	roleMu    sync.Mutex
+	role      Role
+	peer      *Client
+	promoteMu sync.Mutex
+
 	// state gauges, refreshed from the service snapshot at scrape time.
 	inFlight    *obs.Gauge
 	stagedFiles *obs.Gauge
@@ -202,10 +212,15 @@ func NewServerWith(svc *policy.Service, logger *log.Logger, reg *obs.Registry, t
 	s.idem = newIdemCache(0)
 	s.idemReplays = reg.Counter("http_idempotent_replays_total",
 		"Mutating requests answered from the idempotency cache without re-applying.").With()
-	s.mux.HandleFunc("POST /v1/transfers", s.idempotent(s.handleTransfers))
-	s.mux.HandleFunc("POST /v1/transfers/completed", s.idempotent(s.handleTransfersCompleted))
-	s.mux.HandleFunc("POST /v1/cleanups", s.idempotent(s.handleCleanups))
-	s.mux.HandleFunc("POST /v1/cleanups/completed", s.idempotent(s.handleCleanupsCompleted))
+	// Policy-plane mutations are fenced (see failover.go) OUTSIDE the
+	// idempotency cache: a 412 must never be recorded against a key the
+	// client will re-use at the real primary. Replication-plane endpoints
+	// (restore, snapshot, archive, promote/demote/epoch) stay unfenced —
+	// they are how standbys are fed and leadership moves.
+	s.mux.HandleFunc("POST /v1/transfers", s.fenced(s.idempotent(s.handleTransfers)))
+	s.mux.HandleFunc("POST /v1/transfers/completed", s.fenced(s.idempotent(s.handleTransfersCompleted)))
+	s.mux.HandleFunc("POST /v1/cleanups", s.fenced(s.idempotent(s.handleCleanups)))
+	s.mux.HandleFunc("POST /v1/cleanups/completed", s.fenced(s.idempotent(s.handleCleanupsCompleted)))
 	// Read-only endpoints go through the admission controller's read
 	// gate (a pass-through until SetAdmission). /v1/state/archive stays
 	// ungated: it is how a downed replica resyncs, and recovery must not
@@ -217,13 +232,17 @@ func NewServerWith(svc *policy.Service, logger *log.Logger, reg *obs.Registry, t
 	s.mux.HandleFunc("POST /v1/state/restore", s.idempotent(s.handleRestore))
 	s.mux.HandleFunc("POST /v1/state/snapshot", s.idempotent(s.handleSnapshot))
 	s.mux.HandleFunc("GET /v1/state/archive", s.handleArchive)
-	s.mux.HandleFunc("PUT /v1/thresholds", s.idempotent(s.handleThreshold))
-	s.mux.HandleFunc("PUT /v1/bundles", s.idempotent(s.handleBundlePush))
-	s.mux.HandleFunc("POST /v1/bundles/activate", s.idempotent(s.handleBundleActivate))
+	s.mux.HandleFunc("PUT /v1/thresholds", s.fenced(s.idempotent(s.handleThreshold)))
+	s.mux.HandleFunc("PUT /v1/bundles", s.fenced(s.idempotent(s.handleBundlePush)))
+	s.mux.HandleFunc("POST /v1/bundles/activate", s.fenced(s.idempotent(s.handleBundleActivate)))
 	s.mux.HandleFunc("GET /v1/bundles", s.admitRead(s.handleBundles))
-	s.mux.HandleFunc("POST /v1/leases/renew", s.idempotent(s.handleLeaseRenew))
+	s.mux.HandleFunc("POST /v1/leases/renew", s.fenced(s.idempotent(s.handleLeaseRenew)))
 	s.mux.HandleFunc("GET /v1/leases", s.admitRead(s.handleLeases))
-	s.mux.HandleFunc("POST /v1/clock/advance", s.idempotent(s.handleClockAdvance))
+	s.mux.HandleFunc("POST /v1/clock/advance", s.fenced(s.idempotent(s.handleClockAdvance)))
+	s.mux.HandleFunc("POST /v1/promote", s.handlePromote)
+	s.mux.HandleFunc("POST /v1/demote", s.handleDemote)
+	s.mux.HandleFunc("GET /v1/epoch", s.handleEpochGet)
+	s.mux.HandleFunc("POST /v1/epoch", s.idempotent(s.handleEpochBump))
 	s.mux.HandleFunc("GET /v1/config", s.admitRead(s.handleConfig))
 	s.mux.HandleFunc("GET /v1/decisions", s.admitRead(s.handleDecisions))
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)

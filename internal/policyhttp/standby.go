@@ -2,19 +2,28 @@ package policyhttp
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http"
 	"time"
 
+	"policyflow/internal/durable"
+	"policyflow/internal/obs"
 	"policyflow/internal/policy"
 )
 
 // StandbySyncer keeps a local policy service warm as a standby replica of
-// a remote primary: it periodically pulls the primary's Policy Memory dump
-// and restores it locally. If the primary dies, the standby answers with
-// state at most one sync interval old — the warm-standby half of the
-// paper's proposed replication strategies (the ReplicatedClient is the
-// active-replication half).
+// a remote primary. Each sync pulls the primary's snapshot+WAL-tail
+// archive and tracks how far into the donor's log it has applied, so a
+// steady-state sync ships and applies only the records since the last one
+// — O(delta), not O(state). Donors without a durable store (the archive
+// endpoint answers 501) fall back to the full Policy Memory dump. If the
+// primary dies, the standby answers with state at most one sync interval
+// old — the warm-standby half of the paper's proposed replication
+// strategies (the ReplicatedClient is the active-replication half), and
+// the state a promotion (POST /v1/promote) serves from when the old
+// primary is unreachable for a final catch-up pull.
 type StandbySyncer struct {
 	local   *policy.Service
 	primary *Client
@@ -26,9 +35,28 @@ type StandbySyncer struct {
 	// Ticks, when set, replaces the interval ticker as Run's time source:
 	// one sync per value received. Tests use this to drive the loop
 	// deterministically without real timers.
-	Ticks  <-chan time.Time
+	Ticks <-chan time.Time
+	// Active, when set, gates each Run tick: while it returns false the
+	// loop skips syncing AND resets the delta cursor — a server that was
+	// promoted (and later demoted back) got state outside this syncer, so
+	// the cursor no longer describes what the local service holds.
+	Active func() bool
+
 	syncs  int
 	errors int
+	// primed/lastSeq form the delta cursor: lastSeq is the donor WAL
+	// position already applied locally, valid only while primed. Any sync
+	// failure or external state change (see Reset) drops back to a full
+	// restore.
+	primed  bool
+	lastSeq uint64
+	// lastOK is the wall time of the last successful sync, for the lag
+	// gauge.
+	lastOK time.Time
+
+	syncsC *obs.Counter // policy_standby_syncs_total
+	errsC  *obs.Counter // policy_standby_errors_total
+	lagG   *obs.Gauge   // policy_standby_lag_seconds
 }
 
 // NewStandbySyncer creates a syncer replicating primary into local.
@@ -42,18 +70,112 @@ func NewStandbySyncer(local *policy.Service, primary *Client, interval time.Dura
 	return &StandbySyncer{local: local, primary: primary, Interval: interval}, nil
 }
 
-// SyncOnce pulls one dump from the primary and restores it locally.
+// Instrument registers the syncer's metrics on reg: sync and error
+// counters plus a lag gauge (seconds since the last successful sync,
+// refreshed on every attempt; 0 after a success).
+func (s *StandbySyncer) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.syncsC = reg.Counter("policy_standby_syncs_total",
+		"Successful standby syncs from the primary.").With()
+	s.errsC = reg.Counter("policy_standby_errors_total",
+		"Failed standby sync attempts.").With()
+	s.lagG = reg.Gauge("policy_standby_lag_seconds",
+		"Seconds since the last successful standby sync, as of the last attempt.").With()
+	s.syncsC.Add(float64(s.syncs))
+	s.errsC.Add(float64(s.errors))
+}
+
+// Reset invalidates the delta cursor; the next sync performs a full
+// restore. Call it whenever the local service's state moved outside this
+// syncer — a promotion's catch-up import, a crash-recovery reopen, a
+// manual restore — because the cursor is only meaningful while the syncer
+// is the sole writer of the local Policy Memory.
+func (s *StandbySyncer) Reset() { s.primed = false }
+
+// SyncOnce pulls once from the primary: the delta tail when the cursor is
+// valid, a full archive or dump restore otherwise.
 func (s *StandbySyncer) SyncOnce() error {
-	dump, err := s.primary.Dump()
+	err := s.syncOnce()
 	if err != nil {
 		s.errors++
-		return fmt.Errorf("policyhttp: standby pull: %w", err)
-	}
-	if err := s.local.ImportState(dump); err != nil {
-		s.errors++
-		return fmt.Errorf("policyhttp: standby restore: %w", err)
+		s.primed = false
+		if s.errsC != nil {
+			s.errsC.Inc()
+		}
+		if s.lagG != nil && !s.lastOK.IsZero() {
+			s.lagG.Set(time.Since(s.lastOK).Seconds())
+		}
+		return err
 	}
 	s.syncs++
+	s.lastOK = time.Now()
+	if s.syncsC != nil {
+		s.syncsC.Inc()
+	}
+	if s.lagG != nil {
+		s.lagG.Set(0)
+	}
+	return nil
+}
+
+func (s *StandbySyncer) syncOnce() error {
+	arch, err := s.primary.Archive()
+	if err != nil {
+		var se *ServerError
+		if errors.As(err, &se) && se.StatusCode == http.StatusNotImplemented {
+			// The primary runs without a durable store: no archive, no
+			// delta — pull the full live dump every time.
+			dump, derr := s.primary.Dump()
+			if derr != nil {
+				return fmt.Errorf("policyhttp: standby pull: %w", derr)
+			}
+			if ierr := s.local.ImportState(dump); ierr != nil {
+				return fmt.Errorf("policyhttp: standby restore: %w", ierr)
+			}
+			s.primed = false
+			return nil
+		}
+		return fmt.Errorf("policyhttp: standby pull: %w", err)
+	}
+	if s.primed && arch.SnapshotSeq <= s.lastSeq {
+		// Delta path: everything up to lastSeq is already applied, so only
+		// the newer tail records run — through ApplyLogged, which re-logs
+		// them into the standby's own WAL (the standby's durability is its
+		// own, mirroring what ImportState does on the full path).
+		return s.applyTail(arch.Tail)
+	}
+	// Full path: restore the donor's snapshot, then replay its tail.
+	dump := &policy.StateDump{}
+	if arch.Snapshot != nil {
+		if err := json.Unmarshal(arch.Snapshot, dump); err != nil {
+			return fmt.Errorf("policyhttp: decode archive snapshot: %w", err)
+		}
+	}
+	if err := s.local.ImportState(dump); err != nil {
+		return fmt.Errorf("policyhttp: standby restore: %w", err)
+	}
+	s.lastSeq = arch.SnapshotSeq
+	if err := s.applyTail(arch.Tail); err != nil {
+		return err
+	}
+	s.primed = true
+	return nil
+}
+
+// applyTail replays donor WAL records newer than the cursor and advances
+// it. A failure leaves the cursor wherever it got to; the caller unprimes.
+func (s *StandbySyncer) applyTail(tail []durable.Record) error {
+	for _, rec := range tail {
+		if rec.Seq <= s.lastSeq {
+			continue
+		}
+		if err := s.local.ApplyLogged(rec.Op, rec.Data); err != nil {
+			return fmt.Errorf("policyhttp: standby apply record %d (%s): %w", rec.Seq, rec.Op, err)
+		}
+		s.lastSeq = rec.Seq
+	}
 	return nil
 }
 
@@ -75,6 +197,10 @@ func (s *StandbySyncer) Run(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case <-ticks:
+			if s.Active != nil && !s.Active() {
+				s.Reset()
+				continue
+			}
 			err := s.SyncOnce()
 			if s.OnSync != nil {
 				s.OnSync(err)

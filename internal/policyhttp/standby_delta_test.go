@@ -1,0 +1,145 @@
+package policyhttp
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"policyflow/internal/policy"
+)
+
+// hasThreshold reports whether svc's exported state carries the marker
+// threshold the delta tests plant out-of-band.
+func hasThreshold(svc *policy.Service, src, dst string, max int) bool {
+	for _, th := range svc.ExportState().Thresholds {
+		if th.Src == src && th.Dst == dst && th.Max == max {
+			return true
+		}
+	}
+	return false
+}
+
+// TestStandbyDeltaSyncAppliesOnlyTail proves the steady-state sync is
+// O(delta), not O(state): a marker planted in the standby between syncs
+// survives the second sync (a full restore would erase it — ImportState
+// resets the session), while the donor's new WAL records still arrive.
+// Reset then forces the full path and the marker disappears.
+func TestStandbyDeltaSyncAppliesOnlyTail(t *testing.T) {
+	_, donorSvc, donorClient, ps := durableReplica(t, t.TempDir())
+	defer ps.Close()
+	local, err := policy.New(policy.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStandbySyncer(local, donorClient, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := donorClient.AdviseTransfers([]policy.TransferSpec{testSpec(1, "wf1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SyncOnce(); err != nil {
+		t.Fatalf("initial full sync: %v", err)
+	}
+	if !s.primed {
+		t.Fatal("first archive sync did not prime the delta cursor")
+	}
+	if got := len(local.ExportState().Transfers); got != 1 {
+		t.Fatalf("standby holds %d transfers after full sync, want 1", got)
+	}
+
+	// Plant a marker the donor does not have, then grow the donor's WAL.
+	if err := local.SetThreshold("mark", "er", 7); err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i <= 3; i++ {
+		if _, err := donorClient.AdviseTransfers([]policy.TransferSpec{testSpec(i, "wf1")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SyncOnce(); err != nil {
+		t.Fatalf("delta sync: %v", err)
+	}
+	if !hasThreshold(local, "mark", "er", 7) {
+		t.Fatal("second sync erased the marker: it restored the full state instead of applying the tail")
+	}
+	if got, want := len(local.ExportState().Transfers), len(donorSvc.ExportState().Transfers); got != want {
+		t.Fatalf("standby holds %d transfers after delta sync, donor %d", got, want)
+	}
+
+	// Reset invalidates the cursor: the next sync is a full restore, which
+	// wipes anything the donor never had.
+	s.Reset()
+	if err := s.SyncOnce(); err != nil {
+		t.Fatalf("post-reset full sync: %v", err)
+	}
+	if hasThreshold(local, "mark", "er", 7) {
+		t.Fatal("Reset did not force a full restore: the marker survived")
+	}
+	if syncs, failures := s.Stats(); syncs != 3 || failures != 0 {
+		t.Fatalf("stats = (%d, %d), want (3, 0)", syncs, failures)
+	}
+}
+
+// TestStandbyRunActiveGateResetsCursor: while Active reports false (the
+// server is serving as primary), Run must skip syncing AND drop the delta
+// cursor — state moved outside the syncer, so the next sync after
+// reactivation has to be a full restore.
+func TestStandbyRunActiveGateResetsCursor(t *testing.T) {
+	_, _, donorClient, ps := durableReplica(t, t.TempDir())
+	defer ps.Close()
+	local, err := policy.New(policy.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStandbySyncer(local, donorClient, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feeding the gate from a channel makes each tick's gate check a
+	// rendezvous: the next send can only be received after the previous
+	// tick's whole iteration (including the cursor reset) completed.
+	gate := make(chan bool)
+	s.Active = func() bool { return <-gate }
+	ticks := make(chan time.Time)
+	s.Ticks = ticks
+	synced := make(chan error, 8)
+	s.OnSync = func(err error) { synced <- err }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go s.Run(ctx)
+
+	if _, err := donorClient.AdviseTransfers([]policy.TransferSpec{testSpec(1, "wf1")}); err != nil {
+		t.Fatal(err)
+	}
+	ticks <- time.Time{}
+	gate <- true
+	if err := <-synced; err != nil {
+		t.Fatalf("priming sync: %v", err)
+	}
+
+	// The server acts as primary for a while: the marker stands in for
+	// writes applied outside the syncer.
+	if err := local.SetThreshold("mark", "er", 7); err != nil {
+		t.Fatal(err)
+	}
+	ticks <- time.Time{}
+	gate <- false // skipped: no OnSync, cursor dropped
+
+	ticks <- time.Time{}
+	gate <- true
+	if err := <-synced; err != nil {
+		t.Fatalf("post-reactivation sync: %v", err)
+	}
+	// Exactly one OnSync arrived: the gated tick synced nothing.
+	if syncs, failures := s.Stats(); syncs != 2 || failures != 0 {
+		t.Fatalf("stats = (%d, %d), want (2, 0) — the inactive tick must not sync", syncs, failures)
+	}
+	// The reactivation sync was a full restore, not a tail replay: the
+	// primary-era marker is gone.
+	if hasThreshold(local, "mark", "er", 7) {
+		t.Fatal("reactivation sync took the delta path: Active gate did not reset the cursor")
+	}
+}
